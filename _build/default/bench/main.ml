@@ -1,0 +1,603 @@
+(* Experiment harness: regenerates every table and figure of the
+   (reconstructed) evaluation — see DESIGN.md section 4 and EXPERIMENTS.md
+   for the experiment index and the mapping to the paper's claims.
+
+   Usage:
+     dune exec bench/main.exe              # all experiments
+     dune exec bench/main.exe -- t2 f1     # a subset, by id
+
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 f1 f2 f3 micro. *)
+
+module Entry = Designs.Entry
+module Registry = Designs.Registry
+module Checks = Qed.Checks
+module Theory = Qed.Theory
+module Crv = Testbench.Crv
+module Productivity = Testbench.Productivity
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let passed report =
+  match report.Checks.verdict with Checks.Pass _ -> true | Checks.Fail _ -> false
+
+let cex_length report =
+  match report.Checks.verdict with
+  | Checks.Fail f -> Some f.Checks.witness.Bmc.w_length
+  | Checks.Pass _ -> None
+
+let class_name e = if e.Entry.interfering then "interfering" else "non-interf."
+
+(* Shared mutant suites (one mutant per operator so the harness stays fast). *)
+let mutant_suite e = Mutation.mutants ~per_operator_limit:1 e.Entry.design
+
+(* ------------------------------------------------------------------ *)
+(* T1: benchmark suite characteristics.                                 *)
+
+let t1 () =
+  header "T1  Benchmark suite characteristics";
+  Printf.printf "%-12s %-12s %6s %6s %6s %8s %6s\n" "design" "class" "state" "input"
+    "nodes" "mutants" "bound";
+  List.iter
+    (fun e ->
+      let state_bits, input_bits, nodes = Rtl.stats e.Entry.design in
+      Printf.printf "%-12s %-12s %6d %6d %6d %8d %6d\n" e.Entry.name (class_name e)
+        state_bits input_bits nodes
+        (List.length (mutant_suite e))
+        e.Entry.rec_bound)
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* T2: bug-detection matrix (the headline table).                       *)
+
+type t2_row = {
+  r_name : string;
+  r_interfering : bool;
+  r_mutants : int;
+  r_crv : int;
+  r_aqed : int;
+  r_aqed_false_alarm : bool;
+  r_gqed : int;
+  r_gqed_cex : int list; (* witness lengths of G-QED detections *)
+  r_crv_cycles : int list; (* cycles-to-detection of CRV detections *)
+  r_escapes_caught : int; (* CRV missed, G-QED flow caught *)
+}
+
+let t2_compute () =
+  List.map
+    (fun e ->
+      Printf.eprintf "  [t2] %s...\n%!" e.Entry.name;
+      let bound = e.Entry.rec_bound in
+      let mutants = mutant_suite e in
+      (* Does A-QED false-alarm on the correct design? (It does, on every
+         interfering design — the paper's motivation.) *)
+      let aqed_false_alarm =
+        e.Entry.interfering
+        && not (passed (Checks.aqed_fc e.Entry.design e.Entry.iface ~bound))
+      in
+      let crv_hits = ref 0 and aqed_hits = ref 0 and gqed_hits = ref 0 in
+      let gqed_cex = ref [] and crv_cycles = ref [] in
+      let escapes_caught = ref 0 in
+      List.iter
+        (fun (_m, mutant) ->
+          let crv =
+            Crv.run ~design_override:mutant e
+              { Crv.seed = 1; max_transactions = 500; idle_prob = 0.2 }
+          in
+          if crv.Crv.detected then begin
+            incr crv_hits;
+            crv_cycles := crv.Crv.cycles_run :: !crv_cycles
+          end;
+          (* A-QED only applies to non-interfering designs; on interfering
+             ones it already rejects the bug-free design. *)
+          if not e.Entry.interfering then begin
+            let a = Checks.aqed_fc mutant e.Entry.iface ~bound in
+            if not (passed a) then incr aqed_hits
+          end;
+          let g = Checks.flow mutant e.Entry.iface ~bound in
+          if not (passed g) then begin
+            incr gqed_hits;
+            if not crv.Crv.detected then incr escapes_caught;
+            match cex_length g with Some n -> gqed_cex := n :: !gqed_cex | None -> ()
+          end)
+        mutants;
+      {
+        r_name = e.Entry.name;
+        r_interfering = e.Entry.interfering;
+        r_mutants = List.length mutants;
+        r_crv = !crv_hits;
+        r_aqed = !aqed_hits;
+        r_aqed_false_alarm = aqed_false_alarm;
+        r_gqed = !gqed_hits;
+        r_gqed_cex = !gqed_cex;
+        r_crv_cycles = !crv_cycles;
+        r_escapes_caught = !escapes_caught;
+      })
+    Registry.all
+
+let t2_rows = lazy (t2_compute ())
+
+let t2 () =
+  header "T2  Bug detection per design: CRV baseline vs A-QED vs G-QED";
+  Printf.printf
+    "(mutant suites: one mutant per operator; CRV budget 500 transactions)\n";
+  Printf.printf "%-12s %8s %12s %14s %10s\n" "design" "mutants" "CRV" "A-QED" "G-QED flow";
+  let rows = Lazy.force t2_rows in
+  List.iter
+    (fun row ->
+      let aqed_str =
+        if row.r_interfering then
+          if row.r_aqed_false_alarm then "false-alarm" else "n/a"
+        else Printf.sprintf "%d/%d" row.r_aqed row.r_mutants
+      in
+      Printf.printf "%-12s %8d %12s %14s %10s\n" row.r_name row.r_mutants
+        (Printf.sprintf "%d/%d" row.r_crv row.r_mutants)
+        aqed_str
+        (Printf.sprintf "%d/%d" row.r_gqed row.r_mutants))
+    rows;
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Printf.printf "%-12s %8d %12d %14s %10d\n" "TOTAL"
+    (total (fun r -> r.r_mutants))
+    (total (fun r -> r.r_crv))
+    "-"
+    (total (fun r -> r.r_gqed));
+  Printf.printf
+    "\nBugs that ESCAPED the 500-transaction CRV flow but were caught by the\n\
+     G-QED flow (the abstract's headline class): %d\n"
+    (total (fun r -> r.r_escapes_caught));
+  Printf.printf
+    "\nNotes: A-QED false-alarms on every correct interfering design (its FC\n\
+     property does not hold there), which is the paper's motivation for G-QED.\n\
+     G-QED escapes are uniform bugs (e.g. stuck architectural registers) that\n\
+     no self-consistency technique can see without a specification; the\n\
+     golden-model CRV baseline catches those but pays for the model (T4).\n"
+
+(* ------------------------------------------------------------------ *)
+(* T3: G-QED cost on the correct designs (runtime, CNF, conflicts).     *)
+
+let t3 () =
+  header "T3  G-QED verification cost on correct designs";
+  Printf.printf "%-12s %6s %9s %9s %10s %9s %8s\n" "design" "bound" "vars" "clauses"
+    "conflicts" "verdict" "time(s)";
+  List.iter
+    (fun e ->
+      let report, dt =
+        time (fun () -> Checks.gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound)
+      in
+      Printf.printf "%-12s %6d %9d %9d %10d %9s %8.2f\n%!" e.Entry.name e.Entry.rec_bound
+        report.Checks.cnf_vars report.Checks.cnf_clauses
+        report.Checks.sat_stats.Sat.Solver.conflicts
+        (if passed report then "pass" else "FAIL")
+        dt)
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* T4: productivity model (the 370 -> 21 person-days claim).            *)
+
+let t4 () =
+  header "T4  Verification productivity (effort model; see EXPERIMENTS.md)";
+  Printf.printf "%-12s %15s %15s %8s\n" "design" "conventional" "G-QED flow" "ratio";
+  let mmio = Registry.find "mmio_engine" in
+  let kappa = Productivity.scale_to_industrial mmio in
+  List.iter
+    (fun e ->
+      let conv = (Productivity.conventional e).Productivity.total_days *. kappa in
+      let gq = (Productivity.gqed e).Productivity.total_days *. kappa in
+      Printf.printf "%-12s %12.0f pd %12.0f pd %7.1fx%s\n" e.Entry.name conv gq
+        (conv /. gq)
+        (if e.Entry.name = "mmio_engine" then "   <- case study (paper: 370 vs 21 pd, 18x)"
+         else ""))
+    Registry.all;
+  Printf.printf "\nmmio_engine breakdown (model units):\n";
+  Printf.printf "  conventional: %s\n"
+    (Format.asprintf "%a" Productivity.pp_effort (Productivity.conventional mmio));
+  Printf.printf "  G-QED flow:   %s\n"
+    (Format.asprintf "%a" Productivity.pp_effort (Productivity.gqed mmio))
+
+(* ------------------------------------------------------------------ *)
+(* T5: soundness / completeness validation.                             *)
+
+let t5 () =
+  header "T5  Theory validation (bounded-exhaustive + per-witness soundness)";
+  let small = [ "accum"; "maxtrack"; "rle"; "seqdet"; "histogram" ] in
+  Printf.printf "%-12s %24s %8s %8s\n" "design" "brute-force table" "G-QED" "agree";
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      let alphabet =
+        Theory.default_alphabet ~operand_values:[ 0; 1; 3 ] e.Entry.design e.Entry.iface
+      in
+      let table =
+        Theory.transaction_table e.Entry.design e.Entry.iface ~alphabet ~depth:4
+      in
+      let report = Checks.gqed e.Entry.design e.Entry.iface ~bound:6 in
+      let table_str =
+        match table with
+        | `Deterministic n -> Printf.sprintf "deterministic (%d keys)" n
+        | `Conflict _ -> "CONFLICT"
+      in
+      let agree =
+        match (table, passed report) with
+        | `Deterministic _, true | `Conflict _, false -> "yes"
+        | _ -> "NO"
+      in
+      Printf.printf "%-12s %24s %8s %8s\n%!" name table_str
+        (if passed report then "pass" else "fail")
+        agree)
+    small;
+  Printf.printf "\nInjected interference (hidden-output mutants):\n";
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      match
+        List.find_map
+          (fun (m, d) ->
+            if m.Mutation.operator = Mutation.Hidden_output then Some d else None)
+          (Mutation.mutants e.Entry.design)
+      with
+      | None -> ()
+      | Some mutant ->
+          let alphabet =
+            Theory.default_alphabet ~operand_values:[ 0; 1; 3 ] mutant e.Entry.iface
+          in
+          let table = Theory.transaction_table mutant e.Entry.iface ~alphabet ~depth:4 in
+          let report = Checks.gqed mutant e.Entry.iface ~bound:6 in
+          let genuine =
+            match report.Checks.verdict with
+            | Checks.Fail f -> Theory.witness_is_genuine mutant e.Entry.iface f
+            | Checks.Pass _ -> false
+          in
+          Printf.printf "  %-12s brute-force=%-8s gqed=%-5s witness-genuine=%b\n%!" name
+            (match table with `Conflict _ -> "conflict" | `Deterministic _ -> "det")
+            (if passed report then "pass" else "fail")
+            genuine)
+    small;
+  (* Every G-QED counterexample found on three mutant suites replays as a
+     genuine inconsistency. *)
+  let total = ref 0 and genuine = ref 0 in
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      List.iter
+        (fun (_m, mutant) ->
+          let report = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
+          match report.Checks.verdict with
+          | Checks.Fail f ->
+              incr total;
+              if Theory.witness_is_genuine mutant e.Entry.iface f then incr genuine
+          | Checks.Pass _ -> ())
+        (mutant_suite e))
+    [ "accum"; "maxtrack"; "seqdet" ];
+  Printf.printf "\nWitness soundness: %d/%d reported counterexamples replay as genuine\n"
+    !genuine !total
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablation — G-QED with vs without the post-state conjunct.        *)
+
+let a1 () =
+  header "A1  Ablation: post-state conjunct (hidden-state mutants of arch regs)";
+  Printf.printf "%-12s %22s %22s\n" "design" "G-QED(full)" "G-QED(out-only)";
+  List.iter
+    (fun e ->
+      if e.Entry.interfering then begin
+        match
+          List.find_map
+            (fun (m, d) ->
+              if
+                m.Mutation.operator = Mutation.Hidden_state
+                && List.exists
+                     (fun r -> "next(" ^ r ^ ")" = m.Mutation.target)
+                     e.Entry.iface.Qed.Iface.arch_regs
+              then Some d
+              else None)
+            (Mutation.mutants e.Entry.design)
+        with
+        | None -> ()
+        | Some mutant ->
+            let full = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
+            let out_only =
+              Checks.gqed_output_only mutant e.Entry.iface ~bound:e.Entry.rec_bound
+            in
+            let show r =
+              match r.Checks.verdict with
+              | Checks.Pass _ -> "missed"
+              | Checks.Fail f -> "caught:" ^ Checks.failure_kind_to_string f.Checks.kind
+            in
+            Printf.printf "%-12s %22s %22s\n%!" e.Entry.name (show full) (show out_only)
+      end)
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* A2: ablation — incremental vs monolithic BMC.                        *)
+
+let a2 () =
+  header "A2  Ablation: incremental vs monolithic BMC (accum reachability)";
+  let e = Registry.find "accum" in
+  let assumes =
+    [
+      Expr.ult (Expr.var "x" 4) (Expr.const_int ~width:4 2);
+      Expr.eq (Expr.var "cmd" 1) (Expr.const_int ~width:1 0);
+    ]
+  in
+  let invariant = Expr.ne (Expr.var "acc" 4) (Expr.const_int ~width:4 15) in
+  Printf.printf "%-8s %14s %14s %10s\n" "depth" "incremental(s)" "monolithic(s)" "result";
+  List.iter
+    (fun depth ->
+      let (r1, _), t_inc =
+        time (fun () ->
+            Bmc.check_safety ~assumes ~design:e.Entry.design ~invariant ~depth ())
+      in
+      let (r2, _), t_mono =
+        time (fun () ->
+            Bmc.check_safety_mono ~assumes ~design:e.Entry.design ~invariant ~depth ())
+      in
+      let result, same =
+        match (r1, r2) with
+        | Bmc.Holds a, Bmc.Holds b -> (Printf.sprintf "holds<=%d" a, a = b)
+        | Bmc.Violated a, Bmc.Violated b ->
+            (Printf.sprintf "cex@%d" a.Bmc.w_length, a.Bmc.w_length = b.Bmc.w_length)
+        | _ -> ("DISAGREE", false)
+      in
+      Printf.printf "%-8d %14.3f %14.3f %10s%s\n%!" depth t_inc t_mono result
+        (if same then "" else "  MISMATCH"))
+    [ 4; 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* A3: ablation — monolithic vs decomposed verification (A-QED^2).      *)
+
+let a3 () =
+  header "A3  Ablation: monolithic vs decomposed verification (peak_accum)";
+  let e = Registry.find "peak_accum" in
+  let mono, t_mono =
+    time (fun () -> Checks.gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound)
+  in
+  let dec, t_dec =
+    time (fun () ->
+        Qed.Decompose.check_all Designs.Peak_accum.decomposition ~bound:e.Entry.rec_bound)
+  in
+  Printf.printf "monolithic G-QED:   %-10s %6.2fs  (%d vars, %d clauses)\n"
+    (if passed mono then "pass" else "FAIL")
+    t_mono mono.Checks.cnf_vars mono.Checks.cnf_clauses;
+  Printf.printf "decomposed (A-QED^2): %-8s %6.2fs  (%d sub-accelerators)\n"
+    (if dec.Qed.Decompose.all_pass then "pass" else "FAIL")
+    t_dec
+    (List.length dec.Qed.Decompose.results);
+  (* Bug localization: seed a mux bug into the tracker half of the
+     composition; the decomposition finds it in the right sub. *)
+  let buggy_sub =
+    List.find_map
+      (fun (m, d) ->
+        if m.Mutation.operator = Mutation.Ite_flip then Some d else None)
+      (Mutation.mutants (Registry.find "maxtrack").Entry.design)
+  in
+  match buggy_sub with
+  | None -> ()
+  | Some buggy ->
+      let subs =
+        List.map
+          (fun sub ->
+            if sub.Qed.Decompose.sub_name = "maxtrack" then
+              { sub with Qed.Decompose.sub_design = buggy }
+            else sub)
+          Designs.Peak_accum.decomposition
+      in
+      let r = Qed.Decompose.check_all subs ~bound:e.Entry.rec_bound in
+      (match Qed.Decompose.first_failure r with
+      | Some (name, f) ->
+          Printf.printf "seeded tracker bug localized to sub-accelerator %s (%s)\n" name
+            (Checks.failure_kind_to_string f.Checks.kind)
+      | None -> Printf.printf "seeded bug NOT localized\n")
+
+(* ------------------------------------------------------------------ *)
+(* F1: G-QED runtime vs unroll bound (scaling curves).                  *)
+
+let f1 () =
+  header "F1  G-QED runtime vs unroll bound (seconds; one series per design)";
+  let designs = [ "accum"; "maxtrack"; "alu_pipe"; "mmio_engine" ] in
+  Printf.printf "%-6s" "bound";
+  List.iter (Printf.printf " %12s") designs;
+  Printf.printf "\n";
+  List.iter
+    (fun bound ->
+      Printf.printf "%-6d" bound;
+      List.iter
+        (fun name ->
+          let e = Registry.find name in
+          let _, dt = time (fun () -> Checks.gqed e.Entry.design e.Entry.iface ~bound) in
+          Printf.printf " %12.3f%!" dt)
+        designs;
+      Printf.printf "\n")
+    [ 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* F2: CRV detection rate vs budget, with the G-QED one-shot line.      *)
+
+let f2 () =
+  header "F2  Detection rate vs CRV budget, against one G-QED run";
+  let cases =
+    [
+      (* easy bug: random simulation wins quickly *)
+      ("accum/off_by_one", "accum", Mutation.Off_by_one);
+      (* always-on interference: both find it *)
+      ("accum/hidden_state", "accum", Mutation.Hidden_state);
+      (* rare-trigger interference: the class that escapes regressions *)
+      ("accum/rare_output", "accum", Mutation.Rare_output);
+      ("maxtrack/rare_state", "maxtrack", Mutation.Rare_state);
+      ("mmio/rare_output", "mmio_engine", Mutation.Rare_output);
+      (* uniform bug: only the golden-model flow can see it *)
+      ("seqdet/op_swap", "seqdet", Mutation.Op_swap);
+    ]
+  in
+  let budgets = [ 1; 3; 10; 30; 100; 300 ] in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  Printf.printf "%-20s" "mutant";
+  List.iter (fun b -> Printf.printf " %7s" (Printf.sprintf "%dtx" b)) budgets;
+  Printf.printf " %16s\n" "G-QED one-shot";
+  List.iter
+    (fun (label, design_name, op) ->
+      let e = Registry.find design_name in
+      match
+        List.find_map
+          (fun (m, d) -> if m.Mutation.operator = op then Some d else None)
+          (Mutation.mutants e.Entry.design)
+      with
+      | None -> ()
+      | Some mutant ->
+          let curve = Crv.detection_curve ~design_override:mutant e ~budgets ~seeds in
+          Printf.printf "%-20s" label;
+          List.iter (fun (_, rate) -> Printf.printf " %6.0f%%" (100.0 *. rate)) curve;
+          let report, dt =
+            time (fun () -> Checks.flow mutant e.Entry.iface ~bound:e.Entry.rec_bound)
+          in
+          Printf.printf " %9s %5.1fs\n%!"
+            (if passed report then "missed" else "found")
+            dt)
+    cases;
+  Printf.printf
+    "\n(rare-trigger rows: the corruption needs a coincidence of hidden phase,\n\
+     operand and state values; symbolic search constructs it in one query)\n"
+
+(* ------------------------------------------------------------------ *)
+(* F3: counterexample length, G-QED vs CRV cycles-to-detection.         *)
+
+let f3 () =
+  header "F3  Counterexample length: G-QED trace vs CRV cycles-to-detection";
+  let rows = Lazy.force t2_rows in
+  let geomean = function
+    | [] -> nan
+    | xs ->
+        exp
+          (List.fold_left (fun acc x -> acc +. log (float_of_int (max 1 x))) 0.0 xs
+          /. float_of_int (List.length xs))
+  in
+  Printf.printf "%-12s %18s %18s %8s\n" "design" "G-QED cex (geo.)" "CRV cycles (geo.)"
+    "ratio";
+  let all_g = ref [] and all_c = ref [] in
+  List.iter
+    (fun row ->
+      if row.r_gqed_cex <> [] && row.r_crv_cycles <> [] then begin
+        all_g := row.r_gqed_cex @ !all_g;
+        all_c := row.r_crv_cycles @ !all_c;
+        let g = geomean row.r_gqed_cex and c = geomean row.r_crv_cycles in
+        Printf.printf "%-12s %18.1f %18.1f %7.1fx\n" row.r_name g c (c /. g)
+      end)
+    rows;
+  let g = geomean !all_g and c = geomean !all_c in
+  Printf.printf "%-12s %18.1f %18.1f %7.1fx  (A-QED DAC'20 reports ~37x)\n" "OVERALL" g c
+    (c /. g)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure kernel.    *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel): per-experiment computational kernels";
+  let open Bechamel in
+  let accum = Registry.find "accum" in
+  let mutant =
+    List.find_map
+      (fun (m, d) -> if m.Mutation.operator = Mutation.Off_by_one then Some d else None)
+      (Mutation.mutants accum.Entry.design)
+    |> Option.get
+  in
+  let sim_inputs =
+    let rand = Random.State.make [| 9 |] in
+    List.init 200 (fun _ ->
+        Entry.operand_valuation accum ~valid:true (accum.Entry.sample_operand rand))
+  in
+  let tests =
+    [
+      Test.make ~name:"t1.design_stats"
+        (Staged.stage (fun () -> ignore (Rtl.stats accum.Entry.design)));
+      Test.make ~name:"t2.gqed_buggy_mutant"
+        (Staged.stage (fun () -> ignore (Checks.gqed mutant accum.Entry.iface ~bound:4)));
+      Test.make ~name:"t3.gqed_pass_bound3"
+        (Staged.stage (fun () ->
+             ignore (Checks.gqed accum.Entry.design accum.Entry.iface ~bound:3)));
+      Test.make ~name:"t4.productivity_model"
+        (Staged.stage (fun () -> ignore (Productivity.improvement accum)));
+      Test.make ~name:"t5.transaction_table"
+        (Staged.stage (fun () ->
+             ignore
+               (Theory.transaction_table accum.Entry.design accum.Entry.iface
+                  ~alphabet:
+                    (Theory.default_alphabet ~operand_values:[ 0; 1 ] accum.Entry.design
+                       accum.Entry.iface)
+                  ~depth:3)));
+      Test.make ~name:"a1.gqed_output_only_bound3"
+        (Staged.stage (fun () ->
+             ignore (Checks.gqed_output_only accum.Entry.design accum.Entry.iface ~bound:3)));
+      Test.make ~name:"a2.bmc_safety_depth6"
+        (Staged.stage (fun () ->
+             ignore
+               (Bmc.check_safety ~design:accum.Entry.design
+                  ~invariant:(Expr.ne (Expr.var "acc" 4) (Expr.const_int ~width:4 15))
+                  ~depth:6 ())));
+      Test.make ~name:"f1.simulate_200_cycles"
+        (Staged.stage (fun () -> ignore (Rtl.simulate accum.Entry.design sim_inputs)));
+      Test.make ~name:"f2.crv_200tx"
+        (Staged.stage (fun () ->
+             ignore
+               (Crv.run accum { Crv.seed = 1; max_transactions = 200; idle_prob = 0.2 })));
+      Test.make ~name:"f3.aqed_fc_bound4"
+        (Staged.stage (fun () -> ignore (Checks.aqed_fc mutant accum.Entry.iface ~bound:4)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"kernel" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Analyze.OLS.estimates result with Some (e :: _) -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-36s %16s\n" "kernel" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Printf.printf "%-36s %16s\n" name human)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
+    ("a1", a1); ("a2", a2); ("a3", a3); ("f1", f1); ("f2", f2); ("f3", f3);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst experiments
+  in
+  Printf.printf "G-QED reproduction harness — %d experiment(s)\n" (List.length requested);
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some f ->
+          let (), dt = time f in
+          Printf.printf "[%s completed in %.1fs]\n%!" id dt
+      | None ->
+          Printf.printf "unknown experiment %s (known: %s)\n" id
+            (String.concat " " (List.map fst experiments)))
+    requested

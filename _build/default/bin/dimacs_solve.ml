@@ -1,0 +1,51 @@
+(* Standalone DIMACS front-end for the CDCL solver.
+
+   Usage: dimacs_solve [FILE]     (reads stdin when no file is given)
+
+   Prints the classic competition output: an "s" status line and, for
+   satisfiable formulas, "v" lines with the model. Exit code 10 = SAT,
+   20 = UNSAT, 1 = input error. *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let () =
+  let text =
+    match Sys.argv with
+    | [| _ |] -> read_all stdin
+    | [| _; path |] ->
+        let ic = open_in path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+    | _ ->
+        prerr_endline "usage: dimacs_solve [FILE]";
+        exit 1
+  in
+  match Sat.Dimacs.solve_string text with
+  | Error msg ->
+      Printf.eprintf "c parse error: %s\n" msg;
+      exit 1
+  | Ok (Sat.Solver.Unsat, _) ->
+      print_endline "s UNSATISFIABLE";
+      exit 20
+  | Ok (Sat.Solver.Sat, model) ->
+      print_endline "s SATISFIABLE";
+      (match model with
+      | None -> ()
+      | Some m ->
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf "v";
+          Array.iteri
+            (fun v value ->
+              Buffer.add_string buf (Printf.sprintf " %d" (if value then v + 1 else -(v + 1))))
+            m;
+          Buffer.add_string buf " 0";
+          print_endline (Buffer.contents buf));
+      exit 10

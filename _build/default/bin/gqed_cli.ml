@@ -1,0 +1,236 @@
+(* gqed — command-line driver for the G-QED verification library.
+
+   Subcommands:
+     gqed list                          list the benchmark designs
+     gqed info DESIGN                   design + interface details
+     gqed verify DESIGN [options]       run a QED check (optionally on a mutant)
+     gqed mutants DESIGN                list the mutation ids of a design
+     gqed simulate DESIGN [options]     random simulation trace
+     gqed crv DESIGN [options]          constrained-random baseline run *)
+
+open Cmdliner
+
+module Entry = Designs.Entry
+module Registry = Designs.Registry
+module Checks = Qed.Checks
+
+let find_design name =
+  match Registry.find name with
+  | e -> Ok e
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown design %S (known: %s)" name
+           (String.concat ", " Registry.names))
+
+let resolve_mutant e = function
+  | None -> Ok (e.Entry.design, None)
+  | Some id -> begin
+      match
+        List.find_opt (fun m -> m.Mutation.id = id) (Mutation.enumerate e.Entry.design)
+      with
+      | None -> Error (Printf.sprintf "unknown mutant id %S (try `gqed mutants %s`)" id e.Entry.name)
+      | Some m -> begin
+          match Mutation.apply e.Entry.design m with
+          | Some design -> Ok (design, Some m)
+          | None -> Error (Printf.sprintf "mutant %S does not apply" id)
+        end
+    end
+
+let design_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"Design name.")
+
+let mutant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutant" ] ~docv:"ID" ~doc:"Inject the mutation with this id first.")
+
+let bound_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "bound" ] ~docv:"N"
+        ~doc:"BMC unroll bound in cycles (default: the design's recommended bound).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("gqed: " ^ msg);
+      exit 2
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-12s %-12s %s\n" "name" "class" "description";
+    List.iter
+      (fun e ->
+        Printf.printf "%-12s %-12s %s\n" e.Entry.name
+          (if e.Entry.interfering then "interfering" else "non-interf.")
+          e.Entry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark designs.") Term.(const run $ const ())
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run name =
+    let e = or_die (find_design name) in
+    let state_bits, input_bits, nodes = Rtl.stats e.Entry.design in
+    Printf.printf "%s — %s\n" e.Entry.name e.Entry.description;
+    Printf.printf "  class:       %s\n"
+      (if e.Entry.interfering then "interfering" else "non-interfering");
+    Printf.printf "  state bits:  %d\n" state_bits;
+    Printf.printf "  input bits:  %d\n" input_bits;
+    Printf.printf "  expr nodes:  %d\n" nodes;
+    Printf.printf "  interface:   %s\n" (Format.asprintf "%a" Qed.Iface.pp e.Entry.iface);
+    Printf.printf "  rec. bound:  %d\n" e.Entry.rec_bound;
+    Printf.printf "  mutants:     %d\n" (List.length (Mutation.enumerate e.Entry.design))
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show a design's details.")
+    Term.(const run $ design_arg)
+
+(* ---- verify ---- *)
+
+let technique_arg =
+  let techniques =
+    [
+      ("flow", `Flow); ("gqed", `Gqed); ("aqed", `Aqed); ("gqed-out", `Gqed_out);
+      ("sa", `Sa); ("stability", `Stability);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum techniques) `Gqed
+    & info [ "technique" ] ~docv:"TECH"
+        ~doc:
+          "One of $(b,gqed) (default), $(b,flow) (reset+SA+stability+G-FC), \
+           $(b,aqed), $(b,gqed-out) (ablation), $(b,sa), $(b,stability).")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full counterexample waveform.")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the waveform to $(docv) in VCD format.")
+
+let verify_cmd =
+  let run name technique bound mutant trace vcd =
+    let e = or_die (find_design name) in
+    let design, m = or_die (resolve_mutant e mutant) in
+    let bound = Option.value bound ~default:e.Entry.rec_bound in
+    (match m with
+    | Some m -> Printf.printf "injected mutation: %s (%s)\n" m.Mutation.id m.Mutation.description
+    | None -> ());
+    let check =
+      match technique with
+      | `Gqed -> Checks.gqed
+      | `Flow -> Checks.flow
+      | `Aqed -> Checks.aqed_fc
+      | `Gqed_out -> Checks.gqed_output_only
+      | `Sa -> Checks.sa_check
+      | `Stability -> Checks.stability_check
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = check design e.Entry.iface ~bound in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "%a@." Checks.pp_verdict report.Checks.verdict;
+    Printf.printf "cnf: %d vars, %d clauses; %s; %.2fs\n" report.Checks.cnf_vars
+      report.Checks.cnf_clauses
+      (Format.asprintf "%a" Sat.Solver.pp_stats report.Checks.sat_stats)
+      dt;
+    match report.Checks.verdict with
+    | Checks.Pass _ -> exit 0
+    | Checks.Fail f ->
+        if trace then Format.printf "%a" Bmc.pp_witness f.Checks.witness;
+        (match vcd with
+        | Some path ->
+            Vcd.to_file path (Vcd.of_witness ~design_name:name f.Checks.witness);
+            Printf.printf "waveform written to %s\n" path
+        | None -> ());
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run a QED check on a design (or one of its mutants).")
+    Term.(
+      const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ trace_flag
+      $ vcd_arg)
+
+(* ---- mutants ---- *)
+
+let mutants_cmd =
+  let run name =
+    let e = or_die (find_design name) in
+    List.iter
+      (fun (m, _) ->
+        Printf.printf "%-40s %-12s %s\n" m.Mutation.id
+          (Mutation.class_to_string (Mutation.class_of m.Mutation.operator))
+          m.Mutation.description)
+      (Mutation.mutants e.Entry.design)
+  in
+  Cmd.v
+    (Cmd.info "mutants" ~doc:"List applicable mutations of a design.")
+    Term.(const run $ design_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let cycles_arg =
+    Arg.(value & opt int 10 & info [ "cycles" ] ~docv:"N" ~doc:"Number of cycles.")
+  in
+  let run name cycles seed vcd =
+    let e = or_die (find_design name) in
+    let rand = Random.State.make [| seed |] in
+    let inputs =
+      List.init cycles (fun _ ->
+          if Random.State.float rand 1.0 < 0.2 then Entry.idle_valuation e
+          else Entry.operand_valuation e ~valid:true (e.Entry.sample_operand rand))
+    in
+    let trace = Rtl.simulate e.Entry.design inputs in
+    Format.printf "%a" Rtl.pp_trace trace;
+    match vcd with
+    | Some path ->
+        Vcd.to_file path (Vcd.of_trace ~design_name:name trace);
+        Printf.printf "waveform written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a random simulation and print the waveform.")
+    Term.(const run $ design_arg $ cycles_arg $ seed_arg $ vcd_arg)
+
+(* ---- crv ---- *)
+
+let crv_cmd =
+  let budget_arg =
+    Arg.(value & opt int 1000 & info [ "budget" ] ~docv:"N" ~doc:"Transaction budget.")
+  in
+  let run name mutant budget seed =
+    let e = or_die (find_design name) in
+    let design, m = or_die (resolve_mutant e mutant) in
+    (match m with
+    | Some m -> Printf.printf "injected mutation: %s\n" m.Mutation.id
+    | None -> ());
+    let outcome =
+      Testbench.Crv.run ~design_override:design e
+        { Testbench.Crv.seed; max_transactions = budget; idle_prob = 0.2 }
+    in
+    Format.printf "%a@." Testbench.Crv.pp_outcome outcome;
+    exit (if outcome.Testbench.Crv.detected then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "crv" ~doc:"Run the constrained-random baseline against the golden model.")
+    Term.(const run $ design_arg $ mutant_arg $ budget_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "gqed" ~version:"1.0.0"
+      ~doc:"G-QED pre-silicon verification of (interfering) hardware accelerators"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; info_cmd; verify_cmd; mutants_cmd; simulate_cmd; crv_cmd ]))

@@ -1,0 +1,1 @@
+examples/decomposition.ml: Bmc Designs Format List Mutation Printf Qed Unix

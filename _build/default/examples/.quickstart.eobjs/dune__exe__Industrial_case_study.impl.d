@@ -1,0 +1,1 @@
+examples/industrial_case_study.ml: Bmc Designs Format List Mutation Printf Qed Rtl Testbench Unix

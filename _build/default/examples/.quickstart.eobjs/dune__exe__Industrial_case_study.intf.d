@@ -1,0 +1,1 @@
+examples/industrial_case_study.mli:

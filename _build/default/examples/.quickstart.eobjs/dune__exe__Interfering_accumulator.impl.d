@@ -1,0 +1,1 @@
+examples/interfering_accumulator.ml: Bmc Designs Format List Mutation Qed

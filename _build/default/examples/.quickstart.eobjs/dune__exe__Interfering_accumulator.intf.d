@@ -1,0 +1,1 @@
+examples/interfering_accumulator.mli:

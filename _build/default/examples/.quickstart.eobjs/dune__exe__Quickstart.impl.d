@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Bmc Designs Expr Format Printf Qed Random Rtl Testbench

@@ -1,0 +1,1 @@
+examples/variable_latency.ml: Bitvec Designs Format List Mutation Option Qed Rtl Unix

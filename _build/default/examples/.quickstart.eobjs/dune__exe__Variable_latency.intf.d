@@ -1,0 +1,1 @@
+examples/variable_latency.mli:

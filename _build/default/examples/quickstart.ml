@@ -1,0 +1,137 @@
+(* Quickstart: build a tiny accelerator in the RTL DSL, describe its
+   transactional interface, verify it with G-QED, inject a bug and watch the
+   check produce a counterexample waveform.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () = print_endline "=== G-QED quickstart ==="
+
+(* 1. Describe the design: a "greatest-so-far" tracker. One transaction
+   feeds a 4-bit value; the response is the largest value seen since reset.
+   The [best] register is the architectural state: the response genuinely
+   depends on earlier transactions, so the design is interfering. *)
+
+let best = Expr.var "best" 4
+let x = Expr.var "x" 4
+let valid = Expr.var "valid" 1
+
+let design =
+  let result = Expr.ite (Expr.ult best x) x best in
+  Rtl.make ~name:"greatest"
+    ~inputs:[ { Expr.name = "valid"; width = 1 }; { Expr.name = "x"; width = 4 } ]
+    ~registers:
+      [
+        {
+          Rtl.reg = { Expr.name = "best"; width = 4 };
+          init = Bitvec.zero 4;
+          next = Expr.ite valid result best;
+        };
+      ]
+    ~outputs:[ ("y", result) ]
+
+(* 2. Describe the transactional interface. This—not a functional spec—is
+   all G-QED needs: where transactions enter and leave, the latency, and
+   which registers are architectural. *)
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "x" ] ~out_data:[ "y" ] ~latency:0
+    ~arch_regs:[ "best" ] ()
+
+(* 3. Verify. *)
+
+let () =
+  let report = Qed.Checks.gqed design iface ~bound:8 in
+  Format.printf "correct design: %a@." Qed.Checks.pp_verdict report.Qed.Checks.verdict
+
+(* 4. Inject a bug of the class G-QED exists for: a "bypass path" that
+   skips the comparator whenever a hidden (non-architectural) toggle is
+   hot. The transaction's result now depends on context the interface never
+   mentions — the canonical hidden-state interference bug. *)
+
+let hidden = Expr.var "turbo" 1
+
+let buggy_design =
+  let correct = Expr.ite (Expr.ult best x) x best in
+  let result = Expr.ite hidden x correct in
+  Rtl.make ~name:"greatest_buggy"
+    ~inputs:[ { Expr.name = "valid"; width = 1 }; { Expr.name = "x"; width = 4 } ]
+    ~registers:
+      [
+        {
+          Rtl.reg = { Expr.name = "best"; width = 4 };
+          init = Bitvec.zero 4;
+          next = Expr.ite valid result best;
+        };
+        (* The buggy "turbo" bypass: alternates every cycle. *)
+        {
+          Rtl.reg = { Expr.name = "turbo"; width = 1 };
+          init = Bitvec.zero 1;
+          next = Expr.not_ hidden;
+        };
+      ]
+    ~outputs:[ ("y", result) ]
+
+let () =
+  let report = Qed.Checks.gqed buggy_design iface ~bound:8 in
+  Format.printf "buggy design:   %a@." Qed.Checks.pp_verdict report.Qed.Checks.verdict;
+  match report.Qed.Checks.verdict with
+  | Qed.Checks.Fail f ->
+      Format.printf "%a" Bmc.pp_witness f.Qed.Checks.witness;
+      (* The witness really is a genuine inconsistency (soundness). *)
+      Format.printf "witness replays as genuine: %b@."
+        (Qed.Theory.witness_is_genuine buggy_design iface f)
+  | Qed.Checks.Pass _ -> print_endline "unexpected: the bug escaped"
+
+(* 5. Contrast with a *uniform* bug — an accidentally signed comparison.
+   That design consistently implements a (wrong) deterministic transaction
+   function, so no spec-free self-consistency check can flag it; the
+   brute-force transaction table proves it, and a golden-model testbench
+   (which owns the specification G-QED does without) is the tool that
+   catches it. This boundary is exactly the completeness theorem's. *)
+
+let uniform_buggy =
+  let result = Expr.ite (Expr.slt best x) x best in
+  Rtl.make ~name:"greatest_signed"
+    ~inputs:[ { Expr.name = "valid"; width = 1 }; { Expr.name = "x"; width = 4 } ]
+    ~registers:
+      [
+        {
+          Rtl.reg = { Expr.name = "best"; width = 4 };
+          init = Bitvec.zero 4;
+          next = Expr.ite valid result best;
+        };
+      ]
+    ~outputs:[ ("y", result) ]
+
+let () =
+  let report = Qed.Checks.gqed uniform_buggy iface ~bound:8 in
+  Format.printf "uniform (signed-compare) bug: G-QED says %a — as the theory predicts@."
+    Qed.Checks.pp_verdict report.Qed.Checks.verdict;
+  let alphabet =
+    Qed.Theory.default_alphabet ~operand_values:[ 0; 3; 9; 15 ] uniform_buggy iface
+  in
+  (match Qed.Theory.transaction_table uniform_buggy iface ~alphabet ~depth:4 with
+  | `Deterministic n ->
+      Printf.printf "ground truth: transactionally deterministic (%d keys) — uniform bug\n" n
+  | `Conflict _ -> print_endline "ground truth: interference conflict");
+  let entry =
+    Designs.Entry.make ~name:"greatest" ~description:"greatest-so-far"
+      ~design:uniform_buggy ~iface
+      ~golden:
+        {
+          Designs.Entry.init_state = [ Bitvec.zero 4 ];
+          step =
+            (fun state operand ->
+              match (state, operand) with
+              | [ best ], [ x ] ->
+                  let r = if Bitvec.to_int best < Bitvec.to_int x then x else best in
+                  ([ r ], [ r ])
+              | _ -> assert false);
+        }
+      ~sample_operand:(fun rand -> [ Bitvec.make ~width:4 (Random.State.int rand 16) ])
+      ~rec_bound:8
+  in
+  let outcome =
+    Testbench.Crv.run entry { Testbench.Crv.seed = 1; max_transactions = 200; idle_prob = 0.2 }
+  in
+  Format.printf "golden-model CRV on the uniform bug: %a@." Testbench.Crv.pp_outcome outcome

@@ -1,0 +1,197 @@
+type lit = int
+
+(* Node 0 is the constant-false node; its positive edge (lit 0) is false and
+   its complemented edge (lit 1) is true. Other nodes are inputs or ANDs. *)
+let false_ = 0
+let true_ = 1
+
+let node_of l = l lsr 1
+let is_complemented l = l land 1 = 1
+let not_ l = l lxor 1
+let mk_lit node ~compl = (node * 2) + if compl then 1 else 0
+let of_bool b = if b then true_ else false_
+
+type t = {
+  (* fanin0.(n) = -1 for inputs and the constant; >= 0 (a lit) for ANDs. *)
+  mutable fanin0 : int array;
+  mutable fanin1 : int array;
+  mutable input_of : int array; (* input index, -1 for non-inputs *)
+  mutable num_nodes : int;
+  mutable num_inputs : int;
+  mutable num_ands : int;
+  strash : (int * int, int) Hashtbl.t; (* (fanin0, fanin1) -> node *)
+}
+
+let create () =
+  {
+    fanin0 = Array.make 64 (-1);
+    fanin1 = Array.make 64 (-1);
+    input_of = Array.make 64 (-1);
+    num_nodes = 1 (* the constant node *);
+    num_inputs = 0;
+    num_ands = 0;
+    strash = Hashtbl.create 256;
+  }
+
+let grow g =
+  let cap = Array.length g.fanin0 in
+  if g.num_nodes >= cap then begin
+    let grow_arr a = Array.append a (Array.make cap (-1)) in
+    g.fanin0 <- grow_arr g.fanin0;
+    g.fanin1 <- grow_arr g.fanin1;
+    g.input_of <- grow_arr g.input_of
+  end
+
+let new_node g =
+  grow g;
+  let n = g.num_nodes in
+  g.num_nodes <- n + 1;
+  n
+
+let fresh_input g =
+  let n = new_node g in
+  g.input_of.(n) <- g.num_inputs;
+  g.num_inputs <- g.num_inputs + 1;
+  mk_lit n ~compl:false
+
+let num_inputs g = g.num_inputs
+let num_ands g = g.num_ands
+
+let input_index g l =
+  let n = node_of l in
+  if n < g.num_nodes && g.input_of.(n) >= 0 then Some g.input_of.(n) else None
+
+let and_ g a b =
+  (* Local simplification before hash-consing. *)
+  if a = false_ || b = false_ then false_
+  else if a = true_ then b
+  else if b = true_ then a
+  else if a = b then a
+  else if a = not_ b then false_
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt g.strash (a, b) with
+    | Some n -> mk_lit n ~compl:false
+    | None ->
+        let n = new_node g in
+        g.fanin0.(n) <- a;
+        g.fanin1.(n) <- b;
+        g.num_ands <- g.num_ands + 1;
+        Hashtbl.add g.strash (a, b) n;
+        mk_lit n ~compl:false
+  end
+
+let or_ g a b = not_ (and_ g (not_ a) (not_ b))
+let xor_ g a b = or_ g (and_ g a (not_ b)) (and_ g (not_ a) b)
+let xnor_ g a b = not_ (xor_ g a b)
+let implies g a b = or_ g (not_ a) b
+let iff = xnor_
+let ite g c a b = or_ g (and_ g c a) (and_ g (not_ c) b)
+let and_list g = List.fold_left (and_ g) true_
+let or_list g = List.fold_left (or_ g) false_
+
+(* Evaluation with an explicit stack: unrolled designs can have long
+   combinational chains, and recursion depth equals the longest path. *)
+let eval_node g inputs memo =
+  let rec value n =
+    match memo.(n) with
+    | 0 ->
+        (* Not yet computed: compute iteratively via the recursion below;
+           chains are bounded by graph depth which is fine in practice, but
+           we still keep an explicit worklist for very deep unrollings. *)
+        compute n
+    | 1 -> false
+    | _ -> true
+  and compute n =
+    if g.input_of.(n) >= 0 then begin
+      let v = inputs.(g.input_of.(n)) in
+      memo.(n) <- (if v then 2 else 1);
+      v
+    end
+    else if n = 0 then begin
+      memo.(n) <- 1;
+      false
+    end
+    else begin
+      let f0 = g.fanin0.(n) and f1 = g.fanin1.(n) in
+      let v0 = value (node_of f0) in
+      let v0 = if is_complemented f0 then not v0 else v0 in
+      let v1 = value (node_of f1) in
+      let v1 = if is_complemented f1 then not v1 else v1 in
+      let v = v0 && v1 in
+      memo.(n) <- (if v then 2 else 1);
+      v
+    end
+  in
+  value
+
+let eval_lit g inputs memo l =
+  let v = eval_node g inputs memo (node_of l) in
+  if is_complemented l then not v else v
+
+let eval g inputs l =
+  if Array.length inputs < g.num_inputs then
+    invalid_arg "Aig.eval: input array too short";
+  let memo = Array.make g.num_nodes 0 in
+  eval_lit g inputs memo l
+
+let eval_many g inputs ls =
+  if Array.length inputs < g.num_inputs then
+    invalid_arg "Aig.eval_many: input array too short";
+  let memo = Array.make g.num_nodes 0 in
+  List.map (eval_lit g inputs memo) ls
+
+module Cnf = struct
+  type emitter = {
+    graph : t;
+    solver : Sat.Solver.t;
+    mutable vars : int array; (* node -> SAT var, -1 if not yet emitted *)
+    mutable const_pinned : bool;
+  }
+
+  let make graph solver = { graph; solver; vars = Array.make 64 (-1); const_pinned = false }
+
+  let ensure_capacity e n =
+    if n >= Array.length e.vars then begin
+      let a = Array.make (max (n + 1) (2 * Array.length e.vars)) (-1) in
+      Array.blit e.vars 0 a 0 (Array.length e.vars);
+      e.vars <- a
+    end
+
+  (* Emit the Tseitin variable (and defining clauses) for node [n]. *)
+  let rec node_var e n =
+    ensure_capacity e n;
+    if e.vars.(n) >= 0 then e.vars.(n)
+    else begin
+      let g = e.graph in
+      let v = Sat.Solver.new_var e.solver in
+      e.vars.(n) <- v;
+      if n = 0 then begin
+        (* Constant node: pin it false. *)
+        Sat.Solver.add_clause e.solver [ Sat.Lit.neg v ];
+        e.const_pinned <- true
+      end
+      else if g.input_of.(n) < 0 then begin
+        (* AND gate: v <-> (a /\ b). *)
+        let la = lit_to_sat e g.fanin0.(n) in
+        let lb = lit_to_sat e g.fanin1.(n) in
+        Sat.Solver.add_clause e.solver [ Sat.Lit.neg v; la ];
+        Sat.Solver.add_clause e.solver [ Sat.Lit.neg v; lb ];
+        Sat.Solver.add_clause e.solver
+          [ Sat.Lit.pos v; Sat.Lit.negate la; Sat.Lit.negate lb ]
+      end;
+      (* Inputs get a free variable: no clauses. *)
+      v
+    end
+
+  and lit_to_sat e l =
+    let v = node_var e (node_of l) in
+    Sat.Lit.make v ~neg:(is_complemented l)
+
+  let sat_lit e l = lit_to_sat e l
+  let assume_lit = sat_lit
+  let assert_lit e l = Sat.Solver.add_clause e.solver [ sat_lit e l ]
+end
+
+let pp_stats ppf g =
+  Format.fprintf ppf "inputs=%d ands=%d nodes=%d" g.num_inputs g.num_ands g.num_nodes

@@ -1,0 +1,95 @@
+(** And-Inverter Graphs.
+
+    An AIG is a DAG of two-input AND gates with optional inversion on every
+    edge, plus primary inputs and the constant false. It is the bit-level
+    intermediate representation between the word-level expression language
+    and CNF: the bit-blaster lowers expressions to AIG nodes, and the
+    {!Cnf} emitter performs the Tseitin transformation into the SAT solver.
+
+    Nodes are hash-consed (structural hashing) and locally simplified
+    ([x & x = x], [x & ~x = 0], constant folding), so repeated subcircuits —
+    ubiquitous when unrolling a design over many clock cycles — are shared.
+
+    A {!lit} is an edge: a node index with a complement bit, encoded in an
+    [int] exactly like SAT literals. [false_] and [true_] are the two edges
+    of the constant node. *)
+
+type t
+(** A mutable AIG under construction. *)
+
+type lit = int
+(** An AIG edge (node + complement). Only combine literals with the graph
+    that created them. *)
+
+val false_ : lit
+val true_ : lit
+
+val create : unit -> t
+
+val fresh_input : t -> lit
+(** Allocate a new primary input; returns its positive literal. Inputs are
+    numbered consecutively from 0 in allocation order. *)
+
+val num_inputs : t -> int
+
+val num_ands : t -> int
+(** Number of AND nodes currently in the graph. *)
+
+val input_index : t -> lit -> int option
+(** [input_index g l] is [Some i] when [l] is (possibly complemented)
+    primary input number [i]. *)
+
+val is_complemented : lit -> bool
+
+(** {1 Construction} *)
+
+val not_ : lit -> lit
+val and_ : t -> lit -> lit -> lit
+val or_ : t -> lit -> lit -> lit
+val xor_ : t -> lit -> lit -> lit
+val xnor_ : t -> lit -> lit -> lit
+val implies : t -> lit -> lit -> lit
+val iff : t -> lit -> lit -> lit
+val ite : t -> lit -> lit -> lit -> lit
+(** [ite g c a b] is [if c then a else b]. *)
+
+val and_list : t -> lit list -> lit
+val or_list : t -> lit list -> lit
+val of_bool : bool -> lit
+
+(** {1 Evaluation} *)
+
+val eval : t -> bool array -> lit -> bool
+(** [eval g inputs l] computes the Boolean value of [l] given values for
+    the primary inputs (indexed by input number). Raises [Invalid_argument]
+    if the array is shorter than {!num_inputs}. Memoized per call. *)
+
+val eval_many : t -> bool array -> lit list -> bool list
+(** Same, sharing one memo table across all roots. *)
+
+(** {1 CNF emission (Tseitin)} *)
+
+module Cnf : sig
+  type emitter
+  (** Translates AIG literals to SAT literals on demand, memoizing node
+      variables, and emits the defining clauses of each AND gate into the
+      underlying solver exactly once. Suitable for incremental use: new AIG
+      nodes built after earlier queries are handled transparently. *)
+
+  val make : t -> Sat.Solver.t -> emitter
+
+  val sat_lit : emitter -> lit -> Sat.Lit.t
+  (** SAT literal equisatisfiably representing the AIG literal; emits the
+      supporting clauses for the node's cone if not already present. *)
+
+  val assert_lit : emitter -> lit -> unit
+  (** Add the unit clause forcing the AIG literal true. *)
+
+  val assume_lit : emitter -> lit -> Sat.Lit.t
+  (** Like {!sat_lit} but intended for use in [Solver.solve ~assumptions]:
+      returns the SAT literal to pass as an assumption. *)
+end
+
+(** {1 Statistics} *)
+
+val pp_stats : Format.formatter -> t -> unit

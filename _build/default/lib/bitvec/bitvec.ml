@@ -1,0 +1,160 @@
+type t = { w : int; v : int }
+(* Invariant: 1 <= w <= max_width and 0 <= v < 2^w. Every constructor
+   re-establishes the invariant by masking, so operations can combine raw
+   [int] values freely before the final mask. *)
+
+let max_width = 62
+
+let mask w = (1 lsl w) - 1
+
+let check_width w =
+  if w < 1 || w > max_width then
+    invalid_arg (Printf.sprintf "Bitvec: width %d out of range [1,%d]" w max_width)
+
+let make ~width v =
+  check_width width;
+  { w = width; v = v land mask width }
+
+let zero w = make ~width:w 0
+let one w = make ~width:w 1
+let ones w = make ~width:w (-1)
+let of_bool b = { w = 1; v = (if b then 1 else 0) }
+
+let of_bits bits =
+  let n = List.length bits in
+  if n = 0 then invalid_arg "Bitvec.of_bits: empty list";
+  check_width n;
+  let v = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 bits in
+  { w = n; v }
+
+let width t = t.w
+let to_int t = t.v
+
+let to_signed_int t =
+  if t.v land (1 lsl (t.w - 1)) <> 0 then t.v - (1 lsl t.w) else t.v
+
+let to_bool t = t.v <> 0
+
+let bit t i =
+  if i < 0 || i >= t.w then
+    invalid_arg (Printf.sprintf "Bitvec.bit: index %d out of range for width %d" i t.w);
+  t.v land (1 lsl i) <> 0
+
+let to_bits t =
+  let rec loop i acc = if i >= t.w then acc else loop (i + 1) (bit t i :: acc) in
+  loop 0 []
+
+let is_zero t = t.v = 0
+let equal a b = a.w = b.w && a.v = b.v
+
+let compare a b =
+  let c = Int.compare a.w b.w in
+  if c <> 0 then c else Int.compare a.v b.v
+
+let hash t = (t.w * 1000003) lxor t.v
+
+let same_width op a b =
+  if a.w <> b.w then
+    invalid_arg
+      (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" op a.w b.w)
+
+let add a b = same_width "add" a b; { a with v = (a.v + b.v) land mask a.w }
+let sub a b = same_width "sub" a b; { a with v = (a.v - b.v) land mask a.w }
+let neg a = { a with v = (- a.v) land mask a.w }
+
+let mul a b =
+  same_width "mul" a b;
+  (* Widths above 31 could overflow a 62-bit product; split b into halves so
+     each partial product stays in range before masking. *)
+  if a.w <= 31 then { a with v = (a.v * b.v) land mask a.w }
+  else begin
+    let half = a.w / 2 in
+    let b_lo = b.v land mask half and b_hi = b.v lsr half in
+    let p_lo = a.v * b_lo land mask a.w in
+    let p_hi = (a.v * b_hi) lsl half land mask a.w in
+    { a with v = (p_lo + p_hi) land mask a.w }
+  end
+
+let udiv a b =
+  same_width "udiv" a b;
+  if b.v = 0 then ones a.w else { a with v = a.v / b.v }
+
+let urem a b =
+  same_width "urem" a b;
+  if b.v = 0 then a else { a with v = a.v mod b.v }
+
+let logand a b = same_width "logand" a b; { a with v = a.v land b.v }
+let logor a b = same_width "logor" a b; { a with v = a.v lor b.v }
+let logxor a b = same_width "logxor" a b; { a with v = a.v lxor b.v }
+let lognot a = { a with v = lnot a.v land mask a.w }
+
+let shl_int a n =
+  if n < 0 then invalid_arg "Bitvec.shl_int: negative shift";
+  if n >= a.w then zero a.w else { a with v = a.v lsl n land mask a.w }
+
+let lshr_int a n =
+  if n < 0 then invalid_arg "Bitvec.lshr_int: negative shift";
+  if n >= a.w then zero a.w else { a with v = a.v lsr n }
+
+let shl a b = shl_int a (if b.v > a.w then a.w else b.v)
+let lshr a b = lshr_int a (if b.v > a.w then a.w else b.v)
+
+let ashr a b =
+  let n = if b.v > a.w then a.w else b.v in
+  let sign = a.v land (1 lsl (a.w - 1)) <> 0 in
+  if n >= a.w then if sign then ones a.w else zero a.w
+  else begin
+    let shifted = a.v lsr n in
+    let fill = if sign then mask n lsl (a.w - n) else 0 in
+    { a with v = shifted lor fill }
+  end
+
+let eq a b = same_width "eq" a b; of_bool (a.v = b.v)
+let ne a b = same_width "ne" a b; of_bool (a.v <> b.v)
+let ult a b = same_width "ult" a b; of_bool (a.v < b.v)
+let ule a b = same_width "ule" a b; of_bool (a.v <= b.v)
+let slt a b = same_width "slt" a b; of_bool (to_signed_int a < to_signed_int b)
+let sle a b = same_width "sle" a b; of_bool (to_signed_int a <= to_signed_int b)
+
+let concat hi lo =
+  let w = hi.w + lo.w in
+  check_width w;
+  { w; v = (hi.v lsl lo.w) lor lo.v }
+
+let extract ~hi ~lo t =
+  if lo < 0 || hi < lo || hi >= t.w then
+    invalid_arg
+      (Printf.sprintf "Bitvec.extract: [%d:%d] out of range for width %d" hi lo t.w);
+  let w = hi - lo + 1 in
+  { w; v = (t.v lsr lo) land mask w }
+
+let zero_extend t w =
+  if w < t.w then invalid_arg "Bitvec.zero_extend: target narrower than source";
+  check_width w;
+  { w; v = t.v }
+
+let sign_extend t w =
+  if w < t.w then invalid_arg "Bitvec.sign_extend: target narrower than source";
+  check_width w;
+  if t.v land (1 lsl (t.w - 1)) = 0 then { w; v = t.v }
+  else { w; v = t.v lor (mask (w - t.w) lsl t.w) }
+
+let reduce_and t = of_bool (t.v = mask t.w)
+let reduce_or t = of_bool (t.v <> 0)
+
+let reduce_xor t =
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc lxor (v land 1)) in
+  of_bool (loop t.v 0 = 1)
+
+let popcount t =
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + (v land 1)) in
+  { t with v = loop t.v 0 land mask t.w }
+
+let ite c a b =
+  if c.w <> 1 then invalid_arg "Bitvec.ite: condition must be 1 bit";
+  same_width "ite" a b;
+  if c.v = 1 then a else b
+
+let pp ppf t = Format.fprintf ppf "%d'd%d" t.w t.v
+let pp_hex ppf t = Format.fprintf ppf "%d'h%x" t.w t.v
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,151 @@
+(** Fixed-width bit-vectors.
+
+    A bit-vector is an immutable value of a given width between 1 and
+    {!max_width} bits. All arithmetic is modular (wrap-around) in the style
+    of SMT-LIB's [QF_BV] theory and of synthesizable RTL datapaths. Values
+    are stored in a native OCaml [int], which bounds {!max_width} to 62 bits
+    — ample for the accelerator designs in this repository (widths <= 32).
+
+    Operations raise [Invalid_argument] on width mismatches rather than
+    silently coercing: in an EDA context a width mismatch is a modelling
+    bug, not a value to be repaired. *)
+
+type t
+(** An immutable bit-vector with a width and a (non-negative) value. *)
+
+val max_width : int
+(** Maximum supported width, 62. *)
+
+(** {1 Construction} *)
+
+val make : width:int -> int -> t
+(** [make ~width v] is the bit-vector of [width] bits holding [v] truncated
+    to the low [width] bits ([v] may be negative; it is interpreted in
+    two's complement). Raises [Invalid_argument] unless
+    [1 <= width <= max_width]. *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. *)
+
+val one : int -> t
+(** [one w] is the vector of width [w] holding 1. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val of_bool : bool -> t
+(** [of_bool b] is a 1-bit vector, 1 if [b] else 0. *)
+
+val of_bits : bool list -> t
+(** [of_bits bits] builds a vector from a list of bits, most significant
+    first. Raises [Invalid_argument] on the empty list or lists longer than
+    {!max_width}. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+val to_int : t -> int
+(** Unsigned value, [0 <= to_int v < 2^(width v)]. *)
+
+val to_signed_int : t -> int
+(** Two's-complement interpretation. *)
+
+val to_bool : t -> bool
+(** [to_bool v] is [true] iff [v] is non-zero (any width). *)
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (LSB is bit 0). Raises [Invalid_argument] if [i] is
+    out of range. *)
+
+val to_bits : t -> bool list
+(** Bits, most significant first; inverse of {!of_bits}. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+(** Structural equality; [false] when widths differ. *)
+
+val compare : t -> t -> int
+(** Total order: by width, then unsigned value. *)
+
+val hash : t -> int
+
+(** {1 Arithmetic (modular)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+(** Unsigned division; division by zero yields all-ones (SMT-LIB
+    convention). *)
+
+val urem : t -> t -> t
+(** Unsigned remainder; remainder by zero yields the dividend (SMT-LIB
+    convention). *)
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Shifts}
+
+    Shift amounts are given by the second operand's unsigned value; amounts
+    >= width yield 0 (or the sign fill for {!ashr}). *)
+
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+val shl_int : t -> int -> t
+val lshr_int : t -> int -> t
+
+(** {1 Comparisons (1-bit results)} *)
+
+val eq : t -> t -> t
+val ne : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+
+(** {1 Structure} *)
+
+val concat : t -> t -> t
+(** [concat hi lo] is [hi @ lo], width = sum of widths. *)
+
+val extract : hi:int -> lo:int -> t -> t
+(** [extract ~hi ~lo v] is bits [hi..lo] inclusive, width [hi - lo + 1].
+    Raises [Invalid_argument] unless [0 <= lo <= hi < width v]. *)
+
+val zero_extend : t -> int -> t
+(** [zero_extend v w] widens [v] to width [w] with zero fill;
+    [w >= width v]. *)
+
+val sign_extend : t -> int -> t
+(** [sign_extend v w] widens [v] to width [w] replicating the sign bit. *)
+
+val reduce_and : t -> t
+val reduce_or : t -> t
+val reduce_xor : t -> t
+(** 1-bit reductions over all bits. *)
+
+val popcount : t -> t
+(** Number of set bits, as a vector of the same width. *)
+
+(** {1 Mux} *)
+
+val ite : t -> t -> t -> t
+(** [ite c a b] is [a] if the 1-bit condition [c] is 1, else [b]. [a] and
+    [b] must have equal widths; [c] must be 1 bit wide. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [width'dvalue], e.g. [8'd42]. *)
+
+val pp_hex : Format.formatter -> t -> unit
+(** Prints as [width'hXX...]. *)
+
+val to_string : t -> string

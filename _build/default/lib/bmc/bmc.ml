@@ -1,0 +1,260 @@
+module Unroller = struct
+  type t = {
+    graph : Aig.t;
+    design : Rtl.design;
+    symbolic_init : bool;
+    inputs : (string * int, Aig.lit array) Hashtbl.t; (* (port, frame) *)
+    regs : (string * int, Aig.lit array) Hashtbl.t;
+    mutable max_frame : int;
+  }
+
+  let create ?(symbolic_init = false) graph design =
+    {
+      graph;
+      design;
+      symbolic_init;
+      inputs = Hashtbl.create 64;
+      regs = Hashtbl.create 64;
+      max_frame = -1;
+    }
+
+  let design t = t.design
+  let max_frame t = t.max_frame
+
+  let touch t frame = if frame > t.max_frame then t.max_frame <- frame
+
+  let input_bits t name ~frame =
+    if frame < 0 then invalid_arg "Bmc.Unroller.input_bits: negative frame";
+    touch t frame;
+    match Hashtbl.find_opt t.inputs (name, frame) with
+    | Some bits -> bits
+    | None ->
+        let v = Rtl.input_var t.design name in
+        let bits = Array.init v.Expr.width (fun _ -> Aig.fresh_input t.graph) in
+        Hashtbl.add t.inputs (name, frame) bits;
+        bits
+
+  (* Blast an expression in the scope of a frame. Output names resolve to
+     their defining expressions so properties can mention them. *)
+  let rec expr_bits t e ~frame =
+    let env (v : Expr.var) =
+      let name = v.Expr.name in
+      if List.exists (fun (i : Expr.var) -> i.Expr.name = name) t.design.Rtl.inputs
+      then input_bits t name ~frame
+      else if List.exists (fun (r : Rtl.reg) -> r.Rtl.reg.Expr.name = name)
+                t.design.Rtl.registers
+      then reg_bits t name ~frame
+      else
+        match List.assoc_opt name t.design.Rtl.outputs with
+        | Some oe ->
+            if Expr.width oe <> v.Expr.width then
+              invalid_arg
+                (Printf.sprintf "Bmc: output %s used at width %d, defined at %d" name
+                   v.Expr.width (Expr.width oe))
+            else expr_bits t oe ~frame
+        | None ->
+            invalid_arg (Printf.sprintf "Bmc: unknown variable %s in property" name)
+    in
+    touch t frame;
+    Expr.blast t.graph env e
+
+  and reg_bits t name ~frame =
+    if frame < 0 then invalid_arg "Bmc.Unroller.reg_bits: negative frame";
+    touch t frame;
+    match Hashtbl.find_opt t.regs (name, frame) with
+    | Some bits -> bits
+    | None ->
+        let r =
+          match
+            List.find_opt
+              (fun (r : Rtl.reg) -> r.Rtl.reg.Expr.name = name)
+              t.design.Rtl.registers
+          with
+          | Some r -> r
+          | None -> invalid_arg (Printf.sprintf "Bmc: unknown register %s" name)
+        in
+        let bits =
+          if frame = 0 then
+            if t.symbolic_init then
+              Array.init r.Rtl.reg.Expr.width (fun _ -> Aig.fresh_input t.graph)
+            else
+              Array.init r.Rtl.reg.Expr.width (fun i ->
+                  Aig.of_bool (Bitvec.bit r.Rtl.init i))
+          else expr_bits t r.Rtl.next ~frame:(frame - 1)
+        in
+        Hashtbl.add t.regs (name, frame) bits;
+        bits
+
+  (* Enumerate allocated input bit vectors for witness extraction. *)
+  let allocated_inputs t =
+    Hashtbl.fold (fun key bits acc -> (key, bits) :: acc) t.inputs []
+end
+
+type witness = {
+  w_length : int;
+  w_initial : Rtl.valuation;
+  w_inputs : Rtl.valuation array;
+  w_trace : Rtl.trace_step list;
+}
+
+let pp_witness ppf w =
+  Format.fprintf ppf "counterexample of %d cycle(s):@." w.w_length;
+  Rtl.pp_trace ppf w.w_trace
+
+module Engine = struct
+  type t = {
+    graph : Aig.t;
+    design : Rtl.design;
+    unroller : Unroller.t;
+    solver : Sat.Solver.t;
+    emitter : Aig.Cnf.emitter;
+    symbolic_init : bool;
+  }
+
+  let create ?(symbolic_init = false) design =
+    let graph = Aig.create () in
+    let unroller = Unroller.create ~symbolic_init graph design in
+    let solver = Sat.Solver.create () in
+    let emitter = Aig.Cnf.make graph solver in
+    { graph; design; unroller; solver; emitter; symbolic_init }
+
+  let unroller t = t.unroller
+  let graph t = t.graph
+  let solver t = t.solver
+  let assert_lit t l = Aig.Cnf.assert_lit t.emitter l
+
+  (* Value of an AIG literal in the SAT model. Bits whose node never reached
+     the solver are unconstrained; default them to false. *)
+  let model_bit t l =
+    if l = Aig.true_ then true
+    else if l = Aig.false_ then false
+    else
+      let sat_lit = Aig.Cnf.sat_lit t.emitter l in
+      try Sat.Solver.value t.solver sat_lit with Failure _ -> false
+
+  let bits_value t bits =
+    let n = Array.length bits in
+    let v = ref 0 in
+    for i = 0 to n - 1 do
+      if model_bit t bits.(i) then v := !v lor (1 lsl i)
+    done;
+    Bitvec.make ~width:n !v
+
+  let extract_witness t =
+    let design = t.design in
+    let frames = Unroller.max_frame t.unroller + 1 in
+    (* Input valuation per frame: read allocated bits from the model and
+       fill unallocated ports with zeros (they are don't-cares). *)
+    let inputs =
+      Array.init frames (fun frame ->
+          List.fold_left
+            (fun m (v : Expr.var) ->
+              let bits =
+                match
+                  List.assoc_opt (v.Expr.name, frame)
+                    (Unroller.allocated_inputs t.unroller)
+                with
+                | Some bits -> bits_value t bits
+                | None -> Bitvec.zero v.Expr.width
+              in
+              Rtl.Smap.add v.Expr.name bits m)
+            Rtl.Smap.empty design.Rtl.inputs)
+    in
+    let initial =
+      if t.symbolic_init then
+        List.fold_left
+          (fun m (r : Rtl.reg) ->
+            let name = r.Rtl.reg.Expr.name in
+            let bits = Unroller.reg_bits t.unroller name ~frame:0 in
+            Rtl.Smap.add name (bits_value t bits) m)
+          Rtl.Smap.empty design.Rtl.registers
+      else Rtl.initial_state design
+    in
+    let trace = Rtl.simulate_from design initial (Array.to_list inputs) in
+    { w_length = frames; w_initial = initial; w_inputs = inputs; w_trace = trace }
+
+  let model_lit = model_bit
+
+  let check t ~assumptions =
+    let sat_assumptions = List.map (Aig.Cnf.assume_lit t.emitter) assumptions in
+    match Sat.Solver.solve ~assumptions:sat_assumptions t.solver with
+    | Sat.Solver.Sat -> Some (extract_witness t)
+    | Sat.Solver.Unsat -> None
+
+  let stats t = Sat.Solver.stats t.solver
+
+  let cnf_size t =
+    let st = Sat.Solver.stats t.solver in
+    (st.Sat.Solver.vars, st.Sat.Solver.clauses)
+end
+
+type outcome = Holds of int | Violated of witness
+
+(* The "bad at frame k" literal: the invariant's negation at that frame.
+   Per-frame assumptions are asserted permanently by the caller. *)
+let bad_at engine ~invariant k =
+  let u = Engine.unroller engine in
+  Aig.not_ (Unroller.expr_bits u invariant ~frame:k).(0)
+
+let assert_assumes engine ~assumes k =
+  let u = Engine.unroller engine in
+  List.iter
+    (fun a ->
+      let bit = (Unroller.expr_bits u a ~frame:k).(0) in
+      Engine.assert_lit engine bit)
+    assumes
+
+let check_safety ?(symbolic_init = false) ?(assumes = []) ~design ~invariant ~depth () =
+  if Expr.width invariant <> 1 then
+    invalid_arg "Bmc.check_safety: invariant must be 1 bit wide";
+  List.iter
+    (fun a ->
+      if Expr.width a <> 1 then
+        invalid_arg "Bmc.check_safety: assumptions must be 1 bit wide")
+    assumes;
+  let engine = Engine.create ~symbolic_init design in
+  let rec deepen k =
+    if k >= depth then (Holds depth, Engine.stats engine)
+    else begin
+      assert_assumes engine ~assumes k;
+      let bad = bad_at engine ~invariant k in
+      match Engine.check engine ~assumptions:[ bad ] with
+      | Some w -> (Violated w, Engine.stats engine)
+      | None ->
+          (* The invariant holds at cycle k: assert it to help deeper
+             queries, then deepen. *)
+          Engine.assert_lit engine (Aig.not_ bad);
+          deepen (k + 1)
+    end
+  in
+  deepen 0
+
+let check_safety_mono ?(symbolic_init = false) ?(assumes = []) ~design ~invariant ~depth
+    () =
+  if Expr.width invariant <> 1 then
+    invalid_arg "Bmc.check_safety_mono: invariant must be 1 bit wide";
+  let last_stats = ref None in
+  let rec deepen k =
+    if k >= depth then (Holds depth, Option.get !last_stats)
+    else begin
+      (* Fresh engine per bound: no learnt-clause reuse across bounds. *)
+      let engine = Engine.create ~symbolic_init design in
+      for j = 0 to k do
+        assert_assumes engine ~assumes j
+      done;
+      (* Property must hold at frames < k and fail at k. *)
+      for j = 0 to k - 1 do
+        Engine.assert_lit engine (Aig.not_ (bad_at engine ~invariant j))
+      done;
+      let bad = bad_at engine ~invariant k in
+      let result = Engine.check engine ~assumptions:[ bad ] in
+      last_stats := Some (Engine.stats engine);
+      match result with
+      | Some w -> (Violated w, Engine.stats engine)
+      | None -> deepen (k + 1)
+    end
+  in
+  if depth <= 0 then
+    let engine = Engine.create ~symbolic_init design in
+    (Holds 0, Engine.stats engine)
+  else deepen 0

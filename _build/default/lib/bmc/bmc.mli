@@ -1,0 +1,104 @@
+(** Bounded model checking over {!Rtl.design} values.
+
+    The {!Unroller} lowers a design into an {!Aig.t}, one copy of the
+    combinational logic per clock cycle ("frame"), with register values fed
+    forward between frames. The {!Engine} bundles unroller, AIG, Tseitin
+    emitter and SAT solver, and supports incremental queries: constraints
+    may be asserted permanently or passed per-query as assumptions, and the
+    unrolling deepens on demand.
+
+    On top of the engine, {!check_safety} implements the classic
+    incremental-deepening safety check used by the experiment harness and by
+    the QED layers. Counterexamples are extracted from the SAT model and
+    replayed through the concrete {!Rtl} simulator, which both produces a
+    full waveform and cross-checks the bit-blaster against the simulator on
+    every witness. *)
+
+module Unroller : sig
+  type t
+
+  val create : ?symbolic_init:bool -> Aig.t -> Rtl.design -> t
+  (** [symbolic_init] (default [false]) makes the frame-0 register values
+      free inputs instead of the reset constants. *)
+
+  val design : t -> Rtl.design
+
+  val input_bits : t -> string -> frame:int -> Aig.lit array
+  (** Bits of an input port at a given cycle (fresh AIG inputs, allocated on
+      first use). *)
+
+  val reg_bits : t -> string -> frame:int -> Aig.lit array
+  (** Register value at the {e start} of the given cycle. *)
+
+  val expr_bits : t -> Expr.t -> frame:int -> Aig.lit array
+  (** Blast an expression over the design's inputs, registers and outputs
+      as seen at the given cycle (output names resolve to their defining
+      expressions). *)
+
+  val max_frame : t -> int
+  (** Highest frame index touched so far, -1 if none. *)
+end
+
+(** A witness (counterexample) to a bounded check. *)
+type witness = {
+  w_length : int;  (** number of cycles, frames [0 .. w_length - 1] *)
+  w_initial : Rtl.valuation;  (** register state at frame 0 *)
+  w_inputs : Rtl.valuation array;  (** per-frame input values *)
+  w_trace : Rtl.trace_step list;  (** simulator replay of the witness *)
+}
+
+val pp_witness : Format.formatter -> witness -> unit
+
+module Engine : sig
+  type t
+
+  val create : ?symbolic_init:bool -> Rtl.design -> t
+  val unroller : t -> Unroller.t
+  val graph : t -> Aig.t
+  val solver : t -> Sat.Solver.t
+
+  val assert_lit : t -> Aig.lit -> unit
+  (** Permanently constrain the given AIG literal to true. *)
+
+  val check : t -> assumptions:Aig.lit list -> witness option
+  (** SAT query under assumptions; on SAT, extract and replay the witness
+      over all frames unrolled so far. [None] means UNSAT. *)
+
+  val model_lit : t -> Aig.lit -> bool
+  (** Value of an AIG literal in the most recent SAT model (valid after
+      [check] returned [Some _] and before the next query). Unconstrained
+      literals read as [false]. *)
+
+  val stats : t -> Sat.Solver.stats
+  val cnf_size : t -> int * int
+  (** [(vars, clauses)] currently in the solver. *)
+end
+
+type outcome =
+  | Holds of int  (** the invariant holds for all traces of up to n cycles *)
+  | Violated of witness
+
+val check_safety :
+  ?symbolic_init:bool ->
+  ?assumes:Expr.t list ->
+  design:Rtl.design ->
+  invariant:Expr.t ->
+  depth:int ->
+  unit ->
+  outcome * Sat.Solver.stats
+(** Incremental-deepening BMC: check that the 1-bit [invariant] (over
+    inputs, registers and outputs) holds at every cycle of every trace of
+    length <= [depth], under the 1-bit [assumes] constraints applied at
+    every cycle. *)
+
+val check_safety_mono :
+  ?symbolic_init:bool ->
+  ?assumes:Expr.t list ->
+  design:Rtl.design ->
+  invariant:Expr.t ->
+  depth:int ->
+  unit ->
+  outcome * Sat.Solver.stats
+(** Non-incremental variant: one monolithic SAT query per bound with a
+    fresh solver each time. Exists for the incremental-vs-monolithic
+    ablation (experiment R-A2); same answers as {!check_safety}. *)

@@ -1,0 +1,1 @@
+lib/core/checks.ml: Aig Array Bitvec Bmc Expr Format Iface Instrument List Option Rtl Sat String

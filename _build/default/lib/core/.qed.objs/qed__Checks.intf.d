@@ -1,0 +1,1 @@
+lib/core/checks.mli: Bmc Format Iface Rtl Sat

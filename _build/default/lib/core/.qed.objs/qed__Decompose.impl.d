@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Checks Format Iface List Rtl

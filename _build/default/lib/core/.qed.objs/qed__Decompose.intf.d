@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Checks Format Iface Rtl

@@ -1,0 +1,1 @@
+lib/core/iface.ml: Bitvec Expr Format List Printf Rtl String

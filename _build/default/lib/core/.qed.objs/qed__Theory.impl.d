@@ -1,0 +1,1 @@
+lib/core/theory.ml: Array Bitvec Bmc Checks Expr Format Hashtbl Iface List Rtl String

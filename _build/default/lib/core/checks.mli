@@ -1,0 +1,94 @@
+(** The QED checks: A-QED functional consistency, the G-QED generalized
+    check for interfering accelerators, and the single-action
+    (responsiveness) side conditions.
+
+    All checks are bounded: [bound] is the number of clock cycles unrolled.
+    Counterexamples are reported at the shortest bound at which they exist
+    (incremental deepening), as simulator-replayed waveforms.
+
+    {2 What each check means}
+
+    - {!aqed_fc} (prior work, DAC 2020): one copy of the design; any two
+      transactions with equal operands inside one bounded execution must
+      respond identically. Sound and complete for non-interfering designs;
+      produces false positives on interfering ones.
+
+    - {!gqed} (this paper): two renamed copies of the design run with
+      independent input streams. If copy 1 dispatches a transaction at
+      cycle [i] and copy 2 dispatches one at cycle [j], with equal operands
+      and equal architectural state at dispatch, then both the responses
+      and the post-transaction architectural states must be equal. The
+      unconstrained contexts before [i] and [j] are what expose
+      interference through non-architectural state; the post-state
+      conjunct is what catches state-corruption bugs.
+
+    - {!gqed_output_only}: G-QED without the post-state conjunct — the
+      ablation showing that the state-matching conjunct is load-bearing.
+
+    - {!sa_check}: every dispatch produces exactly one response, exactly
+      [latency] cycles later (fixed-latency single-action condition). This
+      discharges the interface assumption under which the G-FC soundness
+      argument goes through. *)
+
+type failure_kind =
+  | Fc_output  (** equal operands, different response data (A-QED) *)
+  | Fc_response  (** equal operands, one response missing (A-QED) *)
+  | Gfc_output  (** equal (state, operand), different response (G-QED) *)
+  | Gfc_response  (** equal (state, operand), response presence differs *)
+  | Gfc_state  (** equal (state, operand), different post-state (G-QED) *)
+  | Sa_response  (** response without dispatch, or dispatch without response *)
+  | Stability  (** architectural state changed on a cycle with no dispatch *)
+  | Reset_value  (** RTL reset value differs from the documented one *)
+
+val failure_kind_to_string : failure_kind -> string
+
+type failure = {
+  kind : failure_kind;
+  cycle_a : int;  (** dispatch cycle of the first transaction (copy 1) *)
+  cycle_b : int;  (** dispatch cycle of the second transaction (copy 2) *)
+  witness : Bmc.witness;
+}
+
+type verdict =
+  | Pass of int  (** no violation within this many cycles *)
+  | Fail of failure
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type report = { verdict : verdict; sat_stats : Sat.Solver.stats; cnf_vars : int; cnf_clauses : int }
+
+val aqed_fc : Rtl.design -> Iface.t -> bound:int -> report
+val gqed : Rtl.design -> Iface.t -> bound:int -> report
+val gqed_output_only : Rtl.design -> Iface.t -> bound:int -> report
+val sa_check : Rtl.design -> Iface.t -> bound:int -> report
+
+val stability_check : Rtl.design -> Iface.t -> bound:int -> report
+(** Architectural state may change only through a dispatched transaction:
+    on any cycle without a dispatch, the architectural registers must keep
+    their values. Together with {!sa_check} this discharges the
+    transactional-machine abstraction the G-FC soundness argument uses. *)
+
+val reset_check : Rtl.design -> Iface.t -> report
+(** The RTL reset values of the architectural registers match the
+    documented ones from {!Iface.t.arch_reset}. Static (no BMC): reset
+    values are constants in this modelling. *)
+
+val flow : Rtl.design -> Iface.t -> bound:int -> report
+(** The complete G-QED flow as run in the evaluation: {!reset_check}, then
+    {!sa_check}, then {!stability_check}, then {!gqed}; the first failing
+    stage is reported. *)
+
+(** {2 Technique selection (used by the experiment harness)} *)
+
+type technique = Aqed | Gqed | Gqed_output_only | Gqed_flow
+
+val technique_to_string : technique -> string
+val run : technique -> Rtl.design -> Iface.t -> bound:int -> report
+
+(** {2 Copy prefixes}
+
+    G-QED witnesses are traces of the two-copy product; these are the
+    prefixes used to rename the copies. *)
+
+val copy1_prefix : string
+val copy2_prefix : string

@@ -1,0 +1,33 @@
+type sub = { sub_name : string; sub_design : Rtl.design; sub_iface : Iface.t }
+
+type result = { results : (string * Checks.report) list; all_pass : bool }
+
+let check_all ?(technique = Checks.Gqed_flow) subs ~bound =
+  let results =
+    List.map
+      (fun sub ->
+        (sub.sub_name, Checks.run technique sub.sub_design sub.sub_iface ~bound))
+      subs
+  in
+  let all_pass =
+    List.for_all
+      (fun (_, report) ->
+        match report.Checks.verdict with Checks.Pass _ -> true | Checks.Fail _ -> false)
+      results
+  in
+  { results; all_pass }
+
+let first_failure r =
+  List.find_map
+    (fun (name, report) ->
+      match report.Checks.verdict with
+      | Checks.Pass _ -> None
+      | Checks.Fail f -> Some (name, f))
+    r.results
+
+let pp_result ppf r =
+  List.iter
+    (fun (name, report) ->
+      Format.fprintf ppf "@[<h>%-20s %a@]@." name Checks.pp_verdict report.Checks.verdict)
+    r.results;
+  Format.fprintf ppf "overall: %s@." (if r.all_pass then "PASS" else "FAIL")

@@ -1,0 +1,25 @@
+(** A-QED²-style functional decomposition harness.
+
+    Large accelerators are verified by decomposing them into functional
+    sub-accelerators and running a QED check on each independently
+    (FMCAD 2021). The completeness result carries over: a bug in the
+    composed accelerator appears as a bug in at least one sub-accelerator,
+    so per-sub verification suffices — while each BMC instance is
+    dramatically smaller than the monolithic one.
+
+    Here a decomposition is just a list of (sub-design, interface) pairs;
+    the harness runs the selected technique on each and aggregates. *)
+
+type sub = { sub_name : string; sub_design : Rtl.design; sub_iface : Iface.t }
+
+type result = { results : (string * Checks.report) list; all_pass : bool }
+
+val check_all :
+  ?technique:Checks.technique -> sub list -> bound:int -> result
+(** Check every sub-accelerator (default: the full {!Checks.flow}, i.e.
+    reset + single-action + stability + G-FC). Does not stop at the first
+    failure, so the report covers the whole decomposition. *)
+
+val first_failure : result -> (string * Checks.failure) option
+
+val pp_result : Format.formatter -> result -> unit

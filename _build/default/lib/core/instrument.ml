@@ -1,0 +1,108 @@
+let counter_width = 4
+let prefix = "mon__"
+
+let dispatch_expr (d : Rtl.design) (iface : Iface.t) =
+  let valid =
+    match iface.Iface.in_valid with
+    | None -> Expr.bool_ true
+    | Some port -> Expr.of_var (Rtl.input_var d port)
+  in
+  match iface.Iface.in_ready with
+  | None -> valid
+  | Some port -> Expr.and_ valid (Expr.var port 1)
+
+let response_expr (iface : Iface.t) =
+  match iface.Iface.out_valid with
+  | None -> Expr.bool_ true
+  | Some port -> Expr.var port 1
+
+let with_monitor (d : Rtl.design) (iface : Iface.t) =
+  if not (Iface.is_variable_latency iface) then
+    invalid_arg "Instrument.with_monitor: interface is not variable-latency";
+  List.iter
+    (fun (v : Expr.var) ->
+      if String.length v.Expr.name >= 5 && String.sub v.Expr.name 0 5 = prefix then
+        invalid_arg "Instrument.with_monitor: design uses reserved mon__ names")
+    d.Rtl.inputs;
+  (* The dispatch/response conditions, with output names inlined so the
+     monitor's next-state functions stay within the design scope (they may
+     reference inputs and registers only, plus we inline output exprs). *)
+  let inline_outputs e =
+    Expr.subst
+      (fun (v : Expr.var) ->
+        match List.assoc_opt v.Expr.name d.Rtl.outputs with
+        | Some oe when Expr.width oe = v.Expr.width -> Some oe
+        | _ -> None)
+      e
+  in
+  let dispatch = inline_outputs (dispatch_expr d iface) in
+  let response = inline_outputs (response_expr iface) in
+  let w = counter_width in
+  let k = Expr.var (prefix ^ "k") w in
+  let dcnt = Expr.var (prefix ^ "dcnt") w in
+  let rcnt = Expr.var (prefix ^ "rcnt") w in
+  let have_op = Expr.var (prefix ^ "have_op") 1 in
+  let have_resp = Expr.var (prefix ^ "have_resp") 1 in
+  let this_dispatch = Expr.and_ dispatch (Expr.eq dcnt k) in
+  let this_response = Expr.and_ response (Expr.eq rcnt k) in
+  let reg name width init next =
+    { Rtl.reg = { Expr.name; width }; init = Bitvec.make ~width init; next }
+  in
+  let latch cond current latched = Expr.ite cond current latched in
+  let op_regs =
+    List.map
+      (fun port ->
+        let v = Rtl.input_var d port in
+        let name = prefix ^ "op__" ^ port in
+        reg name v.Expr.width 0
+          (latch this_dispatch (Expr.of_var v) (Expr.var name v.Expr.width)))
+      iface.Iface.in_data
+  in
+  let st_regs =
+    List.map
+      (fun rn ->
+        let v = Rtl.reg_var d rn in
+        let name = prefix ^ "st__" ^ rn in
+        reg name v.Expr.width 0
+          (latch this_dispatch (Expr.of_var v) (Expr.var name v.Expr.width)))
+      iface.Iface.arch_regs
+  in
+  let resp_regs =
+    List.map
+      (fun port ->
+        let oe = Rtl.output_expr d port in
+        let name = prefix ^ "resp__" ^ port in
+        reg name (Expr.width oe) 0
+          (latch this_response (inline_outputs oe) (Expr.var name (Expr.width oe))))
+      iface.Iface.out_data
+  in
+  let post_regs =
+    List.map
+      (fun rn ->
+        let r =
+          List.find
+            (fun (r : Rtl.reg) -> r.Rtl.reg.Expr.name = rn)
+            d.Rtl.registers
+        in
+        let name = prefix ^ "post__" ^ rn in
+        (* The register's value at the END of the response cycle: its
+           next-state function evaluated now. *)
+        reg name r.Rtl.reg.Expr.width 0
+          (latch this_response r.Rtl.next (Expr.var name r.Rtl.reg.Expr.width)))
+      iface.Iface.arch_regs
+  in
+  let monitors =
+    [
+      reg (prefix ^ "dcnt") w 0
+        (Expr.ite dispatch (Expr.add dcnt (Expr.const_int ~width:w 1)) dcnt);
+      reg (prefix ^ "rcnt") w 0
+        (Expr.ite response (Expr.add rcnt (Expr.const_int ~width:w 1)) rcnt);
+      reg (prefix ^ "have_op") 1 0 (Expr.or_ have_op this_dispatch);
+      reg (prefix ^ "have_resp") 1 0 (Expr.or_ have_resp this_response);
+    ]
+    @ op_regs @ st_regs @ resp_regs @ post_regs
+  in
+  Rtl.make ~name:(d.Rtl.name ^ "+mon")
+    ~inputs:(d.Rtl.inputs @ [ { Expr.name = prefix ^ "k"; width = w } ])
+    ~registers:(d.Rtl.registers @ monitors)
+    ~outputs:d.Rtl.outputs

@@ -1,0 +1,42 @@
+(** Transaction-monitor instrumentation for variable-latency interfaces.
+
+    With a fixed latency, the k-th response is found at a known frame and
+    the QED conditions can be written directly over frames. With a
+    variable-latency handshake the response position is data-dependent, so
+    — exactly as real A-QED/SQED implementations do — we instrument the
+    design with a small synthesizable monitor that {e watches} the
+    handshake and latches the interesting transaction:
+
+    - [mon__k] (input): the index of the distinguished transaction, chosen
+      symbolically by the BMC engine (held stable via engine assumptions);
+    - [mon__dcnt] / [mon__rcnt]: dispatch and response counters;
+    - [mon__op__<port>] / [mon__st__<reg>]: operand and architectural state
+      latched at dispatch number [mon__k];
+    - [mon__resp__<port>] / [mon__post__<reg>]: response data and
+      post-transaction architectural state latched at response number
+      [mon__k] (the post-state uses the register's next-state function, so
+      it reflects the value the register takes at the end of the response
+      cycle);
+    - [mon__have_op] / [mon__have_resp]: completion flags.
+
+    The monitor adds registers and one input but never feeds the original
+    design, so it cannot mask or introduce bugs. *)
+
+val counter_width : int
+(** Width of [mon__k] and the counters (bounds checked up to 2^width - 1
+    transactions). *)
+
+val prefix : string
+(** ["mon__"]. *)
+
+val with_monitor : Rtl.design -> Iface.t -> Rtl.design
+(** Instrument a design for its (variable-latency) interface. Raises
+    [Invalid_argument] if the interface is not variable-latency or the
+    design already uses reserved [mon__] names. *)
+
+val dispatch_expr : Rtl.design -> Iface.t -> Expr.t
+(** The 1-bit dispatch condition ([in_valid] AND [in_ready], with output
+    names resolved by the caller's unroller). *)
+
+val response_expr : Iface.t -> Expr.t
+(** The 1-bit response condition ([out_valid]). *)

@@ -1,0 +1,318 @@
+type key = { k_state : int list; k_operand : int list }
+
+type value = { v_resp : bool; v_out : int list; v_state : int list }
+
+type conflict = { c_key : key; c_value1 : value; c_value2 : value }
+
+let pp_ints ppf xs =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int xs))
+
+let pp_value ppf v =
+  Format.fprintf ppf "resp=%b out=%a state'=%a" v.v_resp pp_ints v.v_out pp_ints v.v_state
+
+let pp_conflict ppf c =
+  Format.fprintf ppf "@[<v>key: state=%a operand=%a@ value 1: %a@ value 2: %a@]" pp_ints
+    c.c_key.k_state pp_ints c.c_key.k_operand pp_value c.c_value1 pp_value c.c_value2
+
+(* Variable-latency observations: dispatches (in_valid AND in_ready) are
+   zipped in order with responses (out_valid); the post-state is the
+   architectural state at the cycle after the response. Transactions whose
+   response falls outside the trace are skipped. *)
+let observations_variable design iface trace =
+  let steps = Array.of_list trace in
+  let n = Array.length steps in
+  let valid_at t =
+    (match iface.Iface.in_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port steps.(t).Rtl.t_inputs))
+    &&
+    match iface.Iface.in_ready with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port steps.(t).Rtl.t_outputs)
+  in
+  let resp_at t =
+    match iface.Iface.out_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port steps.(t).Rtl.t_outputs)
+  in
+  let state name t =
+    if t < n then Rtl.Smap.find name steps.(t).Rtl.t_state
+    else
+      let last = steps.(n - 1) in
+      Rtl.Smap.find name
+        (Rtl.step design ~state:last.Rtl.t_state ~inputs:last.Rtl.t_inputs)
+  in
+  let ints_of f names t = List.map (fun name -> Bitvec.to_int (f name t)) names in
+  let dispatches = ref [] and responses = ref [] in
+  for t = 0 to n - 1 do
+    if valid_at t then
+      dispatches :=
+        ( ints_of state iface.Iface.arch_regs t,
+          ints_of (fun name t -> Rtl.Smap.find name steps.(t).Rtl.t_inputs)
+            iface.Iface.in_data t )
+        :: !dispatches;
+    if resp_at t then
+      responses :=
+        ( ints_of (fun name t -> Rtl.Smap.find name steps.(t).Rtl.t_outputs)
+            iface.Iface.out_data t,
+          ints_of state iface.Iface.arch_regs (t + 1) )
+        :: !responses
+  done;
+  let rec zip ds rs acc =
+    match (ds, rs) with
+    | (st, op) :: ds', (out, post) :: rs' ->
+        zip ds' rs'
+          (({ k_state = st; k_operand = op }, { v_resp = true; v_out = out; v_state = post })
+          :: acc)
+    | _ -> List.rev acc
+  in
+  zip (List.rev !dispatches) (List.rev !responses) []
+
+(* Extract the transaction observations from a simulated trace. The trace
+   must extend far enough past each dispatch (latency and state_latency);
+   dispatches too close to the end are skipped, as are dispatches violating
+   the quiet-after-dispatch condition (state_latency > 1 only). *)
+let observations_fixed design iface trace =
+  let steps = Array.of_list trace in
+  let n = Array.length steps in
+  let latency = iface.Iface.latency in
+  let sl = iface.Iface.state_latency in
+  let valid_at t =
+    match iface.Iface.in_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port steps.(t).Rtl.t_inputs)
+  in
+  let resp_at t =
+    match iface.Iface.out_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port steps.(t).Rtl.t_outputs)
+  in
+  let ints_of getter names t =
+    List.map (fun name -> Bitvec.to_int (getter name t)) names
+  in
+  let input name t = Rtl.Smap.find name steps.(t).Rtl.t_inputs in
+  let output name t = Rtl.Smap.find name steps.(t).Rtl.t_outputs in
+  let state name t =
+    if t < n then Rtl.Smap.find name steps.(t).Rtl.t_state
+    else
+      (* State after the last simulated cycle: recompute one step. *)
+      let last = steps.(n - 1) in
+      Rtl.Smap.find name (Rtl.step design ~state:last.Rtl.t_state ~inputs:last.Rtl.t_inputs)
+  in
+  let quiet t =
+    let rec loop d = d >= sl || ((not (valid_at (t + d))) && loop (d + 1)) in
+    sl = 1 || loop 1
+  in
+  let horizon = max latency sl in
+  let obs = ref [] in
+  for t = 0 to n - 1 do
+    if valid_at t && t + horizon <= n && (t + sl - 1 < n && quiet t) then begin
+      let k =
+        {
+          k_state = ints_of state iface.Iface.arch_regs t;
+          k_operand = ints_of input iface.Iface.in_data t;
+        }
+      in
+      let v =
+        {
+          v_resp = resp_at (t + latency);
+          v_out = ints_of output iface.Iface.out_data (t + latency);
+          v_state = ints_of state iface.Iface.arch_regs (t + sl);
+        }
+      in
+      obs := (k, v) :: !obs
+    end
+  done;
+  List.rev !obs
+
+let observations design iface trace =
+  if Iface.is_variable_latency iface then observations_variable design iface trace
+  else observations_fixed design iface trace
+
+let value_conflicts v1 v2 =
+  v1.v_resp <> v2.v_resp
+  || (v1.v_resp && v1.v_out <> v2.v_out)
+  || v1.v_state <> v2.v_state
+
+let transaction_table design iface ~alphabet ~depth =
+  Iface.check design iface;
+  if alphabet = [] then invalid_arg "Theory.transaction_table: empty alphabet";
+  let table : (key, value) Hashtbl.t = Hashtbl.create 256 in
+  let conflict = ref None in
+  (* Enumerate sequences depth-first; record observations of each complete
+     sequence. Prefix dispatches recur in many sequences; the table absorbs
+     duplicates. *)
+  let rec explore prefix remaining =
+    if !conflict = None then
+      if remaining = 0 then begin
+        let trace = Rtl.simulate design (List.rev prefix) in
+        List.iter
+          (fun (k, v) ->
+            match Hashtbl.find_opt table k with
+            | None -> Hashtbl.add table k v
+            | Some v' ->
+                if value_conflicts v' v then
+                  conflict := Some { c_key = k; c_value1 = v'; c_value2 = v })
+          (observations design iface trace)
+      end
+      else
+        List.iter (fun symbol -> explore (symbol :: prefix) (remaining - 1)) alphabet
+  in
+  explore [] depth;
+  match !conflict with
+  | Some c -> `Conflict c
+  | None -> `Deterministic (Hashtbl.length table)
+
+let default_alphabet ?(operand_values = [ 0; 1; 3 ]) design iface =
+  let base =
+    List.fold_left
+      (fun m (v : Expr.var) -> Rtl.Smap.add v.Expr.name (Bitvec.zero v.Expr.width) m)
+      Rtl.Smap.empty design.Rtl.inputs
+  in
+  (* Cartesian product of operand values over in_data ports. *)
+  let with_operands =
+    List.fold_left
+      (fun acc port ->
+        let w = (Rtl.input_var design port).Expr.width in
+        List.concat_map
+          (fun m ->
+            List.map
+              (fun value -> Rtl.Smap.add port (Bitvec.make ~width:w value) m)
+              operand_values)
+          acc)
+      [ base ] iface.Iface.in_data
+  in
+  match iface.Iface.in_valid with
+  | None -> with_operands
+  | Some port ->
+      List.concat_map
+        (fun m ->
+          [ Rtl.Smap.add port (Bitvec.one 1) m; Rtl.Smap.add port (Bitvec.zero 1) m ])
+        with_operands
+
+(* Variable-latency genuineness: the two copies' transaction monitors hold
+   the latched operand/state/response/post-state of the distinguished
+   transactions; read them from the final step of the product trace. *)
+let genuine_from_monitors ~with_arch iface steps n =
+  n > 0
+  &&
+  let last = steps.(n - 1).Rtl.t_state in
+  let mget prefix name = Rtl.Smap.find_opt (prefix ^ "mon__" ^ name) last in
+  let p1 = Checks.copy1_prefix and p2 = Checks.copy2_prefix in
+  let flag prefix name =
+    match mget prefix name with Some bv -> Bitvec.to_bool bv | None -> false
+  in
+  let ints prefix names =
+    List.map
+      (fun name ->
+        match mget prefix name with Some bv -> Bitvec.to_int bv | None -> -1)
+      names
+  in
+  let op_names = List.map (fun p -> "op__" ^ p) iface.Iface.in_data in
+  let st_names = List.map (fun r -> "st__" ^ r) iface.Iface.arch_regs in
+  let resp_names = List.map (fun p -> "resp__" ^ p) iface.Iface.out_data in
+  let post_names = List.map (fun r -> "post__" ^ r) iface.Iface.arch_regs in
+  flag p1 "have_op" && flag p1 "have_resp" && flag p2 "have_op" && flag p2 "have_resp"
+  && ints p1 op_names = ints p2 op_names
+  && ((not with_arch) || ints p1 st_names = ints p2 st_names)
+  && (ints p1 resp_names <> ints p2 resp_names
+     || (with_arch && ints p1 post_names <> ints p2 post_names))
+
+(* Replay-based per-witness soundness: confirm the reported failure on the
+   concrete trace. *)
+let witness_is_genuine design iface (f : Checks.failure) =
+  let steps = Array.of_list f.Checks.witness.Bmc.w_trace in
+  let n = Array.length steps in
+  let latency = iface.Iface.latency in
+  let sl = iface.Iface.state_latency in
+  let get_in prefix name t = Rtl.Smap.find (prefix ^ name) steps.(t).Rtl.t_inputs in
+  let get_out prefix name t = Rtl.Smap.find (prefix ^ name) steps.(t).Rtl.t_outputs in
+  let get_state prefix name t = Rtl.Smap.find (prefix ^ name) steps.(t).Rtl.t_state in
+  let ints getter names prefix t =
+    List.map (fun name -> Bitvec.to_int (getter prefix name t)) names
+  in
+  let operand prefix t = ints get_in iface.Iface.in_data prefix t in
+  let arch prefix t = ints get_state iface.Iface.arch_regs prefix t in
+  let out prefix t = ints get_out iface.Iface.out_data prefix t in
+  let valid prefix t =
+    match iface.Iface.in_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (get_in prefix port t)
+  in
+  let resp prefix t =
+    match iface.Iface.out_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (get_out prefix port t)
+  in
+  let i = f.Checks.cycle_a and j = f.Checks.cycle_b in
+  match f.Checks.kind with
+  | Checks.Reset_value ->
+      (* Static: some documented reset value disagrees with the RTL. *)
+      let initial = Rtl.initial_state design in
+      List.exists
+        (fun (name, documented) ->
+          match Rtl.Smap.find_opt name initial with
+          | Some actual -> not (Bitvec.equal actual documented)
+          | None -> true)
+        iface.Iface.arch_reset
+  | Checks.Stability ->
+      (* No dispatch at cycle i, yet the architectural state moved. *)
+      i + 1 < n
+      && (not (valid "" i))
+      && arch "" i <> arch "" (i + 1)
+  | Checks.Sa_response ->
+      (* Response presence at cycle j must disagree with the dispatch at
+         cycle i = j - latency (or with "no dispatch" for early cycles). *)
+      j < n
+      &&
+      let dispatched = j >= latency && valid "" (j - latency) in
+      resp "" j <> dispatched
+  | (Checks.Fc_output | Checks.Fc_response) when Iface.is_variable_latency iface ->
+      (* A-QED-style variable-latency check on the instrumented product:
+         read the monitor latches at the last step. *)
+      genuine_from_monitors ~with_arch:false iface steps n
+  | Checks.Fc_output | Checks.Fc_response ->
+      i + latency < n && j + latency < n
+      && valid "" i && valid "" j
+      && operand "" i = operand "" j
+      &&
+      let ri = resp "" (i + latency) and rj = resp "" (j + latency) in
+      ri <> rj || (ri && out "" (i + latency) <> out "" (j + latency))
+  | (Checks.Gfc_output | Checks.Gfc_response | Checks.Gfc_state)
+    when Iface.is_variable_latency iface ->
+      genuine_from_monitors ~with_arch:true iface steps n
+  | Checks.Gfc_output | Checks.Gfc_response | Checks.Gfc_state ->
+      let p1 = Checks.copy1_prefix and p2 = Checks.copy2_prefix in
+      i + max latency sl < n + 1
+      && j + max latency sl < n + 1
+      && valid p1 i && valid p2 j
+      && operand p1 i = operand p2 j
+      && arch p1 i = arch p2 j
+      &&
+      let r1 = i + latency < n && resp p1 (i + latency)
+      and r2 = j + latency < n && resp p2 (j + latency) in
+      let out_conflict =
+        r1 <> r2
+        || (r1 && i + latency < n && j + latency < n
+           && out p1 (i + latency) <> out p2 (j + latency))
+      in
+      let state_conflict =
+        i + sl < n && j + sl < n && arch p1 (i + sl) <> arch p2 (j + sl)
+      in
+      out_conflict || state_conflict
+
+let soundness_holds design iface ~alphabet ~depth ~bound =
+  match transaction_table design iface ~alphabet ~depth with
+  | `Conflict _ -> true (* premise false: nothing to check *)
+  | `Deterministic _ -> (
+      match (Checks.gqed design iface ~bound).Checks.verdict with
+      | Checks.Pass _ -> true
+      | Checks.Fail _ -> false)
+
+let completeness_holds design iface ~alphabet ~depth ~bound =
+  match transaction_table design iface ~alphabet ~depth with
+  | `Deterministic _ -> true (* premise false *)
+  | `Conflict _ -> (
+      match (Checks.gqed design iface ~bound).Checks.verdict with
+      | Checks.Fail _ -> true
+      | Checks.Pass _ -> false)

@@ -1,0 +1,68 @@
+(** Machine-checkable counterparts of the paper's soundness and
+    completeness theorems, on bounded-exhaustive state spaces.
+
+    The theorems (informally):
+
+    - {b Soundness}: any G-FC counterexample is a real bug — two executions
+      of the same design disagree on the (response, post-state) of the same
+      (architectural state, operand) pair, which no deterministic
+      transactional specification could match.
+
+    - {b Completeness}: if the design's transaction-level behaviour is not
+      a function of (architectural state, operand) — i.e. some hidden state
+      interferes — then some bounded execution pair exhibits it, and the
+      G-QED BMC search finds one at or below that bound.
+
+    Both reduce, on small designs, to comparing the G-QED verdict against a
+    brute-force construction of the design's {e transaction table}: the map
+    from (architectural state at dispatch, operand) to (response present,
+    response data, post-dispatch architectural state) observed over all
+    input sequences from a finite alphabet up to a depth. The design is
+    {e transactionally deterministic} iff the table has no conflicts. *)
+
+type key = { k_state : int list; k_operand : int list }
+(** Architectural-state and operand values at a dispatch (as unsigned
+    integers, in [arch_regs] / [in_data] declaration order). *)
+
+type value = {
+  v_resp : bool;  (** was there a response [latency] cycles later? *)
+  v_out : int list;  (** response data (meaningful when [v_resp]) *)
+  v_state : int list;  (** architectural state [state_latency] later *)
+}
+
+type conflict = { c_key : key; c_value1 : value; c_value2 : value }
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+val transaction_table :
+  Rtl.design ->
+  Iface.t ->
+  alphabet:Rtl.valuation list ->
+  depth:int ->
+  [ `Deterministic of int | `Conflict of conflict ]
+(** Explore every input sequence over [alphabet] of length exactly [depth]
+    (prefixes are covered by the exploration itself), recording each
+    dispatched transaction. [`Deterministic n] reports the number of
+    distinct (state, operand) keys observed. *)
+
+val default_alphabet : ?operand_values:int list -> Rtl.design -> Iface.t -> Rtl.valuation list
+(** A small alphabet for the exploration: the cartesian product of a few
+    operand values on each [in_data] port (default [[0; 1; 3]]) with
+    valid asserted and deasserted; all other input ports held at 0. *)
+
+val soundness_holds :
+  Rtl.design -> Iface.t -> alphabet:Rtl.valuation list -> depth:int -> bound:int -> bool
+(** If brute force says the design is transactionally deterministic, G-QED
+    must pass — i.e. G-QED raises no false alarm. *)
+
+val completeness_holds :
+  Rtl.design -> Iface.t -> alphabet:Rtl.valuation list -> depth:int -> bound:int -> bool
+(** If brute force finds a transaction-table conflict within [depth], G-QED
+    must fail within a bound that covers the same depth. *)
+
+val witness_is_genuine : Rtl.design -> Iface.t -> Checks.failure -> bool
+(** The per-counterexample soundness statement: replay the reported witness
+    concretely and confirm that it really exhibits two dispatches with equal
+    (architectural state, operand) but conflicting (response, post-state) —
+    for A-QED kinds, equal operands with conflicting responses. Every
+    failure reported by {!Checks} must satisfy this. *)

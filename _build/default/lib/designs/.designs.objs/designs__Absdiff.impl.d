@@ -1,0 +1,1 @@
+lib/designs/absdiff.ml: Bitvec Entry Expr Qed Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/accum.ml: Bitvec Entry Expr Qed Random Rtl Util

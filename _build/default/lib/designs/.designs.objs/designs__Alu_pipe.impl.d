@@ -1,0 +1,1 @@
+lib/designs/alu_pipe.ml: Bitvec Entry Expr Qed Rtl Util

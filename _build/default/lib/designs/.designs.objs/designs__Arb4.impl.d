@@ -1,0 +1,1 @@
+lib/designs/arb4.ml: Bitvec Entry Expr Qed Rtl Util

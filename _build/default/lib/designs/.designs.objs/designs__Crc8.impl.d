@@ -1,0 +1,1 @@
+lib/designs/crc8.ml: Array Bitvec Entry Expr List Qed Random Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/entry.ml: Bitvec Expr List Qed Random Rtl

@@ -1,0 +1,1 @@
+lib/designs/entry.mli: Bitvec Qed Random Rtl

@@ -1,0 +1,1 @@
+lib/designs/fifo4.ml: Array Bitvec Entry Expr List Printf Qed Random Rtl Util

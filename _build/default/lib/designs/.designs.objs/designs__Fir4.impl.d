@@ -1,0 +1,1 @@
+lib/designs/fir4.ml: Bitvec Entry Expr List Printf Qed Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/gcd_unit.ml: Bitvec Entry Expr Qed Rtl Util

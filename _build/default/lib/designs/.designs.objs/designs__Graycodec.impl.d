@@ -1,0 +1,1 @@
+lib/designs/graycodec.ml: Bitvec Entry Expr Qed Rtl Util

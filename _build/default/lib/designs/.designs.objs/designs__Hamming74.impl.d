@@ -1,0 +1,1 @@
+lib/designs/hamming74.ml: Bitvec Entry Expr List Qed Rtl Util

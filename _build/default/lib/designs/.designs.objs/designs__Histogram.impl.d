@@ -1,0 +1,1 @@
+lib/designs/histogram.ml: Array Bitvec Entry Expr List Printf Qed Random Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/lfsr8.ml: Bitvec Entry Expr Qed Random Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/mac.ml: Bitvec Entry Expr Qed Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/matvec3.ml: Array Bitvec Entry Expr List Printf Qed Rtl Util

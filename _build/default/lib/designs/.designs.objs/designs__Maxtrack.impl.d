@@ -1,0 +1,1 @@
+lib/designs/maxtrack.ml: Bitvec Entry Expr Qed Random Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/mmio_engine.ml: Array Bitvec Entry Expr List Printf Qed Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/movavg4.ml: Array Bitvec Entry Expr Printf Qed Rtl Util

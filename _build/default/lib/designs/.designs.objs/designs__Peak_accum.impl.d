@@ -1,0 +1,1 @@
+lib/designs/peak_accum.ml: Accum Bitvec Entry Expr Maxtrack Qed Random Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/popcount.ml: Bitvec Entry Expr List Qed Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/rle.ml: Bitvec Entry Expr Qed Random Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/satcnt.ml: Bitvec Entry Expr Qed Rtl Util

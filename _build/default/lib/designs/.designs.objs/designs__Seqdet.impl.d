@@ -1,0 +1,1 @@
+lib/designs/seqdet.ml: Bitvec Entry Expr Qed Random Rtl Util

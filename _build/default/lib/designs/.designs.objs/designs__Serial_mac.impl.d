@@ -1,0 +1,1 @@
+lib/designs/serial_mac.ml: Bitvec Entry Expr Qed Rtl Util

@@ -1,0 +1,1 @@
+lib/designs/util.ml: Bitvec Expr Random Rtl

@@ -1,0 +1,51 @@
+(* Absolute difference |a - b| plus min/max, registered (latency 1). A
+   small multi-output datapath; non-interfering. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and a = v "a" w and b = v "b" w in
+  let a_lt = Expr.ult a b in
+  let diff = Expr.ite a_lt (Expr.sub b a) (Expr.sub a b) in
+  let mn = Expr.ite a_lt a b in
+  let mx = Expr.ite a_lt b a in
+  Rtl.make ~name:"absdiff"
+    ~inputs:[ input "valid" 1; input "a" w; input "b" w ]
+    ~registers:
+      [
+        reg "ovr" 1 0 valid;
+        reg "r_diff" w 0 diff;
+        reg "r_min" w 0 mn;
+        reg "r_max" w 0 mx;
+      ]
+    ~outputs:
+      [
+        ("ov", v "ovr" 1);
+        ("diff", v "r_diff" w);
+        ("lo", v "r_min" w);
+        ("hi", v "r_max" w);
+      ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "a"; "b" ]
+    ~out_data:[ "diff"; "lo"; "hi" ] ~latency:1 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ a; b ] ->
+            let ai = Bitvec.to_int a and bi = Bitvec.to_int b in
+            ([ bv ~w (abs (ai - bi)); bv ~w (min ai bi); bv ~w (max ai bi) ], [])
+        | _ -> invalid_arg "absdiff golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"absdiff" ~description:"absolute difference with min/max outputs"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w; sample_bv rand w ])
+    ~rec_bound:4

@@ -1,0 +1,45 @@
+(* Running accumulator with a clear command — the canonical interfering
+   accelerator: the response to (acc, x) depends on the accumulated state,
+   so plain functional consistency (A-QED) false-alarms while G-QED, given
+   the architectural-state annotation [acc], verifies it.
+
+   cmd 0: acc' = acc + x, respond acc + x.
+   cmd 1: acc' = 0,       respond 0. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 1 and x = v "x" w in
+  let acc = v "acc" w in
+  let result = Expr.ite cmd (c ~w 0) (Expr.add acc x) in
+  Rtl.make ~name:"accum"
+    ~inputs:[ input "valid" 1; input "cmd" 1; input "x" w ]
+    ~registers:[ reg "acc" w 0 (Expr.ite valid result acc) ]
+    ~outputs:[ ("sum", result) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "x" ] ~out_data:[ "sum" ]
+    ~latency:0 ~arch_regs:[ "acc" ] ~arch_reset:[ ("acc", Bitvec.zero w) ] ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ acc ], [ cmd; x ] ->
+            let result =
+              if Bitvec.to_bool cmd then bv ~w 0 else Bitvec.add acc x
+            in
+            ([ result ], [ result ])
+        | _ -> invalid_arg "accum golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"accum" ~description:"running accumulator with clear command"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.int rand 8 = 0); sample_bv rand w ])
+    ~rec_bound:6

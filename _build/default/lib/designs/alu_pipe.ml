@@ -1,0 +1,64 @@
+(* A 2-stage pipelined ALU: non-interfering (the response is a pure
+   function of the operand; the pipeline registers are micro-architectural
+   only). Transaction operand: (op, a, b); response 2 cycles later.
+
+   op: 0 = add, 1 = sub, 2 = and, 3 = xor. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and op = v "op" 2 and a = v "a" w and b = v "b" w in
+  let p_op = v "p_op" 2 and p_a = v "p_a" w and p_b = v "p_b" w and v1 = v "v1" 1 in
+  let result =
+    Expr.ite
+      (Expr.eq p_op (c ~w:2 0))
+      (Expr.add p_a p_b)
+      (Expr.ite
+         (Expr.eq p_op (c ~w:2 1))
+         (Expr.sub p_a p_b)
+         (Expr.ite (Expr.eq p_op (c ~w:2 2)) (Expr.and_ p_a p_b) (Expr.xor p_a p_b)))
+  in
+  Rtl.make ~name:"alu_pipe"
+    ~inputs:[ input "valid" 1; input "op" 2; input "a" w; input "b" w ]
+    ~registers:
+      [
+        reg "v1" 1 0 valid;
+        reg "p_op" 2 0 op;
+        reg "p_a" w 0 a;
+        reg "p_b" w 0 b;
+        reg "v2" 1 0 v1;
+        reg "r" w 0 result;
+      ]
+    ~outputs:[ ("ov", v "v2" 1); ("y", v "r" w) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "op"; "a"; "b" ]
+    ~out_data:[ "y" ] ~latency:2 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [], [ op; a; b ] ->
+            let y =
+              match Bitvec.to_int op with
+              | 0 -> Bitvec.add a b
+              | 1 -> Bitvec.sub a b
+              | 2 -> Bitvec.logand a b
+              | _ -> Bitvec.logxor a b
+            in
+            ([ y ], [])
+        | _ -> invalid_arg "alu_pipe golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"alu_pipe"
+    ~description:"2-stage pipelined ALU (add/sub/and/xor), non-interfering" ~design
+    ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ sample_bv rand 2; sample_bv rand w; sample_bv rand w ])
+    ~rec_bound:5

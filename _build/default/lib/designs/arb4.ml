@@ -1,0 +1,77 @@
+(* Round-robin arbiter for 4 requesters. A transaction presents a request
+   mask; the response is a one-hot grant (or zero when nothing is
+   requested), chosen as the first requester at or after the round-robin
+   pointer; the pointer advances past the winner. The pointer is the
+   architectural state — the same request mask legitimately gets different
+   grants in different contexts. *)
+
+open Util
+
+let design =
+  let valid = v "valid" 1 and req = v "req" 4 in
+  let ptr = v "ptr" 2 in
+  (* Candidate order starting at ptr: ptr, ptr+1, ptr+2, ptr+3 (mod 4). *)
+  let bit_at k = Expr.bit req k in
+  let idx_expr offset =
+    (* (ptr + offset) mod 4, as a 2-bit value *)
+    Expr.add ptr (c ~w:2 offset)
+  in
+  let req_at offset =
+    (* req[(ptr + offset) mod 4] via a mux over the index. *)
+    let idx = idx_expr offset in
+    Expr.ite
+      (Expr.eq idx (c ~w:2 0))
+      (bit_at 0)
+      (Expr.ite (Expr.eq idx (c ~w:2 1)) (bit_at 1)
+         (Expr.ite (Expr.eq idx (c ~w:2 2)) (bit_at 2) (bit_at 3)))
+  in
+  (* Winner index (2 bits) and a "any request" flag. *)
+  let winner =
+    Expr.ite (req_at 0) (idx_expr 0)
+      (Expr.ite (req_at 1) (idx_expr 1)
+         (Expr.ite (req_at 2) (idx_expr 2) (idx_expr 3)))
+  in
+  let any = Expr.ne req (Expr.const_int ~width:4 0) in
+  let grant =
+    Expr.ite any
+      (Expr.shl (Expr.const_int ~width:4 1) (Expr.zero_extend winner 4))
+      (Expr.const_int ~width:4 0)
+  in
+  let next_ptr = Expr.ite any (Expr.add winner (c ~w:2 1)) ptr in
+  Rtl.make ~name:"arb4"
+    ~inputs:[ input "valid" 1; input "req" 4 ]
+    ~registers:[ reg "ptr" 2 0 (Expr.ite valid next_ptr ptr) ]
+    ~outputs:[ ("grant", grant) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "req" ] ~out_data:[ "grant" ] ~latency:0
+    ~arch_regs:[ "ptr" ]
+    ~arch_reset:[ ("ptr", Bitvec.zero 2) ]
+    ()
+
+let golden =
+  {
+    Entry.init_state = [ Bitvec.zero 2 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ ptr ], [ req ] ->
+            let p = Bitvec.to_int ptr and r = Bitvec.to_int req in
+            if r = 0 then ([ Bitvec.make ~width:4 0 ], [ ptr ])
+            else begin
+              let rec find offset =
+                let idx = (p + offset) mod 4 in
+                if r land (1 lsl idx) <> 0 then idx else find (offset + 1)
+              in
+              let winner = find 0 in
+              ( [ Bitvec.make ~width:4 (1 lsl winner) ],
+                [ Bitvec.make ~width:2 (winner + 1) ] )
+            end
+        | _ -> invalid_arg "arb4 golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"arb4" ~description:"round-robin arbiter for 4 requesters"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand 4 ])
+    ~rec_bound:6

@@ -1,0 +1,84 @@
+(* CRC-8 engine over a byte stream (polynomial 0x07), with an init command
+   that reloads the seed. The CRC register is the architectural state; every
+   response depends on the whole preceding stream.
+
+   The byte-step function (8 shift-xor rounds over crc XOR data) is linear
+   over GF(2), so the RTL expresses it in closed form: each result bit is
+   the XOR of a fixed subset of the input bits. This keeps the expression
+   tree linear in the width — the naive nested-round formulation triples
+   the tree per round (no let-sharing in the term language) and blows up
+   exponentially. The bit masks are derived at construction time from the
+   same round function the golden model executes, so RTL and golden agree
+   by construction. *)
+
+open Util
+
+let w = 8
+let poly = 0x07
+
+let round_bv x =
+  let msb = Bitvec.bit x (w - 1) in
+  let shifted = Bitvec.shl_int x 1 in
+  if msb then Bitvec.logxor shifted (bv ~w poly) else shifted
+
+let crc_step_bv crc byte =
+  let rec go x n = if n = 0 then x else go (round_bv x) (n - 1) in
+  go (Bitvec.logxor crc byte) 8
+
+(* Column i of the GF(2) matrix: the image of basis vector e_i under the
+   8-round step (without the initial xor, which is the identity on the
+   combined input crc XOR data). *)
+let step_matrix =
+  Array.init w (fun i ->
+      let rec go x n = if n = 0 then x else go (round_bv x) (n - 1) in
+      go (bv ~w (1 lsl i)) 8)
+
+(* The closed-form step expression over [t] = crc XOR data: bit j of the
+   result is the XOR of t's bits i whose column has bit j set. *)
+let crc_step_expr crc byte =
+  let t = Expr.xor crc byte in
+  let result_bit j =
+    let contributing =
+      List.filter (fun i -> Bitvec.bit step_matrix.(i) j) (List.init w (fun i -> i))
+    in
+    match contributing with
+    | [] -> Expr.const_int ~width:1 0
+    | i0 :: rest ->
+        List.fold_left (fun acc i -> Expr.xor acc (Expr.bit t i)) (Expr.bit t i0) rest
+  in
+  (* Concatenate MSB first. *)
+  let rec build j acc = if j >= w then acc else build (j + 1) (Expr.concat (result_bit j) acc) in
+  build 1 (result_bit 0)
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 1 and d = v "d" w in
+  let crc = v "crc" w in
+  (* cmd 0: absorb the byte; cmd 1: re-seed with the byte. *)
+  let result = Expr.ite cmd d (crc_step_expr crc d) in
+  Rtl.make ~name:"crc8"
+    ~inputs:[ input "valid" 1; input "cmd" 1; input "d" w ]
+    ~registers:[ reg "crc" w 0 (Expr.ite valid result crc) ]
+    ~outputs:[ ("crc_out", result) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "d" ] ~out_data:[ "crc_out" ]
+    ~latency:0 ~arch_regs:[ "crc" ] ~arch_reset:[ ("crc", Bitvec.zero w) ] ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ crc ], [ cmd; d ] ->
+            let result = if Bitvec.to_bool cmd then d else crc_step_bv crc d in
+            ([ result ], [ result ])
+        | _ -> invalid_arg "crc8 golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"crc8" ~description:"CRC-8 engine (poly 0x07) with re-seed command"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.int rand 8 = 0); sample_bv rand w ])
+    ~rec_bound:5

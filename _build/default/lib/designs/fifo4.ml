@@ -1,0 +1,85 @@
+(* A 4-deep FIFO queue, shift-register style: push appends at the tail,
+   pop returns the head and shifts. The storage and occupancy counter are
+   architectural state; push/pop responses interfere heavily.
+
+   cmd 0 PUSH x: if not full, append; respond (ok=1, y=x); else (ok=0, y=0).
+   cmd 1 POP   : if not empty, respond (ok=1, y=head) and shift; else (ok=0, y=0). *)
+
+open Util
+
+let w = 4
+let depth = 4
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 1 and x = v "x" w in
+  let mem = Array.init depth (fun i -> v (Printf.sprintf "m%d" i) w) in
+  let count = v "count" 3 in
+  let full = Expr.eq count (c ~w:3 depth) in
+  let empty = Expr.eq count (c ~w:3 0) in
+  let pushing = Expr.and_ (Expr.not_ cmd) (Expr.not_ full) in
+  let popping = Expr.and_ cmd (Expr.not_ empty) in
+  let ok = Expr.ite cmd (Expr.not_ empty) (Expr.not_ full) in
+  let y = Expr.ite popping mem.(0) (Expr.ite pushing x (c ~w 0)) in
+  let next_count =
+    Expr.ite pushing
+      (Expr.add count (c ~w:3 1))
+      (Expr.ite popping (Expr.sub count (c ~w:3 1)) count)
+  in
+  (* Slot i after a push: written when i = count; after a pop: takes slot
+     i+1 (the last slot refills with zero so the dead storage stays
+     deterministic). *)
+  let next_mem i =
+    let shifted = if i + 1 < depth then mem.(i + 1) else c ~w 0 in
+    Expr.ite popping shifted
+      (Expr.ite
+         (Expr.and_ pushing (Expr.eq count (c ~w:3 i)))
+         x mem.(i))
+  in
+  Rtl.make ~name:"fifo4"
+    ~inputs:[ input "valid" 1; input "cmd" 1; input "x" w ]
+    ~registers:
+      (List.init depth (fun i ->
+           reg (Printf.sprintf "m%d" i) w 0
+             (Expr.ite valid (next_mem i) mem.(i)))
+      @ [ reg "count" 3 0 (Expr.ite valid next_count count) ])
+    ~outputs:[ ("ok", ok); ("y", y) ]
+
+let arch = List.init depth (fun i -> Printf.sprintf "m%d" i) @ [ "count" ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "x" ] ~out_data:[ "ok"; "y" ]
+    ~latency:0 ~arch_regs:arch
+    ~arch_reset:
+      (List.init depth (fun i -> (Printf.sprintf "m%d" i, Bitvec.zero w))
+      @ [ ("count", Bitvec.zero 3) ])
+    ()
+
+let golden =
+  {
+    Entry.init_state = List.init depth (fun _ -> bv ~w 0) @ [ Bitvec.zero 3 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ m0; m1; m2; m3; count ], [ cmd; x ] ->
+            let n = Bitvec.to_int count in
+            if Bitvec.to_bool cmd then
+              if n = 0 then ([ Bitvec.zero 1; bv ~w 0 ], state)
+              else
+                ( [ Bitvec.one 1; m0 ],
+                  [ m1; m2; m3; bv ~w 0; Bitvec.make ~width:3 (n - 1) ] )
+            else if n = depth then ([ Bitvec.zero 1; bv ~w 0 ], state)
+            else begin
+              let mem = [| m0; m1; m2; m3 |] in
+              mem.(n) <- x;
+              ( [ Bitvec.one 1; x ],
+                [ mem.(0); mem.(1); mem.(2); mem.(3); Bitvec.make ~width:3 (n + 1) ] )
+            end
+        | _ -> invalid_arg "fifo4 golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"fifo4" ~description:"4-deep FIFO queue with push/pop commands"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.bool rand); sample_bv rand w ])
+    ~rec_bound:6

@@ -1,0 +1,41 @@
+(* 4-tap FIR filter with fixed coefficients [1; 2; 3; 1], window supplied
+   per transaction (so the design is non-interfering; a shift-register FIR
+   whose window persists across transactions would be interfering). *)
+
+open Util
+
+let w = 3
+let coeffs = [ 1; 2; 3; 1 ]
+
+let design =
+  let valid = v "valid" 1 in
+  let xs = List.init 4 (fun i -> v (Printf.sprintf "x%d" i) w) in
+  let terms = List.map2 (fun x k -> mul_const ~w x k) xs coeffs in
+  let y = List.fold_left Expr.add (List.hd terms) (List.tl terms) in
+  Rtl.make ~name:"fir4"
+    ~inputs:(input "valid" 1 :: List.init 4 (fun i -> input (Printf.sprintf "x%d" i) w))
+    ~registers:[ reg "ovr" 1 0 valid; reg "r" w 0 y ]
+    ~outputs:[ ("ov", v "ovr" 1); ("y", v "r" w) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov"
+    ~in_data:[ "x0"; "x1"; "x2"; "x3" ] ~out_data:[ "y" ] ~latency:1 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        let y =
+          List.fold_left2
+            (fun acc x k -> Bitvec.add acc (Bitvec.mul x (bv ~w k)))
+            (bv ~w 0) operand coeffs
+        in
+        ([ y ], []));
+  }
+
+let entry =
+  Entry.make ~name:"fir4" ~description:"4-tap FIR filter, per-transaction window"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> List.init 4 (fun _ -> sample_bv rand w))
+    ~rec_bound:4

@@ -1,0 +1,63 @@
+(* Subtractive-Euclid GCD unit: genuinely data-dependent latency — gcd(6,4)
+   answers in 4 cycles, gcd(15,1) takes 16. Ready/valid handshake;
+   non-interfering. max_latency 17 (the 4-bit worst case plus dispatch). *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and a = v "a" w and b = v "b" w in
+  let busy = v "busy" 1 and ar = v "ar" w and br = v "br" w in
+  let done_ = v "done_" 1 and resr = v "resr" w in
+  let dispatch = Expr.and_ valid (Expr.not_ busy) in
+  let zero = c ~w 0 in
+  let terminal =
+    Expr.disj [ Expr.eq ar br; Expr.eq ar zero; Expr.eq br zero ]
+  in
+  let result =
+    Expr.ite (Expr.eq ar zero) br (Expr.ite (Expr.eq br zero) ar ar)
+  in
+  let a_gt = Expr.ult br ar in
+  let finish = Expr.and_ busy terminal in
+  let stepping = Expr.and_ busy (Expr.not_ terminal) in
+  Rtl.make ~name:"gcd_unit"
+    ~inputs:[ input "valid" 1; input "a" w; input "b" w ]
+    ~registers:
+      [
+        reg "busy" 1 0
+          (Expr.ite dispatch (Expr.bool_ true)
+             (Expr.ite finish (Expr.bool_ false) busy));
+        reg "ar" w 0
+          (Expr.ite dispatch a
+             (Expr.ite (Expr.and_ stepping a_gt) (Expr.sub ar br) ar));
+        reg "br" w 0
+          (Expr.ite dispatch b
+             (Expr.ite (Expr.and_ stepping (Expr.not_ a_gt)) (Expr.sub br ar) br));
+        reg "done_" 1 0 finish;
+        reg "resr" w 0 (Expr.ite finish result resr);
+      ]
+    ~outputs:[ ("rdy", Expr.not_ busy); ("dv", done_); ("g", resr) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"dv" ~in_ready:"rdy" ~max_latency:17
+    ~in_data:[ "a"; "b" ] ~out_data:[ "g" ] ~latency:0 ~arch_regs:[] ()
+
+let rec gcd_int a b = if a = b || b = 0 then a else if a = 0 then b else if a > b then gcd_int (a - b) b else gcd_int a (b - a)
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ a; b ] -> ([ bv ~w (gcd_int (Bitvec.to_int a) (Bitvec.to_int b)) ], [])
+        | _ -> invalid_arg "gcd golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"gcd_unit"
+    ~description:"subtractive GCD unit with data-dependent latency"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w; sample_bv rand w ])
+    ~rec_bound:9

@@ -1,0 +1,55 @@
+(* Gray-code codec: one transaction returns both the Gray encoding of the
+   operand and the binary decoding of the operand-as-Gray. Combinational
+   (latency 0); non-interfering. Decoding is a prefix-XOR chain — a good
+   stress test for bit-level blasting. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let x = v "x" w in
+  let valid = v "valid" 1 in
+  ignore valid;
+  let encode = Expr.xor x (Expr.lshr x (c ~w 1)) in
+  (* decode: b_i = x_i ^ x_{i+1} ^ ... ^ x_{w-1} *)
+  let decode_bit i =
+    let rec chain j acc =
+      if j >= w then acc else chain (j + 1) (Expr.xor acc (Expr.bit x j))
+    in
+    chain (i + 1) (Expr.bit x i)
+  in
+  let decode =
+    let rec build i acc =
+      if i >= w then acc else build (i + 1) (Expr.concat (decode_bit i) acc)
+    in
+    build 1 (decode_bit 0)
+  in
+  Rtl.make ~name:"graycodec"
+    ~inputs:[ input "valid" 1; input "x" w ]
+    ~registers:[]
+    ~outputs:[ ("gray", encode); ("bin", decode) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "x" ] ~out_data:[ "gray"; "bin" ]
+    ~latency:0 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ x ] ->
+            let xi = Bitvec.to_int x in
+            let gray = xi lxor (xi lsr 1) in
+            let rec degray acc v = if v = 0 then acc else degray (acc lxor v) (v lsr 1) in
+            ([ bv ~w gray; bv ~w (degray 0 xi) ], [])
+        | _ -> invalid_arg "graycodec golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"graycodec" ~description:"Gray-code encoder/decoder pair"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w ])
+    ~rec_bound:3

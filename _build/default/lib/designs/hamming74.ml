@@ -1,0 +1,56 @@
+(* Hamming(7,4) encoder: 4 data bits in, 7-bit codeword out (3 parity
+   bits), registered. Non-interfering; exercises bit-level wiring
+   (extract/concat) rather than arithmetic.
+
+   Codeword layout (bit 0 = LSB): p0 p1 d0 p2 d1 d2 d3, with
+     p0 = d0^d1^d3,  p1 = d0^d2^d3,  p2 = d1^d2^d3. *)
+
+open Util
+
+let design =
+  let valid = v "valid" 1 and d = v "d" 4 in
+  let b i = Expr.bit d i in
+  let ( ^^ ) = Expr.xor in
+  let p0 = b 0 ^^ b 1 ^^ b 3 in
+  let p1 = b 0 ^^ b 2 ^^ b 3 in
+  let p2 = b 1 ^^ b 2 ^^ b 3 in
+  (* code = d3 d2 d1 p2 d0 p1 p0 (MSB..LSB). *)
+  let code =
+    List.fold_left
+      (fun acc bit -> Expr.concat bit acc)
+      p0
+      [ p1; b 0; p2; b 1; b 2; b 3 ]
+  in
+  Rtl.make ~name:"hamming74"
+    ~inputs:[ input "valid" 1; input "d" 4 ]
+    ~registers:[ reg "ovr" 1 0 valid; reg "r" 7 0 code ]
+    ~outputs:[ ("ov", v "ovr" 1); ("code", v "r" 7) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "d" ] ~out_data:[ "code" ]
+    ~latency:1 ~arch_regs:[] ()
+
+let encode_int d =
+  let bit i = (d lsr i) land 1 in
+  let p0 = bit 0 lxor bit 1 lxor bit 3 in
+  let p1 = bit 0 lxor bit 2 lxor bit 3 in
+  let p2 = bit 1 lxor bit 2 lxor bit 3 in
+  p0 lor (p1 lsl 1) lor (bit 0 lsl 2) lor (p2 lsl 3) lor (bit 1 lsl 4)
+  lor (bit 2 lsl 5)
+  lor (bit 3 lsl 6)
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ d ] -> ([ Bitvec.make ~width:7 (encode_int (Bitvec.to_int d)) ], [])
+        | _ -> invalid_arg "hamming74 golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"hamming74" ~description:"Hamming(7,4) systematic encoder"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand 4 ])
+    ~rec_bound:4

@@ -1,0 +1,55 @@
+(* 4-bin histogram unit: increment a bin or read it. The bin counters are
+   the architectural state; responses interfere through them. *)
+
+open Util
+
+let w = 4 (* counter width *)
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 1 and bin = v "bin" 2 in
+  let counters = Array.init 4 (fun i -> v (Printf.sprintf "h%d" i) w) in
+  let selected = Rtl.Mem.read (Array.map (fun e -> e) counters) ~addr:bin in
+  let incremented = Expr.add selected (c ~w 1) in
+  (* cmd 0: increment, respond with the new count; cmd 1: read. *)
+  let response = Expr.ite cmd selected incremented in
+  let next_counters =
+    Rtl.Mem.write (Array.map (fun e -> e) counters) ~addr:bin ~data:incremented
+  in
+  Rtl.make ~name:"histogram"
+    ~inputs:[ input "valid" 1; input "cmd" 1; input "bin" 2 ]
+    ~registers:
+      (List.init 4 (fun i ->
+           let update = Expr.ite (Expr.and_ valid (Expr.not_ cmd)) next_counters.(i) counters.(i) in
+           reg (Printf.sprintf "h%d" i) w 0 update))
+    ~outputs:[ ("count", response) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "bin" ] ~out_data:[ "count" ]
+    ~latency:0 ~arch_regs:[ "h0"; "h1"; "h2"; "h3" ]
+    ~arch_reset:(List.init 4 (fun i -> (Printf.sprintf "h%d" i, Bitvec.zero w)))
+    ()
+
+let golden =
+  {
+    Entry.init_state = List.init 4 (fun _ -> bv ~w 0);
+    step =
+      (fun state operand ->
+        match operand with
+        | [ cmd; bin ] ->
+            let b = Bitvec.to_int bin in
+            let current = List.nth state b in
+            if Bitvec.to_bool cmd then ([ current ], state)
+            else begin
+              let bumped = Bitvec.add current (bv ~w 1) in
+              let state' = List.mapi (fun i s -> if i = b then bumped else s) state in
+              ([ bumped ], state')
+            end
+        | _ -> invalid_arg "histogram golden: bad operand shape");
+  }
+
+let entry =
+  Entry.make ~name:"histogram" ~description:"4-bin histogram with increment/read commands"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.bool rand); sample_bv rand 2 ])
+    ~rec_bound:6

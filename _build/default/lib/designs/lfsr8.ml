@@ -1,0 +1,54 @@
+(* 8-bit Galois LFSR pseudo-random generator (taps 0xB8). Each STEP
+   transaction advances the register and responds with the new value; LOAD
+   reseeds. The LFSR register is architectural: every output depends on the
+   whole command history. *)
+
+open Util
+
+let w = 8
+let taps = 0xB8
+
+let step_expr s =
+  let lsb = Expr.bit s 0 in
+  let shifted = Expr.lshr s (c ~w 1) in
+  Expr.ite lsb (Expr.xor shifted (c ~w taps)) shifted
+
+let step_bv s =
+  let lsb = Bitvec.bit s 0 in
+  let shifted = Bitvec.lshr_int s 1 in
+  if lsb then Bitvec.logxor shifted (bv ~w taps) else shifted
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 1 and seed = v "seed" w in
+  let s = v "lfsr" w in
+  (* cmd 0: step; cmd 1: load seed. *)
+  let result = Expr.ite cmd seed (step_expr s) in
+  Rtl.make ~name:"lfsr8"
+    ~inputs:[ input "valid" 1; input "cmd" 1; input "seed" w ]
+    ~registers:[ reg "lfsr" w 1 (Expr.ite valid result s) ]
+    ~outputs:[ ("rnd", result) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "seed" ] ~out_data:[ "rnd" ]
+    ~latency:0 ~arch_regs:[ "lfsr" ]
+    ~arch_reset:[ ("lfsr", Bitvec.one w) ]
+    ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 1 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ s ], [ cmd; seed ] ->
+            let result = if Bitvec.to_bool cmd then seed else step_bv s in
+            ([ result ], [ result ])
+        | _ -> invalid_arg "lfsr8 golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"lfsr8" ~description:"8-bit Galois LFSR generator with reseed"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.int rand 8 = 0); sample_bv rand w ])
+    ~rec_bound:5

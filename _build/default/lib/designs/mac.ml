@@ -1,0 +1,39 @@
+(* Multiply-accumulate-per-transaction unit: y = a * b + addend, registered
+   (latency 1). Stateless at the transaction level, hence non-interfering —
+   unlike the running accumulator in [Accum], every operand carries its own
+   addend. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and a = v "a" w and b = v "b" w and addend = v "addend" w in
+  Rtl.make ~name:"mac"
+    ~inputs:[ input "valid" 1; input "a" w; input "b" w; input "addend" w ]
+    ~registers:
+      [
+        reg "ovr" 1 0 valid;
+        reg "r" w 0 (Expr.add (Expr.mul a b) addend);
+      ]
+    ~outputs:[ ("ov", v "ovr" 1); ("y", v "r" w) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "a"; "b"; "addend" ]
+    ~out_data:[ "y" ] ~latency:1 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ a; b; addend ] -> ([ Bitvec.add (Bitvec.mul a b) addend ], [])
+        | _ -> invalid_arg "mac golden: bad operand shape");
+  }
+
+let entry =
+  Entry.make ~name:"mac" ~description:"registered multiply-accumulate, y = a*b + addend"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w; sample_bv rand w; sample_bv rand w ])
+    ~rec_bound:4

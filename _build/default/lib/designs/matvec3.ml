@@ -1,0 +1,52 @@
+(* 3x3 matrix-vector product over 4-bit values (mod-16 arithmetic), fixed
+   matrix, all three result components returned in one response. *)
+
+open Util
+
+let w = 4
+let matrix = [| [| 1; 2; 0 |]; [| 0; 3; 1 |]; [| 2; 1; 1 |] |]
+
+let design =
+  let valid = v "valid" 1 in
+  let xs = Array.init 3 (fun i -> v (Printf.sprintf "x%d" i) w) in
+  let row r =
+    let terms = Array.to_list (Array.mapi (fun j k -> mul_const ~w xs.(j) k) matrix.(r)) in
+    List.fold_left Expr.add (List.hd terms) (List.tl terms)
+  in
+  Rtl.make ~name:"matvec3"
+    ~inputs:(input "valid" 1 :: List.init 3 (fun i -> input (Printf.sprintf "x%d" i) w))
+    ~registers:
+      [
+        reg "ovr" 1 0 valid;
+        reg "r0" w 0 (row 0);
+        reg "r1" w 0 (row 1);
+        reg "r2" w 0 (row 2);
+      ]
+    ~outputs:
+      [ ("ov", v "ovr" 1); ("y0", v "r0" w); ("y1", v "r1" w); ("y2", v "r2" w) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "x0"; "x1"; "x2" ]
+    ~out_data:[ "y0"; "y1"; "y2" ] ~latency:1 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        let xs = Array.of_list operand in
+        let row r =
+          let acc = ref (bv ~w 0) in
+          Array.iteri
+            (fun j k -> acc := Bitvec.add !acc (Bitvec.mul xs.(j) (bv ~w k)))
+            matrix.(r);
+          !acc
+        in
+        ([ row 0; row 1; row 2 ], []));
+  }
+
+let entry =
+  Entry.make ~name:"matvec3" ~description:"3x3 matrix-vector product, fixed matrix"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> List.init 3 (fun _ -> sample_bv rand w))
+    ~rec_bound:4

@@ -1,0 +1,42 @@
+(* Running-maximum tracker with a clear command. Architectural state: the
+   current maximum. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and clr = v "clr" 1 and x = v "x" w in
+  let m = v "maxr" w in
+  let result = Expr.ite clr (c ~w 0) (Expr.ite (Expr.ult m x) x m) in
+  Rtl.make ~name:"maxtrack"
+    ~inputs:[ input "valid" 1; input "clr" 1; input "x" w ]
+    ~registers:[ reg "maxr" w 0 (Expr.ite valid result m) ]
+    ~outputs:[ ("curmax", result) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "clr"; "x" ] ~out_data:[ "curmax" ]
+    ~latency:0 ~arch_regs:[ "maxr" ] ~arch_reset:[ ("maxr", Bitvec.zero w) ] ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ m ], [ clr; x ] ->
+            let result =
+              if Bitvec.to_bool clr then bv ~w 0
+              else if Bitvec.to_int m < Bitvec.to_int x then x
+              else m
+            in
+            ([ result ], [ result ])
+        | _ -> invalid_arg "maxtrack golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"maxtrack" ~description:"running-maximum tracker with clear"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.int rand 8 = 0); sample_bv rand w ])
+    ~rec_bound:6

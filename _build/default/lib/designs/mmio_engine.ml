@@ -1,0 +1,107 @@
+(* Memory-mapped compute engine: the analogue of the paper's industrial
+   case study (a configurable peripheral verified at Infineon). A 4-entry
+   configuration register file is written and read over the same
+   transactional port that triggers computations, so configuration writes
+   interfere with every later compute transaction.
+
+   Commands:
+     0 COMPUTE  : respond f(x) where f is selected by cfg3's low bits:
+                  mode 0: x + cfg0
+                  mode 1: x * cfg0
+                  mode 2: (x ^ cfg1) + cfg2
+                  mode 3: max(x, cfg2)
+     1 WRITE_CFG: cfg[addr] <- data, respond data (write echo)
+     2 READ_CFG : respond cfg[addr]
+     3 NOP      : respond 0, no state change
+
+   Architectural state: the four configuration registers. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 2 and addr = v "addr" 2 in
+  let data = v "data" w and x = v "x" w in
+  let cfg = Array.init 4 (fun i -> v (Printf.sprintf "cfg%d" i) w) in
+  let mode = Expr.extract ~hi:1 ~lo:0 cfg.(3) in
+  let compute =
+    Expr.ite
+      (Expr.eq mode (c ~w:2 0))
+      (Expr.add x cfg.(0))
+      (Expr.ite
+         (Expr.eq mode (c ~w:2 1))
+         (Expr.mul x cfg.(0))
+         (Expr.ite
+            (Expr.eq mode (c ~w:2 2))
+            (Expr.add (Expr.xor x cfg.(1)) cfg.(2))
+            (Expr.ite (Expr.ult x cfg.(2)) cfg.(2) x)))
+  in
+  let cfg_read = Rtl.Mem.read (Array.map (fun e -> e) cfg) ~addr in
+  let cmd_is n = Expr.eq cmd (c ~w:2 n) in
+  let response =
+    Expr.ite (cmd_is 0) compute
+      (Expr.ite (cmd_is 1) data (Expr.ite (cmd_is 2) cfg_read (c ~w 0)))
+  in
+  let written = Rtl.Mem.write (Array.map (fun e -> e) cfg) ~addr ~data in
+  Rtl.make ~name:"mmio_engine"
+    ~inputs:
+      [
+        input "valid" 1; input "cmd" 2; input "addr" 2; input "data" w; input "x" w;
+      ]
+    ~registers:
+      (List.init 4 (fun i ->
+           let update =
+             Expr.ite (Expr.and_ valid (cmd_is 1)) written.(i) cfg.(i)
+           in
+           reg (Printf.sprintf "cfg%d" i) w 0 update))
+    ~outputs:[ ("y", response) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "addr"; "data"; "x" ]
+    ~out_data:[ "y" ] ~latency:0 ~arch_regs:[ "cfg0"; "cfg1"; "cfg2"; "cfg3" ]
+    ~arch_reset:(List.init 4 (fun i -> (Printf.sprintf "cfg%d" i, Bitvec.zero w)))
+    ()
+
+let golden =
+  {
+    Entry.init_state = List.init 4 (fun _ -> bv ~w 0);
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ cfg0; cfg1; cfg2; cfg3 ], [ cmd; addr; data; x ] -> begin
+            let cfg = [| cfg0; cfg1; cfg2; cfg3 |] in
+            match Bitvec.to_int cmd with
+            | 0 ->
+                let y =
+                  match Bitvec.to_int cfg3 land 3 with
+                  | 0 -> Bitvec.add x cfg0
+                  | 1 -> Bitvec.mul x cfg0
+                  | 2 -> Bitvec.add (Bitvec.logxor x cfg1) cfg2
+                  | _ -> if Bitvec.to_int x < Bitvec.to_int cfg2 then cfg2 else x
+                in
+                ([ y ], state)
+            | 1 ->
+                let a = Bitvec.to_int addr in
+                let state' =
+                  List.mapi (fun i s -> if i = a then data else s) state
+                in
+                ([ data ], state')
+            | 2 -> ([ cfg.(Bitvec.to_int addr) ], state)
+            | _ -> ([ bv ~w 0 ], state)
+          end
+        | _ -> invalid_arg "mmio golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"mmio_engine"
+    ~description:"memory-mapped configurable compute engine (industrial case-study analogue)"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [
+        sample_bv rand 2;
+        sample_bv rand 2;
+        sample_bv rand w;
+        sample_bv rand w;
+      ])
+    ~rec_bound:5

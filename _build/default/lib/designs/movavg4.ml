@@ -1,0 +1,56 @@
+(* Moving-average filter over the last 4 samples: unlike [Fir4], the sample
+   window persists across transactions (a shift register), so the filter is
+   interfering and the window is architectural state.
+
+   Response: floor((w0 + w1 + w2 + x) / 4) over the window after inserting
+   the new sample. Sums are computed at double width to avoid wrap. *)
+
+open Util
+
+let w = 4
+let sum_w = 6
+
+let design =
+  let valid = v "valid" 1 and x = v "x" w in
+  let window = Array.init 3 (fun i -> v (Printf.sprintf "w%d" i) w) in
+  let ext e = Expr.zero_extend e sum_w in
+  let sum =
+    Expr.add (Expr.add (ext window.(0)) (ext window.(1))) (Expr.add (ext window.(2)) (ext x))
+  in
+  let avg = Expr.extract ~hi:(w + 1) ~lo:2 sum in
+  Rtl.make ~name:"movavg4"
+    ~inputs:[ input "valid" 1; input "x" w ]
+    ~registers:
+      [
+        reg "w0" w 0 (Expr.ite valid x window.(0));
+        reg "w1" w 0 (Expr.ite valid window.(0) window.(1));
+        reg "w2" w 0 (Expr.ite valid window.(1) window.(2));
+      ]
+    ~outputs:[ ("avg", avg) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "x" ] ~out_data:[ "avg" ] ~latency:0
+    ~arch_regs:[ "w0"; "w1"; "w2" ]
+    ~arch_reset:[ ("w0", Bitvec.zero w); ("w1", Bitvec.zero w); ("w2", Bitvec.zero w) ]
+    ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0; bv ~w 0; bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ w0; w1; w2 ], [ x ] ->
+            let total =
+              Bitvec.to_int w0 + Bitvec.to_int w1 + Bitvec.to_int w2 + Bitvec.to_int x
+            in
+            ([ bv ~w (total / 4) ], [ x; w0; w1 ])
+        | _ -> invalid_arg "movavg4 golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"movavg4"
+    ~description:"moving average over the last 4 samples (persistent window)" ~design
+    ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w ])
+    ~rec_bound:6

@@ -1,0 +1,74 @@
+(* A composed accelerator built with [Rtl.compose]: the running accumulator
+   feeding a running-maximum tracker — a "peak power meter". Each
+   transaction adds x to the accumulator (or clears it) and the tracker
+   records the largest sum seen (clearing alongside).
+
+   This is the decomposition (A-QED²) study's subject: the composition can
+   be verified monolithically (8 state bits, one product machine) or by
+   checking the accumulator and tracker sub-accelerators independently
+   (4 state bits each) — experiment R-A3 compares the two. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let a = Accum.design in
+  let b = Rtl.rename ~prefix:"mt__" Maxtrack.design in
+  Rtl.compose ~name:"peak_accum" ~a ~b
+    ~connections:
+      [
+        ("mt__valid", Expr.var "valid" 1);
+        ("mt__clr", Expr.var "cmd" 1);
+        (* The tracker watches the accumulator's response (its output name
+           resolves to the combinational sum expression). *)
+        ("mt__x", Expr.var "sum" w);
+      ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd"; "x" ]
+    ~out_data:[ "sum"; "mt__curmax" ] ~latency:0
+    ~arch_regs:[ "acc"; "mt__maxr" ]
+    ~arch_reset:[ ("acc", Bitvec.zero w); ("mt__maxr", Bitvec.zero w) ]
+    ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0; bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ acc; peak ], [ cmd; x ] ->
+            let sum = if Bitvec.to_bool cmd then bv ~w 0 else Bitvec.add acc x in
+            let peak' =
+              if Bitvec.to_bool cmd then bv ~w 0
+              else if Bitvec.to_int peak < Bitvec.to_int sum then sum
+              else peak
+            in
+            ([ sum; peak' ], [ sum; peak' ])
+        | _ -> invalid_arg "peak_accum golden: bad shapes");
+  }
+
+(* The decomposition used by experiment R-A3 and the decomposition
+   example: the two sub-accelerators with their own interfaces. *)
+let decomposition =
+  [
+    {
+      Qed.Decompose.sub_name = "accum";
+      sub_design = Accum.design;
+      sub_iface = Accum.iface;
+    };
+    {
+      Qed.Decompose.sub_name = "maxtrack";
+      sub_design = Maxtrack.design;
+      sub_iface = Maxtrack.iface;
+    };
+  ]
+
+let entry =
+  Entry.make ~name:"peak_accum"
+    ~description:"composed accelerator: accumulator feeding a peak tracker (A-QED^2 subject)"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand ->
+      [ Bitvec.of_bool (Random.State.int rand 8 = 0); sample_bv rand w ])
+    ~rec_bound:6

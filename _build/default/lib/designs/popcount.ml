@@ -1,0 +1,52 @@
+(* Population count over an 8-bit word via a two-level adder tree,
+   registered (latency 1). *)
+
+open Util
+
+let in_w = 8
+let out_w = 4
+
+let popcount_expr x =
+  (* Sum of the zero-extended bits, grouped pairwise as an adder tree. *)
+  let bits = List.init in_w (fun i -> Expr.zero_extend (Expr.bit x i) out_w) in
+  let rec tree = function
+    | [] -> c ~w:out_w 0
+    | [ e ] -> e
+    | es ->
+        let rec pair = function
+          | a :: b :: rest -> Expr.add a b :: pair rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        tree (pair es)
+  in
+  tree bits
+
+let design =
+  let valid = v "valid" 1 and x = v "x" in_w in
+  Rtl.make ~name:"popcount"
+    ~inputs:[ input "valid" 1; input "x" in_w ]
+    ~registers:[ reg "ovr" 1 0 valid; reg "r" out_w 0 (popcount_expr x) ]
+    ~outputs:[ ("ov", v "ovr" 1); ("y", v "r" out_w) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "x" ] ~out_data:[ "y" ]
+    ~latency:1 ~arch_regs:[] ()
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ x ] ->
+            let n = List.length (List.filter (fun b -> b) (Bitvec.to_bits x)) in
+            ([ bv ~w:out_w n ], [])
+        | _ -> invalid_arg "popcount golden: bad operand shape");
+  }
+
+let entry =
+  Entry.make ~name:"popcount" ~description:"8-bit population count, adder tree"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand in_w ])
+    ~rec_bound:4

@@ -1,0 +1,40 @@
+let all =
+  [
+    (* Non-interfering suite (A-QED's domain). *)
+    Alu_pipe.entry;
+    Mac.entry;
+    Fir4.entry;
+    Popcount.entry;
+    Sbox_pipe.entry;
+    Matvec3.entry;
+    Absdiff.entry;
+    Hamming74.entry;
+    Graycodec.entry;
+    Serial_div.entry;
+    Gcd_unit.entry;
+    (* Interfering suite (G-QED's contribution). *)
+    Accum.entry;
+    Histogram.entry;
+    Rle.entry;
+    Crc8.entry;
+    Maxtrack.entry;
+    Seqdet.entry;
+    Mmio_engine.entry;
+    Fifo4.entry;
+    Movavg4.entry;
+    Lfsr8.entry;
+    Satcnt.entry;
+    Arb4.entry;
+    Peak_accum.entry;
+    Serial_mac.entry;
+  ]
+
+let non_interfering = List.filter (fun e -> not e.Entry.interfering) all
+let interfering = List.filter (fun e -> e.Entry.interfering) all
+
+let find name =
+  match List.find_opt (fun e -> e.Entry.name = name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let names = List.map (fun e -> e.Entry.name) all

@@ -1,0 +1,12 @@
+(** The benchmark-suite registry. *)
+
+val all : Entry.t list
+(** Every benchmark design, non-interfering suite first. *)
+
+val non_interfering : Entry.t list
+val interfering : Entry.t list
+
+val find : string -> Entry.t
+(** Look up by name. Raises [Not_found]. *)
+
+val names : string list

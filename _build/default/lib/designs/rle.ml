@@ -1,0 +1,48 @@
+(* Run-length encoder: each transaction feeds one symbol; the response is
+   the length of the current run of that symbol. Architectural state: the
+   current symbol and run counter. *)
+
+open Util
+
+let sym_w = 3
+let cnt_w = 4
+
+let design =
+  let valid = v "valid" 1 and sym = v "sym" sym_w in
+  let cur = v "cur" sym_w and cnt = v "cnt" cnt_w in
+  let same = Expr.eq sym cur in
+  let new_cnt = Expr.ite same (Expr.add cnt (c ~w:cnt_w 1)) (c ~w:cnt_w 1) in
+  Rtl.make ~name:"rle"
+    ~inputs:[ input "valid" 1; input "sym" sym_w ]
+    ~registers:
+      [
+        reg "cur" sym_w 0 (Expr.ite valid sym cur);
+        reg "cnt" cnt_w 0 (Expr.ite valid new_cnt cnt);
+      ]
+    ~outputs:[ ("runlen", new_cnt) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "sym" ] ~out_data:[ "runlen" ]
+    ~latency:0 ~arch_regs:[ "cur"; "cnt" ]
+    ~arch_reset:[ ("cur", Bitvec.zero sym_w); ("cnt", Bitvec.zero cnt_w) ] ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w:sym_w 0; bv ~w:cnt_w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ cur; cnt ], [ sym ] ->
+            let runlen =
+              if Bitvec.equal sym cur then Bitvec.add cnt (bv ~w:cnt_w 1)
+              else bv ~w:cnt_w 1
+            in
+            ([ runlen ], [ sym; runlen ])
+        | _ -> invalid_arg "rle golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"rle" ~description:"run-length encoder over a symbol stream"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ Bitvec.make ~width:sym_w (Random.State.int rand 3) ])
+    ~rec_bound:6

@@ -1,0 +1,56 @@
+(* Saturating up/down counter — a credit manager in miniature. Commands:
+   0 INC (saturates at 15), 1 DEC (saturates at 0), 2 CLEAR, 3 READ.
+   Responds with the post-command count. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and cmd = v "cmd" 2 in
+  let n = v "cnt" w in
+  let maxed = Expr.eq n (c ~w ((1 lsl w) - 1)) in
+  let zeroed = Expr.eq n (c ~w 0) in
+  let cmd_is k = Expr.eq cmd (c ~w:2 k) in
+  let result =
+    Expr.ite (cmd_is 0)
+      (Expr.ite maxed n (Expr.add n (c ~w 1)))
+      (Expr.ite (cmd_is 1)
+         (Expr.ite zeroed n (Expr.sub n (c ~w 1)))
+         (Expr.ite (cmd_is 2) (c ~w 0) n))
+  in
+  Rtl.make ~name:"satcnt"
+    ~inputs:[ input "valid" 1; input "cmd" 2 ]
+    ~registers:[ reg "cnt" w 0 (Expr.ite valid result n) ]
+    ~outputs:[ ("count", result) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "cmd" ] ~out_data:[ "count" ] ~latency:0
+    ~arch_regs:[ "cnt" ]
+    ~arch_reset:[ ("cnt", Bitvec.zero w) ]
+    ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ n ], [ cmd ] ->
+            let v = Bitvec.to_int n in
+            let result =
+              match Bitvec.to_int cmd with
+              | 0 -> bv ~w (min ((1 lsl w) - 1) (v + 1))
+              | 1 -> bv ~w (max 0 (v - 1))
+              | 2 -> bv ~w 0
+              | _ -> n
+            in
+            ([ result ], [ result ])
+        | _ -> invalid_arg "satcnt golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"satcnt" ~description:"saturating up/down counter (credit manager)"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand 2 ])
+    ~rec_bound:6

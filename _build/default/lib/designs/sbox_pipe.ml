@@ -1,0 +1,56 @@
+(* A 2-stage byte-substitution pipeline (AES-flavoured bit mixing without
+   the GF(2^8) inverse): stage 1 mixes the byte with a rotated copy of
+   itself, stage 2 mixes again with a different rotation and constant.
+   Non-interfering. *)
+
+open Util
+
+let w = 8
+
+let rotl e k =
+  Expr.or_
+    (Expr.shl e (c ~w k))
+    (Expr.lshr e (c ~w (w - k)))
+
+let stage1 x = Expr.add (Expr.xor x (rotl x 1)) (c ~w 0x63)
+let stage2 t = Expr.xor (Expr.xor t (rotl t 3)) (c ~w 0x5A)
+
+let design =
+  let valid = v "valid" 1 and x = v "x" w in
+  let t = v "t" w in
+  Rtl.make ~name:"sbox_pipe"
+    ~inputs:[ input "valid" 1; input "x" w ]
+    ~registers:
+      [
+        reg "v1" 1 0 valid;
+        reg "t" w 0 (stage1 x);
+        reg "v2" 1 0 (v "v1" 1);
+        reg "r" w 0 (stage2 t);
+      ]
+    ~outputs:[ ("ov", v "v2" 1); ("y", v "r" w) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "x" ] ~out_data:[ "y" ]
+    ~latency:2 ~arch_regs:[] ()
+
+let golden =
+  let rotl_bv x k =
+    Bitvec.logor (Bitvec.shl_int x k) (Bitvec.lshr_int x (w - k))
+  in
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ x ] ->
+            let t = Bitvec.add (Bitvec.logxor x (rotl_bv x 1)) (bv ~w 0x63) in
+            let y = Bitvec.logxor (Bitvec.logxor t (rotl_bv t 3)) (bv ~w 0x5A) in
+            ([ y ], [])
+        | _ -> invalid_arg "sbox golden: bad operand shape");
+  }
+
+let entry =
+  Entry.make ~name:"sbox_pipe" ~description:"2-stage byte substitution pipeline"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w ])
+    ~rec_bound:5

@@ -1,0 +1,61 @@
+(* Mealy sequence detector for the bit pattern 1011 (with overlap). The
+   2-bit FSM state is architectural; detection pulses depend on the
+   history, so the design interferes. *)
+
+open Util
+
+(* States: 0 = seen nothing, 1 = seen "1", 2 = seen "10", 3 = seen "101". *)
+let next_state_of st bit =
+  match (st, bit) with
+  | 0, false -> 0
+  | 0, true -> 1
+  | 1, false -> 2
+  | 1, true -> 1
+  | 2, false -> 0
+  | 2, true -> 3
+  | 3, false -> 2
+  | 3, true -> 1 (* detection; the trailing "11" re-enters state 1 *)
+  | _ -> assert false
+
+let design =
+  let valid = v "valid" 1 and b = v "b" 1 in
+  let st = v "st" 2 in
+  let st_is n = Expr.eq st (c ~w:2 n) in
+  let next_st =
+    (* Encode the transition table as a mux over the current state. *)
+    Expr.ite (st_is 0)
+      (Expr.ite b (c ~w:2 1) (c ~w:2 0))
+      (Expr.ite (st_is 1)
+         (Expr.ite b (c ~w:2 1) (c ~w:2 2))
+         (Expr.ite (st_is 2)
+            (Expr.ite b (c ~w:2 3) (c ~w:2 0))
+            (Expr.ite b (c ~w:2 1) (c ~w:2 2))))
+  in
+  let detect = Expr.and_ (st_is 3) b in
+  Rtl.make ~name:"seqdet"
+    ~inputs:[ input "valid" 1; input "b" 1 ]
+    ~registers:[ reg "st" 2 0 (Expr.ite valid next_st st) ]
+    ~outputs:[ ("det", detect) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~in_data:[ "b" ] ~out_data:[ "det" ] ~latency:0
+    ~arch_regs:[ "st" ] ~arch_reset:[ ("st", Bitvec.zero 2) ] ()
+
+let golden =
+  {
+    Entry.init_state = [ Bitvec.zero 2 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ st ], [ b ] ->
+            let s = Bitvec.to_int st and bit = Bitvec.to_bool b in
+            let detect = s = 3 && bit in
+            ([ Bitvec.of_bool detect ], [ Bitvec.make ~width:2 (next_state_of s bit) ])
+        | _ -> invalid_arg "seqdet golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"seqdet" ~description:"Mealy detector for bit pattern 1011"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ Bitvec.of_bool (Random.State.bool rand) ])
+    ~rec_bound:8

@@ -1,0 +1,85 @@
+(* Serial restoring divider: a transaction supplies (num, den); the unit
+   iterates for 4 cycles and pulses [dv] with quotient and remainder —
+   a classic variable-latency (here fixed-duration but handshaked)
+   accelerator with a ready/valid protocol. Non-interfering: the response
+   is a pure function of the operand. max_latency 6.
+
+   Division by zero follows the same datapath (subtract never taken is
+   impossible with den = 0 since rem >= 0 always holds): the result is
+   quotient = all-ones and remainder = 0-ish residue; the golden model runs
+   the same algorithm, so RTL and model agree by construction. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and num = v "num" w and den = v "den" w in
+  let busy = v "busy" 1 and cnt = v "cnt" 3 in
+  let rem = v "rem" w and quo = v "quo" w and den_r = v "den_r" w in
+  let done_ = v "done_" 1 in
+  let dispatch = Expr.and_ valid (Expr.not_ busy) in
+  (* One restoring-division step on the current (rem, quo). *)
+  let rem_shift =
+    Expr.or_ (Expr.shl rem (c ~w 1)) (Expr.zero_extend (Expr.bit quo (w - 1)) w)
+  in
+  let quo_shift = Expr.shl quo (c ~w 1) in
+  let ge = Expr.ule den_r rem_shift in
+  let rem_next = Expr.ite ge (Expr.sub rem_shift den_r) rem_shift in
+  let quo_next = Expr.ite ge (Expr.or_ quo_shift (c ~w 1)) quo_shift in
+  let stepping = busy in
+  let last_step = Expr.and_ stepping (Expr.eq cnt (c ~w:3 1)) in
+  Rtl.make ~name:"serial_div"
+    ~inputs:[ input "valid" 1; input "num" w; input "den" w ]
+    ~registers:
+      [
+        reg "busy" 1 0 (Expr.ite dispatch (Expr.bool_ true) (Expr.ite last_step (Expr.bool_ false) busy));
+        reg "cnt" 3 0
+          (Expr.ite dispatch (c ~w:3 w)
+             (Expr.ite stepping (Expr.sub cnt (c ~w:3 1)) cnt));
+        reg "rem" w 0 (Expr.ite dispatch (c ~w 0) (Expr.ite stepping rem_next rem));
+        reg "quo" w 0 (Expr.ite dispatch num (Expr.ite stepping quo_next quo));
+        reg "den_r" w 0 (Expr.ite dispatch den den_r);
+        reg "done_" 1 0 last_step;
+      ]
+    ~outputs:[ ("rdy", Expr.not_ busy); ("dv", done_); ("q", quo); ("r", rem) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"dv" ~in_ready:"rdy" ~max_latency:6
+    ~in_data:[ "num"; "den" ] ~out_data:[ "q"; "r" ] ~latency:0 ~arch_regs:[] ()
+
+(* The same algorithm over ints. *)
+let divide num den =
+  let rem = ref 0 and quo = ref num in
+  for _ = 1 to w do
+    let rem_shift = (!rem lsl 1) lor ((!quo lsr (w - 1)) land 1) land ((1 lsl w) - 1) in
+    let quo_shift = !quo lsl 1 land ((1 lsl w) - 1) in
+    if rem_shift >= den then begin
+      rem := rem_shift - den;
+      quo := quo_shift lor 1
+    end
+    else begin
+      rem := rem_shift;
+      quo := quo_shift
+    end
+  done;
+  (!quo, !rem)
+
+let golden =
+  {
+    Entry.init_state = [];
+    step =
+      (fun _state operand ->
+        match operand with
+        | [ num; den ] ->
+            let q, r = divide (Bitvec.to_int num) (Bitvec.to_int den) in
+            ([ bv ~w q; bv ~w r ], [])
+        | _ -> invalid_arg "serial_div golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"serial_div"
+    ~description:"serial restoring divider, ready/valid handshake (variable latency)"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w; sample_bv rand w ])
+    ~rec_bound:13

@@ -1,0 +1,63 @@
+(* Serial multiply-accumulate: each transaction (x, y) runs a 4-cycle
+   shift-add multiply, then folds the product into a persistent accumulator
+   and responds with the new total. Variable-latency AND interfering: the
+   accumulator is architectural state. max_latency 7. *)
+
+open Util
+
+let w = 4
+
+let design =
+  let valid = v "valid" 1 and x = v "x" w and y = v "y" w in
+  let busy = v "busy" 1 and cnt = v "cnt" 3 in
+  let xr = v "xr" w and yr = v "yr" w and p = v "p" w in
+  let acc = v "acc" w and done_ = v "done_" 1 and resr = v "resr" w in
+  let dispatch = Expr.and_ valid (Expr.not_ busy) in
+  let stepping = busy in
+  let partial = Expr.ite (Expr.bit yr 0) xr (c ~w 0) in
+  let p_next = Expr.add p partial in
+  let last_step = Expr.and_ stepping (Expr.eq cnt (c ~w:3 1)) in
+  let total = Expr.add acc p_next in
+  Rtl.make ~name:"serial_mac"
+    ~inputs:[ input "valid" 1; input "x" w; input "y" w ]
+    ~registers:
+      [
+        reg "busy" 1 0
+          (Expr.ite dispatch (Expr.bool_ true)
+             (Expr.ite last_step (Expr.bool_ false) busy));
+        reg "cnt" 3 0
+          (Expr.ite dispatch (c ~w:3 w)
+             (Expr.ite stepping (Expr.sub cnt (c ~w:3 1)) cnt));
+        reg "xr" w 0 (Expr.ite dispatch x (Expr.ite stepping (Expr.shl xr (c ~w 1)) xr));
+        reg "yr" w 0 (Expr.ite dispatch y (Expr.ite stepping (Expr.lshr yr (c ~w 1)) yr));
+        reg "p" w 0 (Expr.ite dispatch (c ~w 0) (Expr.ite stepping p_next p));
+        reg "acc" w 0 (Expr.ite last_step total acc);
+        reg "done_" 1 0 last_step;
+        reg "resr" w 0 (Expr.ite last_step total resr);
+      ]
+    ~outputs:[ ("rdy", Expr.not_ busy); ("dv", done_); ("total", resr) ]
+
+let iface =
+  Qed.Iface.make ~in_valid:"valid" ~out_valid:"dv" ~in_ready:"rdy" ~max_latency:7
+    ~in_data:[ "x"; "y" ] ~out_data:[ "total" ] ~latency:0 ~arch_regs:[ "acc" ]
+    ~arch_reset:[ ("acc", Bitvec.zero w) ]
+    ()
+
+let golden =
+  {
+    Entry.init_state = [ bv ~w 0 ];
+    step =
+      (fun state operand ->
+        match (state, operand) with
+        | [ acc ], [ x; y ] ->
+            let total = Bitvec.add acc (Bitvec.mul x y) in
+            ([ total ], [ total ])
+        | _ -> invalid_arg "serial_mac golden: bad shapes");
+  }
+
+let entry =
+  Entry.make ~name:"serial_mac"
+    ~description:"serial shift-add MAC with persistent accumulator (variable latency, interfering)"
+    ~design ~iface ~golden
+    ~sample_operand:(fun rand -> [ sample_bv rand w; sample_bv rand w ])
+    ~rec_bound:13

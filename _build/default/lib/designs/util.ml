@@ -1,0 +1,18 @@
+(* Shared construction helpers for the benchmark designs. *)
+
+let input name width : Expr.var = { Expr.name = name; width }
+
+let reg name width init next =
+  { Rtl.reg = { Expr.name = name; width }; init = Bitvec.make ~width init; next }
+
+let v = Expr.var
+let c ~w n = Expr.const_int ~width:w n
+
+let sample_bv rand width = Bitvec.make ~width (Random.State.int rand (1 lsl width))
+
+(* Golden-model helpers: the models compute over Bitvec so widths and
+   wrap-around match the RTL exactly. *)
+let bv ~w n = Bitvec.make ~width:w n
+
+(* Multiplication by a small constant, as the RTL expressions write it. *)
+let mul_const ~w e k = Expr.mul e (c ~w k)

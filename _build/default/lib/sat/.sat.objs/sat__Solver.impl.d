@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Float Format Int List Lit Vec

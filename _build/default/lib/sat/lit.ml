@@ -1,0 +1,18 @@
+type t = int
+
+let make v ~neg =
+  if v < 0 then invalid_arg "Lit.make: negative variable";
+  (v * 2) + if neg then 1 else 0
+
+let pos v = make v ~neg:false
+let neg v = make v ~neg:true
+let var l = l lsr 1
+let is_neg l = l land 1 = 1
+let negate l = l lxor 1
+let to_dimacs l = if is_neg l then -(var l + 1) else var l + 1
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if i > 0 then pos (i - 1) else neg (-i - 1)
+
+let pp ppf l = Format.fprintf ppf "%s%d" (if is_neg l then "~" else "") (var l)

@@ -1,0 +1,27 @@
+(** Propositional literals.
+
+    A literal packs a variable index (0-based) and a sign into one [int]:
+    [2 * var] for the positive literal, [2 * var + 1] for the negated one.
+    This is the MiniSat encoding; it lets literals index arrays directly. *)
+
+type t = int
+
+val make : int -> neg:bool -> t
+val pos : int -> t
+(** Positive literal of a variable. *)
+
+val neg : int -> t
+(** Negative literal of a variable. *)
+
+val var : t -> int
+val is_neg : t -> bool
+val negate : t -> t
+(** Flip the sign. *)
+
+val to_dimacs : t -> int
+(** 1-based signed integer, DIMACS convention. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}. Raises [Invalid_argument] on 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,685 @@
+(* CDCL solver. The architecture follows MiniSat 2.2 closely; comments
+   below mark the places where invariants are subtle (watch maintenance,
+   first-UIP analysis, reason locking). *)
+
+type clause = {
+  mutable lits : int array;
+  (* lits.(0) and lits.(1) are the watched literals of a clause with >= 2
+     literals. For a reason clause, lits.(0) is the implied literal. *)
+  learnt : bool;
+  mutable act : float;
+  mutable removed : bool;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; act = 0.; removed = true }
+
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;
+  clauses : int;
+  vars : int;
+}
+
+type answer = A_none | A_sat | A_unsat
+
+type t = {
+  mutable nvars : int;
+  (* Per-variable state, arrays of capacity >= nvars. *)
+  mutable assigns : int array; (* 0 = unassigned, 1 = true, -1 = false *)
+  mutable level : int array;
+  mutable reason : clause array; (* dummy_clause = none *)
+  mutable activity : float array;
+  mutable polarity : bool array; (* saved phase: true = assign negative *)
+  mutable seen : bool array;
+  (* Per-literal watch lists, capacity >= 2 * nvars. *)
+  mutable watches : clause Vec.t array;
+  (* Clause databases. *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  (* Assignment trail. *)
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* VSIDS. *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  heap : int Vec.t; (* binary max-heap of variables by activity *)
+  mutable heap_index : int array; (* position in heap, -1 if absent *)
+  (* Assumptions for the current solve. *)
+  mutable assumptions : int array;
+  conflict : int Vec.t; (* failed assumptions, negated *)
+  analyze_toclear : int Vec.t;
+  (* Status. *)
+  mutable ok : bool;
+  mutable answer : answer;
+  mutable model : bool array;
+  mutable max_learnts : float;
+  (* Statistics. *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+}
+
+let var_decay = 1. /. 0.95
+let clause_decay = 1. /. 0.999
+let restart_base = 100
+
+let create () =
+  {
+    nvars = 0;
+    assigns = Array.make 16 0;
+    level = Array.make 16 (-1);
+    reason = Array.make 16 dummy_clause;
+    activity = Array.make 16 0.;
+    polarity = Array.make 16 true;
+    seen = Array.make 16 false;
+    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    clauses = Vec.create dummy_clause;
+    learnts = Vec.create dummy_clause;
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    var_inc = 1.;
+    cla_inc = 1.;
+    heap = Vec.create 0;
+    heap_index = Array.make 16 (-1);
+    assumptions = [||];
+    conflict = Vec.create 0;
+    analyze_toclear = Vec.create 0;
+    ok = true;
+    answer = A_none;
+    model = [||];
+    max_learnts = 0.;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_restarts = 0;
+  }
+
+let nvars s = s.nvars
+let ok s = s.ok
+
+(* ------------------------------------------------------------------ *)
+(* Variable order heap (max-heap on activity).                         *)
+
+let heap_lt s v1 v2 = s.activity.(v1) > s.activity.(v2)
+
+let heap_swap s i j =
+  let h = s.heap in
+  let vi = Vec.get h i and vj = Vec.get h j in
+  Vec.set h i vj;
+  Vec.set h j vi;
+  s.heap_index.(vi) <- j;
+  s.heap_index.(vj) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_lt s (Vec.get s.heap i) (Vec.get s.heap parent) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let n = Vec.size s.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = if l < n && heap_lt s (Vec.get s.heap l) (Vec.get s.heap i) then l else i in
+  let best = if r < n && heap_lt s (Vec.get s.heap r) (Vec.get s.heap best) then r else best in
+  if best <> i then begin
+    heap_swap s i best;
+    heap_down s best
+  end
+
+let heap_insert s v =
+  if s.heap_index.(v) < 0 then begin
+    Vec.push s.heap v;
+    s.heap_index.(v) <- Vec.size s.heap - 1;
+    heap_up s (Vec.size s.heap - 1)
+  end
+
+let heap_decrease s v =
+  (* Activity of [v] increased: move it toward the root. *)
+  let i = s.heap_index.(v) in
+  if i >= 0 then heap_up s i
+
+let heap_pop s =
+  let v = Vec.get s.heap 0 in
+  let last = Vec.pop s.heap in
+  s.heap_index.(v) <- -1;
+  if Vec.size s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    s.heap_index.(last) <- 0;
+    heap_down s 0
+  end;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Variables.                                                          *)
+
+let grow_array a n dflt =
+  let cap = Array.length a in
+  if n <= cap then a
+  else begin
+    let a' = Array.make (max n (2 * cap)) dflt in
+    Array.blit a 0 a' 0 cap;
+    a'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assigns <- grow_array s.assigns s.nvars 0;
+  s.level <- grow_array s.level s.nvars (-1);
+  s.reason <- grow_array s.reason s.nvars dummy_clause;
+  s.activity <- grow_array s.activity s.nvars 0.;
+  s.polarity <- grow_array s.polarity s.nvars true;
+  s.seen <- grow_array s.seen s.nvars false;
+  s.heap_index <- grow_array s.heap_index s.nvars (-1);
+  if 2 * s.nvars > Array.length s.watches then begin
+    let old = s.watches in
+    let a = Array.init (max (2 * s.nvars) (2 * Array.length old)) (fun _ -> Vec.create dummy_clause) in
+    Array.blit old 0 a 0 (Array.length old);
+    s.watches <- a
+  end;
+  s.assigns.(v) <- 0;
+  s.level.(v) <- -1;
+  s.reason.(v) <- dummy_clause;
+  s.activity.(v) <- 0.;
+  s.polarity.(v) <- true;
+  heap_insert s v;
+  v
+
+(* Literal value: 0 unassigned, 1 true, -1 false. *)
+let value_lit s l =
+  let a = s.assigns.(Lit.var l) in
+  if Lit.is_neg l then -a else a
+
+let decision_level s = Vec.size s.trail_lim
+
+(* ------------------------------------------------------------------ *)
+(* Activity.                                                           *)
+
+let rescale_var_activity s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_var_activity s;
+  heap_decrease s v
+
+let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let bump_clause s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    Vec.iter (fun c -> c.act <- c.act *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* ------------------------------------------------------------------ *)
+(* Trail.                                                              *)
+
+let unchecked_enqueue s l reason =
+  let v = Lit.var l in
+  s.assigns.(v) <- (if Lit.is_neg l then -1 else 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+let new_decision_level s = Vec.push s.trail_lim (Vec.size s.trail)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.assigns.(v) <- 0;
+      s.polarity.(v) <- Lit.is_neg l;
+      s.reason.(v) <- dummy_clause;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clause attachment.                                                  *)
+
+(* watches.(l) holds the clauses that must be inspected when [l] becomes
+   true, i.e. the clauses watching the literal [negate l]. *)
+let attach_clause s c =
+  Vec.push s.watches.(Lit.negate c.lits.(0)) c;
+  Vec.push s.watches.(Lit.negate c.lits.(1)) c
+
+(* Detaching is lazy: [removed] clauses are dropped when the watch lists are
+   next traversed, which avoids O(watchlist) scans here. *)
+let remove_clause s c =
+  c.removed <- true;
+  (* A removed clause must never remain a reason. Callers guarantee this via
+     the [locked] check; assert it in debug spirit. *)
+  ignore s
+
+let locked s c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  s.reason.(v) == c && s.assigns.(v) <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Propagation.                                                        *)
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.n_propagations <- s.n_propagations + 1;
+      let ws = s.watches.(p) in
+      let i = ref 0 and j = ref 0 in
+      let n = Vec.size ws in
+      while !i < n do
+        let c = Vec.unsafe_get ws !i in
+        incr i;
+        if not c.removed then begin
+          let lits = c.lits in
+          let false_lit = Lit.negate p in
+          (* Make sure the false watch is at position 1. *)
+          if lits.(0) = false_lit then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- false_lit
+          end;
+          if value_lit s lits.(0) = 1 then begin
+            (* Clause already satisfied by the other watch: keep it. *)
+            Vec.unsafe_set ws !j c;
+            incr j
+          end
+          else begin
+            (* Look for a new literal to watch. *)
+            let len = Array.length lits in
+            let k = ref 2 in
+            while !k < len && value_lit s lits.(!k) = -1 do incr k done;
+            if !k < len then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- false_lit;
+              Vec.push s.watches.(Lit.negate lits.(1)) c
+              (* not kept in ws: do not copy *)
+            end
+            else begin
+              (* Unit or conflicting. *)
+              Vec.unsafe_set ws !j c;
+              incr j;
+              if value_lit s lits.(0) = -1 then begin
+                (* Conflict: copy the remaining watchers back first. *)
+                while !i < n do
+                  Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                  incr i;
+                  incr j
+                done;
+                Vec.shrink ws !j;
+                s.qhead <- Vec.size s.trail;
+                raise (Conflict c)
+              end
+              else unchecked_enqueue s lits.(0) c
+            end
+          end
+        end
+      done;
+      Vec.shrink ws !j
+    done;
+    None
+  with Conflict c -> Some c
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis (first UIP).                                      *)
+
+(* Is [l] implied by the current learnt set? Basic (non-recursive)
+   minimization: every literal of its reason (other than the implied one)
+   is already in the learnt clause or at level 0. *)
+let lit_redundant s l =
+  let r = s.reason.(Lit.var l) in
+  (not (r == dummy_clause))
+  &&
+  let ok = ref true in
+  for k = 1 to Array.length r.lits - 1 do
+    let q = r.lits.(k) in
+    if (not s.seen.(Lit.var q)) && s.level.(Lit.var q) > 0 then ok := false
+  done;
+  !ok
+
+(* Returns (learnt clause literals, backtrack level). The asserting literal
+   is at index 0 of the returned array. *)
+let analyze s confl =
+  let out = Vec.create 0 in
+  Vec.push out 0 (* placeholder for the asserting literal *);
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size s.trail - 1) in
+  let c = ref confl in
+  let continue = ref true in
+  while !continue do
+    if !c.learnt then bump_clause s !c;
+    let start = if !p = -1 then 0 else 1 in
+    for jj = start to Array.length !c.lits - 1 do
+      let q = !c.lits.(jj) in
+      let v = Lit.var q in
+      if (not s.seen.(v)) && s.level.(v) > 0 then begin
+        bump_var s v;
+        s.seen.(v) <- true;
+        Vec.push s.analyze_toclear v;
+        if s.level.(v) >= decision_level s then incr path_c
+        else Vec.push out q
+      end
+    done;
+    (* Select next literal to expand: latest seen literal on the trail. *)
+    while not s.seen.(Lit.var (Vec.get s.trail !index)) do decr index done;
+    p := Vec.get s.trail !index;
+    decr index;
+    c := s.reason.(Lit.var !p);
+    s.seen.(Lit.var !p) <- false;
+    decr path_c;
+    if !path_c <= 0 then continue := false
+  done;
+  Vec.set out 0 (Lit.negate !p);
+  (* Minimize: drop redundant literals from the tail. *)
+  let kept = Vec.create 0 in
+  Vec.push kept (Vec.get out 0);
+  for i = 1 to Vec.size out - 1 do
+    let q = Vec.get out i in
+    if not (lit_redundant s q) then Vec.push kept q
+  done;
+  (* Find the backtrack level: highest level among tail literals; put that
+     literal at index 1 so it is watched after backtracking. *)
+  let blevel =
+    if Vec.size kept = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Vec.size kept - 1 do
+        if s.level.(Lit.var (Vec.get kept i)) > s.level.(Lit.var (Vec.get kept !max_i))
+        then max_i := i
+      done;
+      let tmp = Vec.get kept 1 in
+      Vec.set kept 1 (Vec.get kept !max_i);
+      Vec.set kept !max_i tmp;
+      s.level.(Lit.var (Vec.get kept 1))
+    end
+  in
+  (* Clear the seen flags. *)
+  Vec.iter (fun v -> s.seen.(v) <- false) s.analyze_toclear;
+  Vec.clear s.analyze_toclear;
+  (Array.init (Vec.size kept) (Vec.get kept), blevel)
+
+(* Produce the subset of assumptions responsible for falsifying literal [p]
+   (which is a currently-false assumption, passed negated). *)
+let analyze_final s p =
+  Vec.clear s.conflict;
+  Vec.push s.conflict p;
+  if decision_level s > 0 then begin
+    s.seen.(Lit.var p) <- true;
+    let bottom = Vec.get s.trail_lim 0 in
+    for i = Vec.size s.trail - 1 downto bottom do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      if s.seen.(v) then begin
+        let r = s.reason.(v) in
+        if r == dummy_clause then Vec.push s.conflict (Lit.negate l)
+        else
+          for k = 1 to Array.length r.lits - 1 do
+            let q = r.lits.(k) in
+            if s.level.(Lit.var q) > 0 then s.seen.(Lit.var q) <- true
+          done;
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(Lit.var p) <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clause addition.                                                    *)
+
+let add_clause s lits =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.add_clause: only allowed at decision level 0";
+  if s.ok then begin
+    (* Sort + dedup; detect tautologies and level-0 entailment. *)
+    let lits = List.sort_uniq Int.compare lits in
+    let tautology =
+      let rec loop = function
+        | a :: (b :: _ as rest) -> (Lit.var a = Lit.var b) || loop rest
+        | _ -> false
+      in
+      loop lits
+    in
+    let satisfied = List.exists (fun l -> value_lit s l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> value_lit s l <> -1) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+          unchecked_enqueue s l dummy_clause;
+          if propagate s <> None then s.ok <- false
+      | _ :: _ :: _ ->
+          let c = { lits = Array.of_list lits; learnt = false; act = 0.; removed = false } in
+          Vec.push s.clauses c;
+          attach_clause s c
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Learnt DB reduction and level-0 simplification.                     *)
+
+let reduce_db s =
+  (* Learnts sorted by ascending activity: the first half (cold clauses) is
+     dropped unless a clause is binary or currently a reason. *)
+  Vec.sort_sub (fun a b -> Float.compare a.act b.act) s.learnts;
+  let n = Vec.size s.learnts in
+  let keep = Vec.create dummy_clause in
+  for i = 0 to n - 1 do
+    let c = Vec.get s.learnts i in
+    if locked s c || Array.length c.lits = 2 || i >= n / 2 then Vec.push keep c
+    else remove_clause s c
+  done;
+  Vec.clear s.learnts;
+  Vec.iter (fun c -> Vec.push s.learnts c) keep
+
+let clause_satisfied s c =
+  let rec loop i = i < Array.length c.lits && (value_lit s c.lits.(i) = 1 || loop (i + 1)) in
+  loop 0
+
+let simplify s =
+  assert (decision_level s = 0);
+  if s.ok && propagate s = None then begin
+    let compact vec =
+      let keep = Vec.create dummy_clause in
+      Vec.iter
+        (fun c ->
+          if clause_satisfied s c && not (locked s c) then remove_clause s c
+          else Vec.push keep c)
+        vec;
+      Vec.clear vec;
+      Vec.iter (fun c -> Vec.push vec c) keep
+    in
+    compact s.learnts;
+    compact s.clauses
+  end
+  else if s.ok && decision_level s = 0 then s.ok <- false
+
+(* ------------------------------------------------------------------ *)
+(* Search.                                                             *)
+
+let pick_branch_var s =
+  let rec loop () =
+    if Vec.is_empty s.heap then None
+    else begin
+      let v = heap_pop s in
+      if s.assigns.(v) = 0 then Some v else loop ()
+    end
+  in
+  loop ()
+
+exception Found_sat
+exception Found_unsat
+exception Restart
+
+(* Handle assumptions and pick the next decision. *)
+let decide s =
+  let rec assume () =
+    if decision_level s < Array.length s.assumptions then begin
+      let p = s.assumptions.(decision_level s) in
+      match value_lit s p with
+      | 1 ->
+          (* Dummy level so the level <-> assumption indexing stays aligned. *)
+          new_decision_level s;
+          assume ()
+      | -1 ->
+          analyze_final s (Lit.negate p);
+          raise Found_unsat
+      | _ ->
+          new_decision_level s;
+          unchecked_enqueue s p dummy_clause
+    end
+    else begin
+      s.n_decisions <- s.n_decisions + 1;
+      match pick_branch_var s with
+      | None -> raise Found_sat
+      | Some v ->
+          let l = Lit.make v ~neg:s.polarity.(v) in
+          new_decision_level s;
+          unchecked_enqueue s l dummy_clause
+    end
+  in
+  assume ()
+
+let record_learnt s learnt blevel =
+  cancel_until s blevel;
+  match Array.length learnt with
+  | 1 ->
+      (* Asserting unit: goes to level 0 semantically, but we may be above
+         level 0 because of assumptions; enqueue at the current (backtracked)
+         level with no reason. Correct because blevel = 0 for units. *)
+      unchecked_enqueue s learnt.(0) dummy_clause
+  | _ ->
+      let c = { lits = learnt; learnt = true; act = 0.; removed = false } in
+      Vec.push s.learnts c;
+      attach_clause s c;
+      bump_clause s c;
+      unchecked_enqueue s learnt.(0) c
+
+let search s ~max_conflicts =
+  let conflict_c = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match propagate s with
+    | Some confl ->
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflict_c;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          raise Found_unsat
+        end;
+        let learnt, blevel = analyze s confl in
+        record_learnt s learnt blevel;
+        decay_var_activity s;
+        decay_clause_activity s
+    | None ->
+        if !conflict_c >= max_conflicts then begin
+          cancel_until s 0;
+          raise Restart
+        end;
+        if decision_level s = 0 then simplify s;
+        if not s.ok then raise Found_unsat;
+        if float_of_int (Vec.size s.learnts) -. float_of_int (Vec.size s.trail)
+           >= s.max_learnts
+        then reduce_db s;
+        decide s
+  done
+
+(* Luby restart sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  (* Smallest k with 2^k - 1 >= i. *)
+  let rec find_k k = if (1 lsl k) - 1 >= i then k else find_k (k + 1) in
+  let k = find_k 1 in
+  if (1 lsl k) - 1 = i then 1 lsl (k - 1) else luby (i - (1 lsl (k - 1)) + 1)
+
+let solve ?(assumptions = []) s =
+  s.answer <- A_none;
+  Vec.clear s.conflict;
+  if not s.ok then begin
+    s.answer <- A_unsat;
+    Unsat
+  end
+  else begin
+    s.assumptions <- Array.of_list assumptions;
+    if s.max_learnts = 0. then
+      s.max_learnts <- max 1000. (float_of_int (Vec.size s.clauses) *. 0.3);
+    let result = ref None in
+    let restart = ref 1 in
+    while !result = None do
+      let bound = restart_base * luby !restart in
+      (try
+         search s ~max_conflicts:bound;
+         assert false
+       with
+      | Found_sat ->
+          s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+          s.answer <- A_sat;
+          result := Some Sat
+      | Found_unsat ->
+          s.answer <- A_unsat;
+          result := Some Unsat
+      | Restart ->
+          s.n_restarts <- s.n_restarts + 1;
+          s.max_learnts <- s.max_learnts *. 1.05);
+      incr restart
+    done;
+    cancel_until s 0;
+    s.assumptions <- [||];
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s l =
+  if s.answer <> A_sat then failwith "Solver.value: last answer was not Sat";
+  let v = Lit.var l in
+  if v >= Array.length s.model then failwith "Solver.value: unknown variable";
+  if Lit.is_neg l then not s.model.(v) else s.model.(v)
+
+let model s =
+  if s.answer <> A_sat then failwith "Solver.model: last answer was not Sat";
+  Array.copy s.model
+
+let unsat_assumptions s =
+  if s.answer <> A_unsat then
+    failwith "Solver.unsat_assumptions: last answer was not Unsat";
+  List.map Lit.negate (Vec.to_list s.conflict)
+
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    restarts = s.n_restarts;
+    learnt_clauses = Vec.size s.learnts;
+    clauses = Vec.size s.clauses;
+    vars = s.nvars;
+  }
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "vars=%d clauses=%d learnt=%d conflicts=%d decisions=%d propagations=%d restarts=%d"
+    st.vars st.clauses st.learnt_clauses st.conflicts st.decisions
+    st.propagations st.restarts

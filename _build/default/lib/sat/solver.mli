@@ -1,0 +1,63 @@
+(** CDCL SAT solver.
+
+    A MiniSat-style conflict-driven clause-learning solver: two-watched-
+    literal propagation, first-UIP clause learning with basic conflict-clause
+    minimization, VSIDS branching with phase saving, Luby restarts and
+    activity-based learnt-clause database reduction. It solves incrementally:
+    clauses may be added between [solve] calls, and each call may pass
+    assumptions (temporary unit hypotheses) whose unsatisfiable core is
+    available after an UNSAT answer.
+
+    This is the decision engine underneath the bounded model checker: the
+    bit-blaster produces CNF, the BMC layer asks for a satisfying assignment
+    of the unrolled design + property negation. *)
+
+type t
+
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;  (** currently in the learnt database *)
+  clauses : int;  (** problem clauses currently in the database *)
+  vars : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause over existing variables. May only be called when the solver
+    is at decision level 0 (i.e. outside [solve]). Tautologies are dropped
+    and duplicate/false-at-level-0 literals removed. Adding the empty clause
+    (or deriving one) makes the solver permanently UNSAT. *)
+
+val ok : t -> bool
+(** [false] once the clause set is known UNSAT at level 0; further [solve]
+    calls return [Unsat] immediately. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+
+val value : t -> Lit.t -> bool
+(** Model value of a literal after a [Sat] answer. Raises [Failure] if the
+    last call did not answer [Sat]. *)
+
+val model : t -> bool array
+(** Model as an array indexed by variable, after a [Sat] answer. *)
+
+val unsat_assumptions : t -> Lit.t list
+(** After an [Unsat] answer to a [solve] with assumptions: a subset of the
+    assumptions that is already unsatisfiable together with the clauses
+    (an "unsat core" over assumptions). Empty if the clause set itself is
+    UNSAT. *)
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/testbench/crv.ml: Bitvec Designs Format List Option Qed Random Rtl String

@@ -1,0 +1,1 @@
+lib/testbench/crv.mli: Bitvec Designs Format Rtl

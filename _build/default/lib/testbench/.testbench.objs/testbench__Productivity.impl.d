@@ -1,0 +1,1 @@
+lib/testbench/productivity.ml: Designs Format List Qed Rtl

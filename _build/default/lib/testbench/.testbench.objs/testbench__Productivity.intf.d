@@ -1,0 +1,1 @@
+lib/testbench/productivity.mli: Designs Format

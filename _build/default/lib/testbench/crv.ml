@@ -1,0 +1,281 @@
+type config = { seed : int; max_transactions : int; idle_prob : float }
+
+let default_config = { seed = 1; max_transactions = 1000; idle_prob = 0.25 }
+
+type outcome = {
+  detected : bool;
+  transactions_run : int;
+  cycles_run : int;
+  failure : failure option;
+}
+
+and failure = {
+  at_transaction : int;
+  at_cycle : int;
+  expected : Bitvec.t list;
+  got : Bitvec.t list;
+  kind : [ `Data_mismatch | `Missing_response | `Spurious_response ];
+}
+
+(* A response expected [due] cycles from now. *)
+type pending = { p_txn : int; p_due : int; p_expected : Bitvec.t list }
+
+(* Variable-latency driver: dispatches happen only when the design's
+   in_ready output is high; responses (out_valid pulses) are matched to
+   dispatches in order against a queue of golden expectations. A watchdog
+   flags a missing response when the oldest expectation goes unanswered
+   past max_latency. *)
+let run_variable ?design_override (e : Designs.Entry.t) config =
+  let design = Option.value design_override ~default:e.Designs.Entry.design in
+  let iface = e.Designs.Entry.iface in
+  let lmax = Option.get iface.Qed.Iface.max_latency in
+  let rand = Random.State.make [| config.seed |] in
+  let out_values outputs =
+    List.map (fun port -> Rtl.Smap.find port outputs) iface.Qed.Iface.out_data
+  in
+  let resp_present outputs =
+    match iface.Qed.Iface.out_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port outputs)
+  in
+  let ready outputs =
+    match iface.Qed.Iface.in_ready with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port outputs)
+  in
+  let cycle_cap = (config.max_transactions * (lmax + 2)) + 100 in
+  let rec loop ~cycle ~txn ~rtl_state ~golden_state ~pending ~head_age =
+    if (txn >= config.max_transactions && pending = []) || cycle > cycle_cap then
+      {
+        detected = cycle > cycle_cap && pending <> [];
+        transactions_run = txn;
+        cycles_run = cycle;
+        failure =
+          (if cycle > cycle_cap && pending <> [] then
+             Some
+               {
+                 at_transaction = txn;
+                 at_cycle = cycle;
+                 expected = List.hd pending;
+                 got = [];
+                 kind = `Missing_response;
+               }
+           else None);
+      }
+    else begin
+      let attempt =
+        txn < config.max_transactions
+        && Random.State.float rand 1.0 >= config.idle_prob
+      in
+      let operand = if attempt then e.Designs.Entry.sample_operand rand else [] in
+      let inputs =
+        if attempt then Designs.Entry.operand_valuation e ~valid:true operand
+        else Designs.Entry.idle_valuation e
+      in
+      let outputs = Rtl.eval_outputs design ~state:rtl_state ~inputs in
+      let rtl_state' = Rtl.step design ~state:rtl_state ~inputs in
+      let dispatched = attempt && ready outputs in
+      let golden_out, golden_state' =
+        if dispatched then
+          let out, st = e.Designs.Entry.golden.Designs.Entry.step golden_state operand in
+          (Some out, st)
+        else (None, golden_state)
+      in
+      let responded = resp_present outputs in
+      let failure, pending', head_age' =
+        match (responded, pending) with
+        | true, [] ->
+            ( Some
+                {
+                  at_transaction = txn;
+                  at_cycle = cycle;
+                  expected = [];
+                  got = out_values outputs;
+                  kind = `Spurious_response;
+                },
+              [],
+              0 )
+        | true, expected :: rest ->
+            let got = out_values outputs in
+            if List.for_all2 Bitvec.equal expected got then (None, rest, 0)
+            else
+              ( Some
+                  {
+                    at_transaction = txn;
+                    at_cycle = cycle;
+                    expected;
+                    got;
+                    kind = `Data_mismatch;
+                  },
+                rest,
+                0 )
+        | false, [] -> (None, [], 0)
+        | false, (expected :: _ as q) ->
+            if head_age >= lmax then
+              ( Some
+                  {
+                    at_transaction = txn;
+                    at_cycle = cycle;
+                    expected;
+                    got = [];
+                    kind = `Missing_response;
+                  },
+                q,
+                head_age )
+            else (None, q, head_age + 1)
+      in
+      let pending' =
+        match golden_out with Some out -> pending' @ [ out ] | None -> pending'
+      in
+      match failure with
+      | Some f ->
+          {
+            detected = true;
+            transactions_run = txn + (if dispatched then 1 else 0);
+            cycles_run = cycle + 1;
+            failure = Some f;
+          }
+      | None ->
+          loop ~cycle:(cycle + 1)
+            ~txn:(txn + if dispatched then 1 else 0)
+            ~rtl_state:rtl_state' ~golden_state:golden_state' ~pending:pending'
+            ~head_age:head_age'
+    end
+  in
+  loop ~cycle:0 ~txn:0 ~rtl_state:(Rtl.initial_state design)
+    ~golden_state:e.Designs.Entry.golden.Designs.Entry.init_state ~pending:[] ~head_age:0
+
+let run_fixed ?design_override (e : Designs.Entry.t) config =
+  let design = Option.value design_override ~default:e.Designs.Entry.design in
+  let iface = e.Designs.Entry.iface in
+  let latency = iface.Qed.Iface.latency in
+  let rand = Random.State.make [| config.seed |] in
+  let out_values outputs =
+    List.map (fun port -> Rtl.Smap.find port outputs) iface.Qed.Iface.out_data
+  in
+  let resp_present outputs =
+    match iface.Qed.Iface.out_valid with
+    | None -> true
+    | Some port -> Bitvec.to_bool (Rtl.Smap.find port outputs)
+  in
+  (* When there is no in_valid port, every cycle dispatches. *)
+  let can_idle = iface.Qed.Iface.in_valid <> None in
+  let rec loop ~cycle ~txn ~rtl_state ~golden_state ~(pending : pending list) =
+    if txn >= config.max_transactions && pending = [] then
+      { detected = false; transactions_run = txn; cycles_run = cycle; failure = None }
+    else begin
+      let dispatch =
+        txn < config.max_transactions
+        && ((not can_idle) || Random.State.float rand 1.0 >= config.idle_prob)
+      in
+      let operand = if dispatch then e.Designs.Entry.sample_operand rand else [] in
+      let inputs =
+        if dispatch then Designs.Entry.operand_valuation e ~valid:true operand
+        else Designs.Entry.idle_valuation e
+      in
+      let outputs = Rtl.eval_outputs design ~state:rtl_state ~inputs in
+      let rtl_state' = Rtl.step design ~state:rtl_state ~inputs in
+      (* Golden model: advance only on dispatch. *)
+      let golden_out, golden_state' =
+        if dispatch then
+          let out, st = e.Designs.Entry.golden.Designs.Entry.step golden_state operand in
+          (Some out, st)
+        else (None, golden_state)
+      in
+      let pending =
+        match golden_out with
+        | Some out -> pending @ [ { p_txn = txn; p_due = cycle + latency; p_expected = out } ]
+        | None -> pending
+      in
+      (* Score this cycle: is a response due now? *)
+      let due, rest = List.partition (fun p -> p.p_due = cycle) pending in
+      let failure =
+        match due with
+        | [] ->
+            if resp_present outputs && iface.Qed.Iface.out_valid <> None then
+              Some
+                {
+                  at_transaction = txn;
+                  at_cycle = cycle;
+                  expected = [];
+                  got = out_values outputs;
+                  kind = `Spurious_response;
+                }
+            else None
+        | p :: _ ->
+            if not (resp_present outputs) then
+              Some
+                {
+                  at_transaction = p.p_txn;
+                  at_cycle = cycle;
+                  expected = p.p_expected;
+                  got = [];
+                  kind = `Missing_response;
+                }
+            else begin
+              let got = out_values outputs in
+              if List.for_all2 Bitvec.equal p.p_expected got then None
+              else
+                Some
+                  {
+                    at_transaction = p.p_txn;
+                    at_cycle = cycle;
+                    expected = p.p_expected;
+                    got;
+                    kind = `Data_mismatch;
+                  }
+            end
+      in
+      match failure with
+      | Some f ->
+          {
+            detected = true;
+            transactions_run = txn + (if dispatch then 1 else 0);
+            cycles_run = cycle + 1;
+            failure = Some f;
+          }
+      | None ->
+          loop ~cycle:(cycle + 1)
+            ~txn:(txn + if dispatch then 1 else 0)
+            ~rtl_state:rtl_state' ~golden_state:golden_state' ~pending:rest
+    end
+  in
+  loop ~cycle:0 ~txn:0 ~rtl_state:(Rtl.initial_state design)
+    ~golden_state:e.Designs.Entry.golden.Designs.Entry.init_state ~pending:[]
+
+let run ?design_override (e : Designs.Entry.t) config =
+  if Qed.Iface.is_variable_latency e.Designs.Entry.iface then
+    run_variable ?design_override e config
+  else run_fixed ?design_override e config
+
+let detection_curve ?design_override e ~budgets ~seeds =
+  List.map
+    (fun budget ->
+      let hits =
+        List.fold_left
+          (fun acc seed ->
+            let outcome =
+              run ?design_override e { default_config with seed; max_transactions = budget }
+            in
+            if outcome.detected then acc + 1 else acc)
+          0 seeds
+      in
+      (budget, float_of_int hits /. float_of_int (max 1 (List.length seeds))))
+    budgets
+
+let pp_outcome ppf o =
+  match o.failure with
+  | None ->
+      Format.fprintf ppf "no mismatch in %d transactions (%d cycles)" o.transactions_run
+        o.cycles_run
+  | Some f ->
+      let kind =
+        match f.kind with
+        | `Data_mismatch -> "data mismatch"
+        | `Missing_response -> "missing response"
+        | `Spurious_response -> "spurious response"
+      in
+      Format.fprintf ppf "%s at transaction %d (cycle %d): expected [%s], got [%s]" kind
+        f.at_transaction f.at_cycle
+        (String.concat ";" (List.map Bitvec.to_string f.expected))
+        (String.concat ";" (List.map Bitvec.to_string f.got))

@@ -1,0 +1,99 @@
+(* VCD (IEEE 1364) writer. Identifier codes are generated from the
+   printable-ASCII range (33..126), multi-character once exhausted. *)
+
+let id_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (first + (i mod base))) ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+(* Stable, deduplicated signal list per scope, widths taken from the first
+   step's values. *)
+let signals_of_valuation v =
+  Rtl.Smap.fold (fun name bv acc -> (name, Bitvec.width bv) :: acc) v []
+  |> List.rev
+
+let binary_string bv =
+  let w = Bitvec.width bv in
+  String.init w (fun i -> if Bitvec.bit bv (w - 1 - i) then '1' else '0')
+
+let of_trace ?(design_name = "design") trace =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "$date\n  (generated)\n$end\n";
+  add "$version\n  gqed VCD writer\n$end\n";
+  add "$timescale 1ns $end\n";
+  add "$scope module %s $end\n" design_name;
+  (* Declare clk + the three signal groups. *)
+  let next_id = ref 0 in
+  let fresh () =
+    let id = id_of_index !next_id in
+    incr next_id;
+    id
+  in
+  let clk_id = fresh () in
+  add "$var wire 1 %s clk $end\n" clk_id;
+  let declare scope signals =
+    add "$scope module %s $end\n" scope;
+    let declared =
+      List.map
+        (fun (name, width) ->
+          let id = fresh () in
+          add "$var wire %d %s %s $end\n" width id name;
+          (name, id))
+        signals
+    in
+    add "$upscope $end\n";
+    declared
+  in
+  let header_step =
+    match trace with
+    | step :: _ -> Some step
+    | [] -> None
+  in
+  let in_ids, st_ids, out_ids =
+    match header_step with
+    | None -> ([], [], [])
+    | Some step ->
+        ( declare "inputs" (signals_of_valuation step.Rtl.t_inputs),
+          declare "state" (signals_of_valuation step.Rtl.t_state),
+          declare "outputs" (signals_of_valuation step.Rtl.t_outputs) )
+  in
+  add "$upscope $end\n$enddefinitions $end\n";
+  (* Emit changes. *)
+  let last : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let emit_value id bv =
+    let s = binary_string bv in
+    match Hashtbl.find_opt last id with
+    | Some prev when prev = s -> ()
+    | _ ->
+        Hashtbl.replace last id s;
+        if Bitvec.width bv = 1 then add "%s%s\n" s id else add "b%s %s\n" s id
+  in
+  List.iteri
+    (fun cycle step ->
+      add "#%d\n" (cycle * 10);
+      add "1%s\n" clk_id;
+      List.iter
+        (fun (name, id) -> emit_value id (Rtl.Smap.find name step.Rtl.t_inputs))
+        in_ids;
+      List.iter
+        (fun (name, id) -> emit_value id (Rtl.Smap.find name step.Rtl.t_state))
+        st_ids;
+      List.iter
+        (fun (name, id) -> emit_value id (Rtl.Smap.find name step.Rtl.t_outputs))
+        out_ids;
+      add "#%d\n" ((cycle * 10) + 5);
+      add "0%s\n" clk_id)
+    trace;
+  add "#%d\n" (List.length trace * 10);
+  Buffer.contents buf
+
+let of_witness ?design_name (w : Bmc.witness) = of_trace ?design_name w.Bmc.w_trace
+
+let to_file path doc =
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc

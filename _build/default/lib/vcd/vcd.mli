@@ -1,0 +1,17 @@
+(** Value Change Dump (IEEE 1364) output for simulation traces and BMC
+    counterexamples, so waveforms can be inspected in GTKWave or any other
+    standard viewer.
+
+    Signals are grouped into [inputs], [state] and [outputs] scopes. Only
+    changes are emitted, per the format's contract. *)
+
+val of_trace : ?design_name:string -> Rtl.trace_step list -> string
+(** Render a simulation trace as a VCD document. One timestep per clock
+    cycle (timescale 1ns, one cycle = 10 time units), with a generated
+    [clk] signal toggling mid-cycle. *)
+
+val of_witness : ?design_name:string -> Bmc.witness -> string
+(** Render a counterexample waveform (its replayed trace). *)
+
+val to_file : string -> string -> unit
+(** [to_file path doc] writes the document. *)

@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Bitvec Bmc Expr List QCheck QCheck_alcotest Rtl

@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Bitvec Char Designs Format List Printf Qed Rtl String Testbench

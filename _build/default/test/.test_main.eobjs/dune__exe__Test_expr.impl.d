@@ -1,0 +1,1 @@
+test/test_expr.ml: Aig Alcotest Array Bitvec Expr Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_aig Test_bitvec Test_bmc Test_designs Test_expr Test_mutation Test_qed Test_rtl Test_sat Test_testbench Test_variable Test_vcd Test_vec

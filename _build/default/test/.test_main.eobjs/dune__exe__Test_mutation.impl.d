@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Bitvec Designs List Mutation Printf QCheck QCheck_alcotest Qed Rtl String Testbench

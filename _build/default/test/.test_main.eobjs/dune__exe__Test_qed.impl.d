@@ -1,0 +1,1 @@
+test/test_qed.ml: Alcotest Bitvec Expr Format List Option Qed Rtl

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Array Bitvec Expr List Option Printf Rtl String

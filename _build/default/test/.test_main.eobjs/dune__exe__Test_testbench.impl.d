@@ -1,0 +1,1 @@
+test/test_testbench.ml: Alcotest Bitvec Designs Expr List Mutation Printf Qed Random Rtl Testbench

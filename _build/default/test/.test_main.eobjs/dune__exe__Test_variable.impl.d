@@ -1,0 +1,1 @@
+test/test_variable.ml: Alcotest Bitvec Designs List Mutation Option Printf Qed Rtl Testbench

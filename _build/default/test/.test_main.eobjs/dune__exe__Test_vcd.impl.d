@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Bitvec Designs Filename List Mutation Option Printf Qed Rtl String Sys Vcd

@@ -1,0 +1,179 @@
+(* BMC tests: safety checks on small designs with known shortest
+   counterexamples, witness replay correctness, symbolic initial states,
+   and agreement between the incremental and monolithic engines. *)
+
+module Bv = Bitvec
+
+let counter () =
+  let count = Expr.var "count" 4 and enable = Expr.var "enable" 1 in
+  Rtl.make ~name:"counter"
+    ~inputs:[ { Expr.name = "enable"; width = 1 } ]
+    ~registers:
+      [
+        {
+          Rtl.reg = { Expr.name = "count"; width = 4 };
+          init = Bv.zero 4;
+          next = Expr.ite enable (Expr.add count (Expr.const_int ~width:4 1)) count;
+        };
+      ]
+    ~outputs:[ ("value", count) ]
+
+let count_ne n = Expr.ne (Expr.var "count" 4) (Expr.const_int ~width:4 n)
+
+let test_holds_within_bound () =
+  (* count cannot reach 10 in fewer than 10 steps. *)
+  match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 10) ~depth:10 () with
+  | Bmc.Holds 10, _ -> ()
+  | Bmc.Violated w, _ ->
+      Alcotest.failf "unexpected counterexample of length %d" w.Bmc.w_length
+  | Bmc.Holds n, _ -> Alcotest.failf "wrong bound %d" n
+
+let test_violated_at_exact_depth () =
+  match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 10) ~depth:12 () with
+  | Bmc.Violated w, _ ->
+      (* Shortest counterexample: 10 enabled cycles, failing at cycle 10. *)
+      Alcotest.(check int) "length" 11 w.Bmc.w_length;
+      let last = List.nth w.Bmc.w_trace (w.Bmc.w_length - 1) in
+      Alcotest.(check int) "count is 10 at the failure cycle" 10
+        (Bv.to_int (Rtl.Smap.find "count" last.Rtl.t_state))
+  | Bmc.Holds n, _ -> Alcotest.failf "holds up to %d but should fail" n
+
+let test_witness_replay_consistent () =
+  match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 7) ~depth:12 () with
+  | Bmc.Violated w, _ ->
+      (* Replay must show exactly w_length steps and the concrete violation. *)
+      Alcotest.(check int) "trace length" w.Bmc.w_length (List.length w.Bmc.w_trace);
+      let last = List.nth w.Bmc.w_trace (w.Bmc.w_length - 1) in
+      let env v =
+        match Rtl.Smap.find_opt v.Expr.name last.Rtl.t_state with
+        | Some bv -> bv
+        | None -> Rtl.Smap.find v.Expr.name last.Rtl.t_inputs
+      in
+      Alcotest.(check bool) "invariant concretely false" false
+        (Bv.to_bool (Expr.eval env (count_ne 7)))
+  | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+
+let test_assumes_block_counterexample () =
+  (* Under the assumption that enable is never asserted, the counter stays
+     at 0 and the invariant holds at any depth. *)
+  let assumes = [ Expr.eq (Expr.var "enable" 1) (Expr.const_int ~width:1 0) ] in
+  match
+    Bmc.check_safety ~assumes ~design:(counter ()) ~invariant:(count_ne 3) ~depth:20 ()
+  with
+  | Bmc.Holds n, _ -> Alcotest.(check int) "full depth" 20 n
+  | Bmc.Violated _, _ -> Alcotest.fail "assumption was ignored"
+
+let test_invariant_over_outputs () =
+  (* Properties may mention outputs by name. *)
+  let inv = Expr.ne (Expr.var "value" 4) (Expr.const_int ~width:4 2) in
+  match Bmc.check_safety ~design:(counter ()) ~invariant:inv ~depth:5 () with
+  | Bmc.Violated w, _ -> Alcotest.(check int) "length" 3 w.Bmc.w_length
+  | Bmc.Holds _, _ -> Alcotest.fail "expected violation via output"
+
+let test_symbolic_init () =
+  (* With a free initial state the invariant count <> 5 fails immediately. *)
+  match
+    Bmc.check_safety ~symbolic_init:true ~design:(counter ()) ~invariant:(count_ne 5)
+      ~depth:3 ()
+  with
+  | Bmc.Violated w, _ ->
+      Alcotest.(check int) "fails at frame 0" 1 w.Bmc.w_length;
+      Alcotest.(check int) "initial state is 5" 5
+        (Bv.to_int (Rtl.Smap.find "count" w.Bmc.w_initial))
+  | Bmc.Holds _, _ -> Alcotest.fail "expected violation from symbolic init"
+
+let test_mono_agrees_with_incremental () =
+  List.iter
+    (fun (inv, depth) ->
+      let r1, _ = Bmc.check_safety ~design:(counter ()) ~invariant:inv ~depth () in
+      let r2, _ = Bmc.check_safety_mono ~design:(counter ()) ~invariant:inv ~depth () in
+      match (r1, r2) with
+      | Bmc.Holds a, Bmc.Holds b -> Alcotest.(check int) "both hold" a b
+      | Bmc.Violated a, Bmc.Violated b ->
+          Alcotest.(check int) "same length" a.Bmc.w_length b.Bmc.w_length
+      | _ -> Alcotest.fail "engines disagree")
+    [ (count_ne 3, 8); (count_ne 9, 8); (count_ne 0, 4) ]
+
+let test_depth_zero () =
+  match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 0) ~depth:0 () with
+  | Bmc.Holds 0, _ -> ()
+  | _ -> Alcotest.fail "depth 0 must hold vacuously"
+
+let test_immediate_violation () =
+  (* count starts at 0, so count <> 0 fails at frame 0. *)
+  match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 0) ~depth:4 () with
+  | Bmc.Violated w, _ -> Alcotest.(check int) "length 1" 1 w.Bmc.w_length
+  | Bmc.Holds _, _ -> Alcotest.fail "expected immediate violation"
+
+(* A two-register design with cross-register invariant: a shift register
+   pair where r2 follows r1 delayed by one cycle. *)
+let follower () =
+  let d = Expr.var "d" 8 in
+  let r1 = Expr.var "r1" 8 and r2 = Expr.var "r2" 8 in
+  Rtl.make ~name:"follower"
+    ~inputs:[ { Expr.name = "d"; width = 8 } ]
+    ~registers:
+      [
+        { Rtl.reg = { Expr.name = "r1"; width = 8 }; init = Bv.zero 8; next = d };
+        { Rtl.reg = { Expr.name = "r2"; width = 8 }; init = Bv.zero 8; next = r1 };
+      ]
+    ~outputs:[ ("q", r2) ]
+
+let test_relational_invariant_holds () =
+  (* r2 at cycle k equals r1 at cycle k-1; an always-true relational fact:
+     if r1 = 0 and the input stays 0, r2 stays 0... instead check a real
+     inductive fact visible per cycle: nothing relates them combinationally,
+     so check a property that does hold: q is always the value d had two
+     cycles earlier — encoded via a bounded check with assumes pinning d. *)
+  let assumes = [ Expr.eq (Expr.var "d" 8) (Expr.const_int ~width:8 0x5A) ] in
+  (* After 2 cycles q must be 0x5A forever; check the weaker safety fact
+     q = 0x5A or q = 0 (the reset value flushing through). *)
+  let q = Expr.var "q" 8 in
+  let inv =
+    Expr.or_
+      (Expr.eq q (Expr.const_int ~width:8 0x5A))
+      (Expr.eq q (Expr.const_int ~width:8 0))
+  in
+  match Bmc.check_safety ~assumes ~design:(follower ()) ~invariant:inv ~depth:8 () with
+  | Bmc.Holds n, _ -> Alcotest.(check int) "full depth" 8 n
+  | Bmc.Violated _, _ -> Alcotest.fail "pipeline flush property must hold"
+
+let test_follower_violation_found () =
+  let q = Expr.var "q" 8 in
+  let inv = Expr.ne q (Expr.const_int ~width:8 0x77) in
+  match Bmc.check_safety ~design:(follower ()) ~invariant:inv ~depth:5 () with
+  | Bmc.Violated w, _ ->
+      Alcotest.(check int) "needs 3 cycles" 3 w.Bmc.w_length;
+      let first = List.hd w.Bmc.w_trace in
+      Alcotest.(check int) "input chosen by solver" 0x77
+        (Bv.to_int (Rtl.Smap.find "d" first.Rtl.t_inputs))
+  | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+
+(* Property: the incremental engine reports the *shortest* counterexample.
+   For the enabled counter, the shortest trace reaching value n has exactly
+   n + 1 cycles (n increments plus the violating cycle). *)
+let prop_shortest_cex =
+  QCheck.Test.make ~count:12 ~name:"BMC counterexamples are shortest"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 9))
+    (fun n ->
+      match
+        Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne n) ~depth:(n + 3) ()
+      with
+      | Bmc.Violated w, _ -> w.Bmc.w_length = n + 1
+      | Bmc.Holds _, _ -> false)
+
+let suite =
+  [
+    ("bmc.holds_within_bound", `Quick, test_holds_within_bound);
+    ("bmc.violated_at_depth", `Quick, test_violated_at_exact_depth);
+    ("bmc.witness_replay", `Quick, test_witness_replay_consistent);
+    ("bmc.assumes", `Quick, test_assumes_block_counterexample);
+    ("bmc.output_invariant", `Quick, test_invariant_over_outputs);
+    ("bmc.symbolic_init", `Quick, test_symbolic_init);
+    ("bmc.mono_agrees", `Quick, test_mono_agrees_with_incremental);
+    ("bmc.depth_zero", `Quick, test_depth_zero);
+    ("bmc.immediate_violation", `Quick, test_immediate_violation);
+    ("bmc.relational_holds", `Quick, test_relational_invariant_holds);
+    ("bmc.follower_violation", `Quick, test_follower_violation_found);
+    QCheck_alcotest.to_alcotest prop_shortest_cex;
+  ]

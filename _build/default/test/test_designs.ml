@@ -1,0 +1,265 @@
+(* Benchmark-suite tests: every design's RTL agrees with its golden model
+   under randomized transaction streams (the designs-are-correct oracle),
+   plus targeted functional spot checks. *)
+
+module Bv = Bitvec
+module Entry = Designs.Entry
+module Registry = Designs.Registry
+
+let test_registry_sanity () =
+  Alcotest.(check int) "25 designs" 25 (List.length Registry.all);
+  Alcotest.(check int) "11 non-interfering" 11 (List.length Registry.non_interfering);
+  Alcotest.(check int) "14 interfering" 14 (List.length Registry.interfering);
+  let names = Registry.names in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  let e = Registry.find "accum" in
+  Alcotest.(check string) "find" "accum" e.Entry.name;
+  Alcotest.(check bool) "find missing raises" true
+    (match Registry.find "nope" with exception Not_found -> true | _ -> false)
+
+let test_interference_flags () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Entry.name ^ " flag matches iface")
+        (e.Entry.iface.Qed.Iface.arch_regs <> [])
+        e.Entry.interfering)
+    Registry.all
+
+(* The central oracle: RTL == golden on random streams, for every design. *)
+let test_rtl_matches_golden () =
+  List.iter
+    (fun e ->
+      List.iter
+        (fun seed ->
+          let outcome =
+            Testbench.Crv.run e
+              { Testbench.Crv.seed; max_transactions = 300; idle_prob = 0.2 }
+          in
+          if outcome.Testbench.Crv.detected then
+            Alcotest.fail
+              (Format.asprintf "%s (seed %d): %a" e.Entry.name seed
+                 Testbench.Crv.pp_outcome outcome))
+        [ 1; 2; 3 ])
+    Registry.all
+
+(* Targeted spot checks. *)
+
+let dispatch e operand = Entry.operand_valuation e ~valid:true operand
+
+let outputs_of e inputs_list =
+  let trace = Rtl.simulate e.Entry.design inputs_list in
+  List.map (fun s -> s.Rtl.t_outputs) trace
+
+let test_accum_accumulates () =
+  let e = Registry.find "accum" in
+  let tx x = dispatch e [ Bv.zero 1; Bv.make ~width:4 x ] in
+  let clear = dispatch e [ Bv.one 1; Bv.zero 4 ] in
+  let outs = outputs_of e [ tx 5; tx 7; clear; tx 1 ] in
+  let sums = List.map (fun o -> Bv.to_int (Rtl.Smap.find "sum" o)) outs in
+  Alcotest.(check (list int)) "running sums" [ 5; 12; 0; 1 ] sums
+
+let test_histogram_counts () =
+  let e = Registry.find "histogram" in
+  let incr b = dispatch e [ Bv.zero 1; Bv.make ~width:2 b ] in
+  let read b = dispatch e [ Bv.one 1; Bv.make ~width:2 b ] in
+  let outs = outputs_of e [ incr 2; incr 2; incr 1; read 2; read 1; read 0 ] in
+  let counts = List.map (fun o -> Bv.to_int (Rtl.Smap.find "count" o)) outs in
+  Alcotest.(check (list int)) "counts" [ 1; 2; 1; 2; 1; 0 ] counts
+
+let test_crc8_known_vector () =
+  (* CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4. *)
+  let e = Registry.find "crc8" in
+  let bytes = List.map Char.code [ '1'; '2'; '3'; '4'; '5'; '6'; '7'; '8'; '9' ] in
+  let txs = List.map (fun b -> dispatch e [ Bv.zero 1; Bv.make ~width:8 b ]) bytes in
+  let outs = outputs_of e txs in
+  let final = List.nth outs (List.length outs - 1) in
+  Alcotest.(check int) "check value" 0xF4 (Bv.to_int (Rtl.Smap.find "crc_out" final))
+
+let test_seqdet_detects_1011 () =
+  let e = Registry.find "seqdet" in
+  let tx b = dispatch e [ Bv.of_bool b ] in
+  let stream = [ true; false; true; true; false; true; true ] in
+  (* 1011 completes at index 3; overlap restarts; 1 0 1 1 again at index 6?
+     After detection state goes to 1 (suffix "11" -> last seen "1"); then
+     0,1,1 -> detects at index 6. *)
+  let outs = outputs_of e (List.map tx stream) in
+  let dets = List.map (fun o -> Bv.to_bool (Rtl.Smap.find "det" o)) outs in
+  Alcotest.(check (list bool)) "detections"
+    [ false; false; false; true; false; false; true ]
+    dets
+
+let test_mmio_modes () =
+  let e = Registry.find "mmio_engine" in
+  let tx cmd addr data x =
+    dispatch e
+      [ Bv.make ~width:2 cmd; Bv.make ~width:2 addr; Bv.make ~width:4 data; Bv.make ~width:4 x ]
+  in
+  (* Write cfg0 = 10; compute in mode 0 (x + cfg0); switch cfg3 to mode 1
+     (multiply); compute again; read back cfg0. *)
+  let outs =
+    outputs_of e
+      [ tx 1 0 10 0; tx 0 0 0 5; tx 1 3 1 0; tx 0 0 0 5; tx 2 0 0 0 ]
+  in
+  let ys = List.map (fun o -> Bv.to_int (Rtl.Smap.find "y" o)) outs in
+  Alcotest.(check (list int)) "responses" [ 10; 15; 1; 50 land 15; 10 ] ys
+
+let test_alu_pipe_latency () =
+  let e = Registry.find "alu_pipe" in
+  let tx op a b =
+    dispatch e [ Bv.make ~width:2 op; Bv.make ~width:4 a; Bv.make ~width:4 b ]
+  in
+  let idle = Entry.idle_valuation e in
+  let outs = outputs_of e [ tx 0 3 4; idle; idle; idle ] in
+  let ov k = Bv.to_bool (Rtl.Smap.find "ov" (List.nth outs k)) in
+  Alcotest.(check bool) "no response at 0" false (ov 0);
+  Alcotest.(check bool) "no response at 1" false (ov 1);
+  Alcotest.(check bool) "response at 2" true (ov 2);
+  Alcotest.(check bool) "no response at 3" false (ov 3);
+  Alcotest.(check int) "3+4" 7 (Bv.to_int (Rtl.Smap.find "y" (List.nth outs 2)))
+
+let test_popcount_values () =
+  let e = Registry.find "popcount" in
+  let tx x = dispatch e [ Bv.make ~width:8 x ] in
+  (* Latency 1: the response to transaction k appears at cycle k+1, so a
+     trailing idle cycle flushes the last response. *)
+  let outs = outputs_of e [ tx 0xFF; tx 0x01; tx 0xA5; Entry.idle_valuation e ] in
+  let y k = Bv.to_int (Rtl.Smap.find "y" (List.nth outs k)) in
+  Alcotest.(check int) "popcount 0xFF" 8 (y 1);
+  Alcotest.(check int) "popcount 1" 1 (y 2);
+  Alcotest.(check int) "popcount 0xA5" 4 (y 3)
+
+let test_rle_runs () =
+  let e = Registry.find "rle" in
+  let tx s = dispatch e [ Bv.make ~width:3 s ] in
+  let outs = outputs_of e [ tx 7; tx 7; tx 7; tx 2; tx 2; tx 7 ] in
+  let lens = List.map (fun o -> Bv.to_int (Rtl.Smap.find "runlen" o)) outs in
+  Alcotest.(check (list int)) "run lengths" [ 1; 2; 3; 1; 2; 1 ] lens
+
+let test_maxtrack () =
+  let e = Registry.find "maxtrack" in
+  let tx clr x = dispatch e [ Bv.of_bool clr; Bv.make ~width:4 x ] in
+  let outs = outputs_of e [ tx false 10; tx false 5; tx false 14; tx true 0; tx false 2 ] in
+  let ms = List.map (fun o -> Bv.to_int (Rtl.Smap.find "curmax" o)) outs in
+  Alcotest.(check (list int)) "maxima" [ 10; 10; 14; 0; 2 ] ms
+
+let test_fifo4 () =
+  let e = Registry.find "fifo4" in
+  let push x = dispatch e [ Bv.zero 1; Bv.make ~width:4 x ] in
+  let pop = dispatch e [ Bv.one 1; Bv.zero 4 ] in
+  let outs = outputs_of e [ push 5; push 9; pop; pop; pop ] in
+  let y k = Bv.to_int (Rtl.Smap.find "y" (List.nth outs k)) in
+  let ok k = Bv.to_bool (Rtl.Smap.find "ok" (List.nth outs k)) in
+  Alcotest.(check int) "pop 1st" 5 (y 2);
+  Alcotest.(check int) "pop 2nd" 9 (y 3);
+  Alcotest.(check bool) "pop empty not ok" false (ok 4)
+
+let test_fifo4_overflow () =
+  let e = Registry.find "fifo4" in
+  let push x = dispatch e [ Bv.zero 1; Bv.make ~width:4 x ] in
+  let outs = outputs_of e [ push 1; push 2; push 3; push 4; push 5 ] in
+  let ok k = Bv.to_bool (Rtl.Smap.find "ok" (List.nth outs k)) in
+  Alcotest.(check bool) "4th push ok" true (ok 3);
+  Alcotest.(check bool) "5th push rejected" false (ok 4)
+
+let test_movavg4 () =
+  let e = Registry.find "movavg4" in
+  let tx x = dispatch e [ Bv.make ~width:4 x ] in
+  let outs = outputs_of e [ tx 8; tx 8; tx 8; tx 8; tx 0 ] in
+  let avg k = Bv.to_int (Rtl.Smap.find "avg" (List.nth outs k)) in
+  Alcotest.(check int) "warmup" 2 (avg 0);
+  Alcotest.(check int) "steady" 8 (avg 3);
+  Alcotest.(check int) "after a zero" 6 (avg 4)
+
+let test_lfsr8_periodic_step () =
+  let e = Registry.find "lfsr8" in
+  let step = dispatch e [ Bv.zero 1; Bv.zero 8 ] in
+  let load x = dispatch e [ Bv.one 1; Bv.make ~width:8 x ] in
+  let outs = outputs_of e [ load 0x80; step; step ] in
+  let r k = Bv.to_int (Rtl.Smap.find "rnd" (List.nth outs k)) in
+  Alcotest.(check int) "loaded" 0x80 (r 0);
+  (* 0x80 -> lsb 0 -> 0x40; 0x40 -> 0x20 *)
+  Alcotest.(check int) "step1" 0x40 (r 1);
+  Alcotest.(check int) "step2" 0x20 (r 2)
+
+let test_satcnt_saturates () =
+  let e = Registry.find "satcnt" in
+  let cmd k = dispatch e [ Bv.make ~width:2 k ] in
+  let outs =
+    outputs_of e (List.init 17 (fun _ -> cmd 0) @ [ cmd 1; cmd 2; cmd 1 ])
+  in
+  let n k = Bv.to_int (Rtl.Smap.find "count" (List.nth outs k)) in
+  Alcotest.(check int) "saturated high" 15 (n 16);
+  Alcotest.(check int) "dec from max" 14 (n 17);
+  Alcotest.(check int) "clear" 0 (n 18);
+  Alcotest.(check int) "saturated low" 0 (n 19)
+
+let test_arb4_round_robin () =
+  let e = Registry.find "arb4" in
+  let req mask = dispatch e [ Bv.make ~width:4 mask ] in
+  (* Both 0 and 2 request repeatedly: grants must alternate. *)
+  let outs = outputs_of e [ req 0b0101; req 0b0101; req 0b0101; req 0b0000 ] in
+  let g k = Bv.to_int (Rtl.Smap.find "grant" (List.nth outs k)) in
+  Alcotest.(check int) "first grant: requester 0" 0b0001 (g 0);
+  Alcotest.(check int) "then requester 2" 0b0100 (g 1);
+  Alcotest.(check int) "then requester 0 again" 0b0001 (g 2);
+  Alcotest.(check int) "no request, no grant" 0 (g 3)
+
+let test_absdiff () =
+  let e = Registry.find "absdiff" in
+  let tx a b = dispatch e [ Bv.make ~width:4 a; Bv.make ~width:4 b ] in
+  let outs = outputs_of e [ tx 3 9; tx 9 3; Entry.idle_valuation e ] in
+  let get name k = Bv.to_int (Rtl.Smap.find name (List.nth outs k)) in
+  Alcotest.(check int) "diff" 6 (get "diff" 1);
+  Alcotest.(check int) "lo" 3 (get "lo" 1);
+  Alcotest.(check int) "hi" 9 (get "hi" 1);
+  Alcotest.(check int) "diff symmetric" 6 (get "diff" 2)
+
+let test_hamming74_codewords () =
+  let e = Registry.find "hamming74" in
+  let tx d = dispatch e [ Bv.make ~width:4 d ] in
+  let outs = outputs_of e [ tx 0b0000; tx 0b1111; tx 0b1010; Entry.idle_valuation e ] in
+  let code k = Bv.to_int (Rtl.Smap.find "code" (List.nth outs k)) in
+  Alcotest.(check int) "encode 0" 0 (code 1);
+  Alcotest.(check int) "encode 15" 0x7F (code 2);
+  (* d=0b1010: d0=0 d1=1 d2=0 d3=1; p0=0^1^1=0 p1=0^0^1=1 p2=1^0^1=0
+     code = d3 d2 d1 p2 d0 p1 p0 = 1 0 1 0 0 1 0 = 0x52 *)
+  Alcotest.(check int) "encode 10" 0x52 (code 3)
+
+let test_graycodec_roundtrip () =
+  let e = Registry.find "graycodec" in
+  for x = 0 to 15 do
+    let outs = outputs_of e [ dispatch e [ Bv.make ~width:4 x ] ] in
+    let gray = Bv.to_int (Rtl.Smap.find "gray" (List.hd outs)) in
+    Alcotest.(check int) (Printf.sprintf "gray(%d)" x) (x lxor (x lsr 1)) gray;
+    (* Feed the gray code back in: bin output must recover x. *)
+    let outs2 = outputs_of e [ dispatch e [ Bv.make ~width:4 gray ] ] in
+    let bin = Bv.to_int (Rtl.Smap.find "bin" (List.hd outs2)) in
+    Alcotest.(check int) (Printf.sprintf "degray(gray(%d))" x) x bin
+  done
+
+let suite =
+  [
+    ("designs.registry", `Quick, test_registry_sanity);
+    ("designs.interference_flags", `Quick, test_interference_flags);
+    ("designs.rtl_matches_golden", `Slow, test_rtl_matches_golden);
+    ("designs.accum", `Quick, test_accum_accumulates);
+    ("designs.histogram", `Quick, test_histogram_counts);
+    ("designs.crc8_vector", `Quick, test_crc8_known_vector);
+    ("designs.seqdet", `Quick, test_seqdet_detects_1011);
+    ("designs.mmio", `Quick, test_mmio_modes);
+    ("designs.alu_latency", `Quick, test_alu_pipe_latency);
+    ("designs.popcount", `Quick, test_popcount_values);
+    ("designs.rle", `Quick, test_rle_runs);
+    ("designs.maxtrack", `Quick, test_maxtrack);
+    ("designs.fifo4", `Quick, test_fifo4);
+    ("designs.fifo4_overflow", `Quick, test_fifo4_overflow);
+    ("designs.movavg4", `Quick, test_movavg4);
+    ("designs.lfsr8", `Quick, test_lfsr8_periodic_step);
+    ("designs.satcnt", `Quick, test_satcnt_saturates);
+    ("designs.arb4", `Quick, test_arb4_round_robin);
+    ("designs.absdiff", `Quick, test_absdiff);
+    ("designs.hamming74", `Quick, test_hamming74_codewords);
+    ("designs.graycodec", `Quick, test_graycodec_roundtrip);
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "gqed"
+    [
+      ("bitvec", Test_bitvec.suite);
+      ("sat", Test_sat.suite);
+      ("vec", Test_vec.suite);
+      ("aig", Test_aig.suite);
+      ("expr", Test_expr.suite);
+      ("rtl", Test_rtl.suite);
+      ("bmc", Test_bmc.suite);
+      ("qed", Test_qed.suite);
+      ("designs", Test_designs.suite);
+      ("mutation", Test_mutation.suite);
+      ("testbench", Test_testbench.suite);
+      ("vcd", Test_vcd.suite);
+      ("variable", Test_variable.suite);
+    ]

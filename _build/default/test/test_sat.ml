@@ -1,0 +1,337 @@
+(* SAT solver tests: hand-written cases plus random-CNF cross-validation
+   against a brute-force enumerator. *)
+
+module Lit = Sat.Lit
+module Solver = Sat.Solver
+module Dimacs = Sat.Dimacs
+
+let fresh_vars solver n = List.init n (fun _ -> Solver.new_var solver)
+
+(* Brute-force satisfiability of a clause list over [n] variables. *)
+let brute_force n clauses =
+  let lit_true assignment l =
+    let v = assignment land (1 lsl Lit.var l) <> 0 in
+    if Lit.is_neg l then not v else v
+  in
+  let rec try_assignment a =
+    if a >= 1 lsl n then false
+    else if List.for_all (List.exists (lit_true a)) clauses then true
+    else try_assignment (a + 1)
+  in
+  try_assignment 0
+
+let check_model solver clauses =
+  List.for_all (List.exists (Solver.value solver)) clauses
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "v true" true (Solver.value s (Lit.pos v))
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Solver.add_clause s [ Lit.neg v ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "not ok" false (Solver.ok s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_no_clauses () =
+  let s = Solver.create () in
+  ignore (fresh_vars s 3);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_unit_propagation_chain () =
+  (* x1 and (x_i -> x_{i+1}) forces all true. *)
+  let s = Solver.create () in
+  let n = 50 in
+  let vs = Array.of_list (fresh_vars s n) in
+  Solver.add_clause s [ Lit.pos vs.(0) ];
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ Lit.neg vs.(i); Lit.pos vs.(i + 1) ]
+  done;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Array.iter (fun v -> Alcotest.(check bool) "true" true (Solver.value s (Lit.pos v))) vs
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: classic small UNSAT with real conflict analysis. *)
+  let s = Solver.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Solver.new_var s)) in
+  for i = 0 to 2 do
+    Solver.add_clause s [ Lit.pos p.(i).(0); Lit.pos p.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Solver.add_clause s [ Lit.neg p.(i).(h); Lit.neg p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_pigeonhole_5_4 () =
+  let s = Solver.create () in
+  let np = 5 and nh = 4 in
+  let p = Array.init np (fun _ -> Array.init nh (fun _ -> Solver.new_var s)) in
+  for i = 0 to np - 1 do
+    Solver.add_clause s (List.init nh (fun h -> Lit.pos p.(i).(h)))
+  done;
+  for h = 0 to nh - 1 do
+    for i = 0 to np - 1 do
+      for j = i + 1 to np - 1 do
+        Solver.add_clause s [ Lit.neg p.(i).(h); Lit.neg p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions_flip () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+  Alcotest.(check bool) "sat under a=false" true
+    (Solver.solve ~assumptions:[ Lit.neg a ] s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.value s (Lit.pos b));
+  Alcotest.(check bool) "sat under b=false" true
+    (Solver.solve ~assumptions:[ Lit.neg b ] s = Solver.Sat);
+  Alcotest.(check bool) "a forced" true (Solver.value s (Lit.pos a));
+  Alcotest.(check bool) "unsat under both false" true
+    (Solver.solve ~assumptions:[ Lit.neg a; Lit.neg b ] s = Solver.Unsat);
+  (* Solver must remain usable and satisfiable afterwards. *)
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat)
+
+let test_unsat_core () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s and c = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.neg b ];
+  (* c is irrelevant. *)
+  let r = Solver.solve ~assumptions:[ Lit.pos a; Lit.pos b; Lit.pos c ] s in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat);
+  let core = Solver.unsat_assumptions s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool) "core subset of assumptions" true
+    (List.for_all (fun l -> List.mem l [ Lit.pos a; Lit.pos b; Lit.pos c ]) core);
+  Alcotest.(check bool) "c not needed" true (not (List.mem (Lit.pos c) core));
+  (* The core itself must be unsatisfiable. *)
+  Alcotest.(check bool) "core unsat" true (Solver.solve ~assumptions:core s = Solver.Unsat)
+
+let test_incremental_strengthening () =
+  let s = Solver.create () in
+  let vs = Array.of_list (fresh_vars s 4) in
+  Solver.add_clause s (Array.to_list vs |> List.map Lit.pos);
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Solver.Sat);
+  (* Force variables one at a time to false; stays SAT until all are. *)
+  for i = 0 to 2 do
+    Solver.add_clause s [ Lit.neg vs.(i) ];
+    Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat)
+  done;
+  Solver.add_clause s [ Lit.neg vs.(3) ];
+  Alcotest.(check bool) "finally unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_tautology_dropped () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.neg a ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let st = Solver.stats s in
+  Alcotest.(check int) "no clause stored" 0 st.Solver.clauses
+
+let test_duplicate_literals () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos a; Lit.pos b; Lit.pos b ];
+  Solver.add_clause s [ Lit.neg a ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "b true" true (Solver.value s (Lit.pos b))
+
+(* Random CNF cross-validation. *)
+let random_cnf_gen =
+  let open QCheck.Gen in
+  int_range 1 10 >>= fun n ->
+  int_range 0 45 >>= fun m ->
+  let clause =
+    int_range 1 3 >>= fun len ->
+    list_size (return len)
+      (int_range 0 (n - 1) >>= fun v ->
+       bool >>= fun neg -> return (Lit.make v ~neg))
+  in
+  list_size (return m) clause >>= fun clauses -> return (n, clauses)
+
+let print_cnf (n, clauses) =
+  Printf.sprintf "vars=%d clauses=[%s]" n
+    (String.concat "; "
+       (List.map
+          (fun c -> String.concat "," (List.map (fun l -> string_of_int (Lit.to_dimacs l)) c))
+          clauses))
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~count:500 ~name:"solver agrees with brute force"
+    (QCheck.make ~print:print_cnf random_cnf_gen)
+    (fun (n, clauses) ->
+      let s = Solver.create () in
+      ignore (fresh_vars s n);
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_force n clauses in
+      match Solver.solve s with
+      | Solver.Sat -> expected && check_model s clauses
+      | Solver.Unsat -> not expected)
+
+let prop_assumptions_match_brute_force =
+  QCheck.Test.make ~count:300 ~name:"solve-under-assumptions agrees with brute force"
+    (QCheck.make
+       ~print:(fun (c, asms) -> print_cnf c ^ " asms=" ^ print_cnf (0, [ asms ]))
+       QCheck.Gen.(
+         random_cnf_gen >>= fun (n, clauses) ->
+         let lit = int_range 0 (n - 1) >>= fun v -> bool >>= fun neg -> return (Lit.make v ~neg) in
+         list_size (int_range 0 3) lit >>= fun asms -> return ((n, clauses), asms)))
+    (fun ((n, clauses), assumptions) ->
+      let s = Solver.create () in
+      ignore (fresh_vars s n);
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_force n (clauses @ List.map (fun l -> [ l ]) assumptions) in
+      match Solver.solve ~assumptions s with
+      | Solver.Sat ->
+          expected && check_model s clauses
+          && List.for_all (Solver.value s) assumptions
+      | Solver.Unsat -> not expected)
+
+let prop_incremental_consistency =
+  (* Solving twice in a row gives the same answer; adding a model-blocking
+     clause to a SAT instance keeps the solver usable. *)
+  QCheck.Test.make ~count:200 ~name:"repeat solve is stable"
+    (QCheck.make ~print:print_cnf random_cnf_gen)
+    (fun (n, clauses) ->
+      let s = Solver.create () in
+      ignore (fresh_vars s n);
+      List.iter (Solver.add_clause s) clauses;
+      let r1 = Solver.solve s in
+      let r2 = Solver.solve s in
+      r1 = r2)
+
+(* DIMACS *)
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  match Dimacs.parse_string text with
+  | Error e -> Alcotest.fail e
+  | Ok cnf ->
+      Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+      Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+      let text' = Dimacs.to_string cnf in
+      (match Dimacs.parse_string text' with
+      | Error e -> Alcotest.fail e
+      | Ok cnf' -> Alcotest.(check bool) "roundtrip" true (cnf = cnf'))
+
+let test_dimacs_errors () =
+  let is_error t = match Dimacs.parse_string t with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "no header" true (is_error "1 2 0\n");
+  Alcotest.(check bool) "unterminated" true (is_error "p cnf 2 1\n1 2\n");
+  Alcotest.(check bool) "out of range" true (is_error "p cnf 1 1\n2 0\n");
+  Alcotest.(check bool) "wrong count" true (is_error "p cnf 2 2\n1 0\n")
+
+let test_dimacs_solve () =
+  match Dimacs.solve_string "p cnf 2 2\n1 0\n-1 2 0\n" with
+  | Error e -> Alcotest.fail e
+  | Ok (result, model) ->
+      Alcotest.(check bool) "sat" true (result = Solver.Sat);
+      (match model with
+      | None -> Alcotest.fail "expected model"
+      | Some m ->
+          Alcotest.(check bool) "x1" true m.(0);
+          Alcotest.(check bool) "x2" true m.(1))
+
+let test_dimacs_multiline_clause () =
+  match Dimacs.parse_string "p cnf 3 1\n1\n2\n3 0\n" with
+  | Error e -> Alcotest.fail e
+  | Ok cnf -> Alcotest.(check int) "one clause" 1 (List.length cnf.Dimacs.clauses)
+
+let test_contradictory_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  (* No clauses at all: the contradiction lives in the assumptions. *)
+  let r = Solver.solve ~assumptions:[ Lit.pos a; Lit.neg a ] s in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat);
+  Alcotest.(check bool) "still ok" true (Solver.ok s);
+  Alcotest.(check bool) "sat afterwards" true (Solver.solve s = Solver.Sat)
+
+let test_duplicate_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  let r = Solver.solve ~assumptions:[ Lit.pos a; Lit.pos a; Lit.pos a ] s in
+  Alcotest.(check bool) "sat" true (r = Solver.Sat);
+  Alcotest.(check bool) "b implied" true (Solver.value s (Lit.pos b))
+
+let test_many_vars_no_clauses () =
+  let s = Solver.create () in
+  ignore (fresh_vars s 2000);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check int) "model covers all" 2000 (Array.length (Solver.model s))
+
+let test_value_before_solve_raises () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Alcotest.(check bool) "raises" true
+    (match Solver.value s (Lit.pos a) with exception Failure _ -> true | _ -> false)
+
+let test_stats_monotone () =
+  let s = Solver.create () in
+  let vs = Array.of_list (fresh_vars s 6) in
+  (* A small unsatisfiable XOR-ish cluster to force real conflicts. *)
+  for i = 0 to 4 do
+    Solver.add_clause s [ Lit.pos vs.(i); Lit.pos vs.(i + 1) ];
+    Solver.add_clause s [ Lit.neg vs.(i); Lit.neg vs.(i + 1) ]
+  done;
+  ignore (Solver.solve s);
+  let st1 = Solver.stats s in
+  ignore (Solver.solve s);
+  let st2 = Solver.stats s in
+  Alcotest.(check bool) "propagations monotone" true
+    (st2.Solver.propagations >= st1.Solver.propagations);
+  Alcotest.(check int) "vars stable" st1.Solver.vars st2.Solver.vars
+
+let test_lit_encoding () =
+  Alcotest.(check int) "pos var" 3 (Lit.var (Lit.pos 3));
+  Alcotest.(check bool) "pos sign" false (Lit.is_neg (Lit.pos 3));
+  Alcotest.(check bool) "neg sign" true (Lit.is_neg (Lit.neg 3));
+  Alcotest.(check int) "negate involutive" (Lit.pos 7) (Lit.negate (Lit.negate (Lit.pos 7)));
+  Alcotest.(check int) "dimacs pos" 4 (Lit.to_dimacs (Lit.pos 3));
+  Alcotest.(check int) "dimacs neg" (-4) (Lit.to_dimacs (Lit.neg 3));
+  Alcotest.(check int) "dimacs roundtrip" (Lit.neg 9) (Lit.of_dimacs (Lit.to_dimacs (Lit.neg 9)))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ("sat.trivial_sat", `Quick, test_trivial_sat);
+    ("sat.trivial_unsat", `Quick, test_trivial_unsat);
+    ("sat.empty_clause", `Quick, test_empty_clause);
+    ("sat.no_clauses", `Quick, test_no_clauses);
+    ("sat.unit_chain", `Quick, test_unit_propagation_chain);
+    ("sat.pigeonhole_3_2", `Quick, test_pigeonhole_3_2);
+    ("sat.pigeonhole_5_4", `Quick, test_pigeonhole_5_4);
+    ("sat.assumptions", `Quick, test_assumptions_flip);
+    ("sat.unsat_core", `Quick, test_unsat_core);
+    ("sat.incremental", `Quick, test_incremental_strengthening);
+    ("sat.tautology", `Quick, test_tautology_dropped);
+    ("sat.duplicates", `Quick, test_duplicate_literals);
+    ("sat.contradictory_assumptions", `Quick, test_contradictory_assumptions);
+    ("sat.duplicate_assumptions", `Quick, test_duplicate_assumptions);
+    ("sat.many_vars", `Quick, test_many_vars_no_clauses);
+    ("sat.value_before_solve", `Quick, test_value_before_solve_raises);
+    ("sat.stats_monotone", `Quick, test_stats_monotone);
+    ("sat.lit_encoding", `Quick, test_lit_encoding);
+    ("dimacs.roundtrip", `Quick, test_dimacs_roundtrip);
+    ("dimacs.errors", `Quick, test_dimacs_errors);
+    ("dimacs.solve", `Quick, test_dimacs_solve);
+    ("dimacs.multiline", `Quick, test_dimacs_multiline_clause);
+    q prop_matches_brute_force;
+    q prop_assumptions_match_brute_force;
+    q prop_incremental_consistency;
+  ]

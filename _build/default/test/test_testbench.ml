@@ -1,0 +1,173 @@
+(* Testbench (CRV baseline) and productivity-model tests. *)
+
+module Entry = Designs.Entry
+module Registry = Designs.Registry
+module Crv = Testbench.Crv
+module Productivity = Testbench.Productivity
+
+let accum = Registry.find "accum"
+let alu = Registry.find "alu_pipe"
+
+let off_by_one_mutant e =
+  snd
+    (List.find
+       (fun (m, _) -> m.Mutation.operator = Mutation.Off_by_one)
+       (Mutation.mutants e.Entry.design))
+
+let test_clean_run_counts () =
+  let outcome =
+    Crv.run accum { Crv.seed = 5; max_transactions = 50; idle_prob = 0.5 }
+  in
+  Alcotest.(check bool) "not detected" false outcome.Crv.detected;
+  Alcotest.(check int) "transactions" 50 outcome.Crv.transactions_run;
+  Alcotest.(check bool) "cycles >= transactions" true
+    (outcome.Crv.cycles_run >= outcome.Crv.transactions_run)
+
+let test_no_idles_when_no_valid_port () =
+  (* All suite designs have a valid port; synthesise one without. *)
+  let x = Expr.var "x" 4 in
+  let design =
+    Rtl.make ~name:"inc" ~inputs:[ { Expr.name = "x"; width = 4 } ] ~registers:[]
+      ~outputs:[ ("y", Expr.add x (Expr.const_int ~width:4 1)) ]
+  in
+  let iface = Qed.Iface.make ~in_data:[ "x" ] ~out_data:[ "y" ] ~latency:0 ~arch_regs:[] () in
+  let entry =
+    Entry.make ~name:"inc" ~description:"increment" ~design ~iface
+      ~golden:
+        {
+          Entry.init_state = [];
+          step = (fun _ operand -> ([ Bitvec.add (List.hd operand) (Bitvec.make ~width:4 1) ], []));
+        }
+      ~sample_operand:(fun rand -> [ Bitvec.make ~width:4 (Random.State.int rand 16) ])
+      ~rec_bound:4
+  in
+  let outcome = Crv.run entry { Crv.seed = 1; max_transactions = 20; idle_prob = 0.9 } in
+  Alcotest.(check bool) "clean" false outcome.Crv.detected;
+  Alcotest.(check int) "every cycle dispatches" outcome.Crv.cycles_run
+    outcome.Crv.transactions_run
+
+let test_mutant_detection_details () =
+  let mutant = off_by_one_mutant accum in
+  let outcome =
+    Crv.run ~design_override:mutant accum
+      { Crv.seed = 11; max_transactions = 100; idle_prob = 0.2 }
+  in
+  Alcotest.(check bool) "detected" true outcome.Crv.detected;
+  match outcome.Crv.failure with
+  | Some f ->
+      Alcotest.(check bool) "data mismatch" true (f.Crv.kind = `Data_mismatch);
+      Alcotest.(check bool) "expected differs from got" true (f.Crv.expected <> f.Crv.got)
+  | None -> Alcotest.fail "no failure record"
+
+let test_pipelined_mutant_detected () =
+  let mutant = off_by_one_mutant alu in
+  let outcome =
+    Crv.run ~design_override:mutant alu
+      { Crv.seed = 2; max_transactions = 100; idle_prob = 0.3 }
+  in
+  Alcotest.(check bool) "detected" true outcome.Crv.detected
+
+let test_missing_response_detected () =
+  (* Corrupt the out-valid path of the pipelined ALU: hidden toggle on the
+     1-bit ov output flips response presence. *)
+  let _, mutant =
+    List.find
+      (fun (m, _) ->
+        m.Mutation.operator = Mutation.Hidden_output && m.Mutation.target = "out(ov)")
+      (Mutation.mutants alu.Entry.design)
+  in
+  let outcome =
+    Crv.run ~design_override:mutant alu
+      { Crv.seed = 4; max_transactions = 60; idle_prob = 0.3 }
+  in
+  Alcotest.(check bool) "detected" true outcome.Crv.detected;
+  match outcome.Crv.failure with
+  | Some f ->
+      Alcotest.(check bool) "response-presence failure" true
+        (f.Crv.kind = `Missing_response || f.Crv.kind = `Spurious_response)
+  | None -> Alcotest.fail "no failure record"
+
+let test_detection_curve_monotone () =
+  let mutant = off_by_one_mutant accum in
+  let curve =
+    Crv.detection_curve ~design_override:mutant accum ~budgets:[ 1; 5; 25; 100 ]
+      ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let rates = List.map snd curve in
+  List.iter
+    (fun r -> Alcotest.(check bool) "rate in range" true (r >= 0.0 && r <= 1.0))
+    rates;
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in budget" true (monotone rates);
+  Alcotest.(check bool) "eventually detected" true (List.nth rates 3 > 0.5)
+
+let test_curve_zero_on_correct_design () =
+  let curve = Crv.detection_curve accum ~budgets:[ 10; 50 ] ~seeds:[ 1; 2; 3 ] in
+  List.iter (fun (_, r) -> Alcotest.(check (float 0.0)) "zero" 0.0 r) curve
+
+(* Productivity model *)
+
+let mmio = Registry.find "mmio_engine"
+
+let test_improvement_matches_paper () =
+  let ratio = Productivity.improvement mmio in
+  Alcotest.(check bool)
+    (Printf.sprintf "mmio improvement %.1f in [14, 22]" ratio)
+    true
+    (ratio >= 14.0 && ratio <= 22.0)
+
+let test_scaled_industrial_numbers () =
+  let kappa = Productivity.scale_to_industrial mmio in
+  let conv = (Productivity.conventional mmio).Productivity.total_days *. kappa in
+  let gq = (Productivity.gqed mmio).Productivity.total_days *. kappa in
+  Alcotest.(check (float 0.5)) "conventional = 370" 370.0 conv;
+  Alcotest.(check bool)
+    (Printf.sprintf "gqed %.1f within [17, 27]" gq)
+    true
+    (gq >= 17.0 && gq <= 27.0)
+
+let test_gqed_cheaper_everywhere () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Entry.name ^ " gqed cheaper")
+        true
+        ((Productivity.gqed e).Productivity.total_days
+        < (Productivity.conventional e).Productivity.total_days))
+    Registry.all
+
+let test_effort_components_positive () =
+  List.iter
+    (fun e ->
+      let c = Productivity.conventional e in
+      Alcotest.(check bool) "components positive" true
+        (c.Productivity.spec_days > 0.0
+        && c.Productivity.testbench_days > 0.0
+        && c.Productivity.properties_days > 0.0
+        && c.Productivity.debug_days > 0.0))
+    Registry.all
+
+let test_conventional_grows_with_functionality () =
+  (* The flagship shape claim: conventional effort tracks design size. *)
+  let small = (Productivity.conventional (Registry.find "seqdet")).Productivity.total_days in
+  let large = (Productivity.conventional mmio).Productivity.total_days in
+  Alcotest.(check bool) "seqdet cheaper than mmio" true (small < large)
+
+let suite =
+  [
+    ("crv.clean_run", `Quick, test_clean_run_counts);
+    ("crv.no_valid_port", `Quick, test_no_idles_when_no_valid_port);
+    ("crv.mutant_details", `Quick, test_mutant_detection_details);
+    ("crv.pipelined_mutant", `Quick, test_pipelined_mutant_detected);
+    ("crv.missing_response", `Quick, test_missing_response_detected);
+    ("crv.curve_monotone", `Quick, test_detection_curve_monotone);
+    ("crv.curve_zero", `Quick, test_curve_zero_on_correct_design);
+    ("productivity.improvement", `Quick, test_improvement_matches_paper);
+    ("productivity.scaled", `Quick, test_scaled_industrial_numbers);
+    ("productivity.cheaper", `Quick, test_gqed_cheaper_everywhere);
+    ("productivity.components", `Quick, test_effort_components_positive);
+    ("productivity.grows", `Quick, test_conventional_grows_with_functionality);
+  ]

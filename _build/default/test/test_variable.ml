@@ -1,0 +1,202 @@
+(* Variable-latency handshake tests: functional spot checks of the serial
+   designs, and the monitor-instrumented QED checks (G-FC, A-QED false
+   alarm, SA) on them. *)
+
+module Bv = Bitvec
+module Entry = Designs.Entry
+module Registry = Designs.Registry
+module Checks = Qed.Checks
+
+let sdiv = Registry.find "serial_div"
+let sgcd = Registry.find "gcd_unit"
+let smac = Registry.find "serial_mac"
+
+let verdict_pass = function Checks.Pass _ -> true | Checks.Fail _ -> false
+
+(* Drive a variable-latency design: offer each operand until accepted, then
+   wait for the response; returns the list of responses. *)
+let run_transactions e operands =
+  let design = e.Entry.design in
+  let iface = e.Entry.iface in
+  let ready outputs =
+    match iface.Qed.Iface.in_ready with
+    | None -> true
+    | Some p -> Bv.to_bool (Rtl.Smap.find p outputs)
+  in
+  let resp outputs =
+    match iface.Qed.Iface.out_valid with
+    | None -> true
+    | Some p -> Bv.to_bool (Rtl.Smap.find p outputs)
+  in
+  let responses = ref [] in
+  let state = ref (Rtl.initial_state design) in
+  let step inputs =
+    let outputs = Rtl.eval_outputs design ~state:!state ~inputs in
+    state := Rtl.step design ~state:!state ~inputs;
+    if resp outputs then
+      responses :=
+        List.map (fun p -> Rtl.Smap.find p outputs) iface.Qed.Iface.out_data
+        :: !responses;
+    outputs
+  in
+  List.iter
+    (fun operand ->
+      (* Offer until accepted. *)
+      let rec offer fuel =
+        if fuel = 0 then Alcotest.fail "design never became ready";
+        let outputs = step (Entry.operand_valuation e ~valid:true operand) in
+        if not (ready outputs) then offer (fuel - 1)
+      in
+      offer 40)
+    operands;
+  (* Drain. *)
+  for _ = 1 to 40 do
+    ignore (step (Entry.idle_valuation e))
+  done;
+  List.rev !responses
+
+let test_serial_div_results () =
+  let tx n d = [ Bv.make ~width:4 n; Bv.make ~width:4 d ] in
+  let responses = run_transactions sdiv [ tx 13 5; tx 15 3; tx 7 7 ] in
+  let as_ints = List.map (List.map Bv.to_int) responses in
+  Alcotest.(check (list (list int))) "quotients and remainders"
+    [ [ 2; 3 ]; [ 5; 0 ]; [ 1; 0 ] ]
+    as_ints
+
+let test_gcd_results () =
+  let tx a b = [ Bv.make ~width:4 a; Bv.make ~width:4 b ] in
+  let responses = run_transactions sgcd [ tx 12 8; tx 15 5; tx 7 0; tx 9 9 ] in
+  let as_ints = List.map (List.map Bv.to_int) responses in
+  Alcotest.(check (list (list int))) "gcds" [ [ 4 ]; [ 5 ]; [ 7 ]; [ 9 ] ] as_ints
+
+let test_serial_mac_accumulates () =
+  let tx x y = [ Bv.make ~width:4 x; Bv.make ~width:4 y ] in
+  let responses = run_transactions smac [ tx 2 3; tx 1 5; tx 3 3 ] in
+  let as_ints = List.map (List.map Bv.to_int) responses in
+  (* 6, 11, 20 mod 16 = 4 *)
+  Alcotest.(check (list (list int))) "running totals" [ [ 6 ]; [ 11 ]; [ 4 ] ] as_ints
+
+let test_gcd_latency_is_data_dependent () =
+  (* gcd(9,9) finishes faster than gcd(15,1): count cycles to response. *)
+  let cycles_for a b =
+    let e = sgcd in
+    let state = ref (Rtl.initial_state e.Entry.design) in
+    let count = ref 0 in
+    let resp_seen = ref None in
+    let inputs0 =
+      Entry.operand_valuation e ~valid:true [ Bv.make ~width:4 a; Bv.make ~width:4 b ]
+    in
+    for cycle = 0 to 30 do
+      let inputs = if cycle = 0 then inputs0 else Entry.idle_valuation e in
+      let outputs = Rtl.eval_outputs e.Entry.design ~state:!state ~inputs in
+      state := Rtl.step e.Entry.design ~state:!state ~inputs;
+      if Bv.to_bool (Rtl.Smap.find "dv" outputs) && !resp_seen = None then
+        resp_seen := Some cycle;
+      incr count
+    done;
+    Option.get !resp_seen
+  in
+  let fast = cycles_for 9 9 and slow = cycles_for 15 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gcd(9,9) @%d faster than gcd(15,1) @%d" fast slow)
+    true (fast < slow)
+
+(* ---- QED checks on variable-latency interfaces ---- *)
+
+let test_flow_passes_serial_mac () =
+  let report = Checks.flow smac.Entry.design smac.Entry.iface ~bound:smac.Entry.rec_bound in
+  Alcotest.(check bool) "flow passes" true (verdict_pass report.Checks.verdict)
+
+let test_aqed_false_alarm_on_serial_mac () =
+  (* The accumulator state interferes; without the arch-state hypothesis
+     the variable-latency FC check must false-alarm. *)
+  let report =
+    Checks.aqed_fc smac.Entry.design smac.Entry.iface ~bound:smac.Entry.rec_bound
+  in
+  match report.Checks.verdict with
+  | Checks.Fail f ->
+      Alcotest.(check string) "kind" "fc-output"
+        (Checks.failure_kind_to_string f.Checks.kind)
+  | Checks.Pass _ -> Alcotest.fail "expected the A-QED false alarm"
+
+let test_gqed_catches_hidden_output_on_divider () =
+  let mutant =
+    List.find_map
+      (fun (m, d) -> if m.Mutation.id = "hidden_output:out(q):0" then Some d else None)
+      (Mutation.mutants sdiv.Entry.design)
+    |> Option.get
+  in
+  let report = Checks.gqed mutant sdiv.Entry.iface ~bound:10 in
+  match report.Checks.verdict with
+  | Checks.Fail f ->
+      Alcotest.(check string) "kind" "gfc-output"
+        (Checks.failure_kind_to_string f.Checks.kind);
+      Alcotest.(check bool) "witness genuine" true
+        (Qed.Theory.witness_is_genuine mutant sdiv.Entry.iface f)
+  | Checks.Pass _ -> Alcotest.fail "G-QED missed the divider's hidden-output bug"
+
+let test_sa_catches_stuck_done () =
+  let mutant =
+    List.find_map
+      (fun (m, d) -> if m.Mutation.id = "stuck_reg:next(done_):0" then Some d else None)
+      (Mutation.mutants sdiv.Entry.design)
+    |> Option.get
+  in
+  let report = Checks.sa_check mutant sdiv.Entry.iface ~bound:10 in
+  match report.Checks.verdict with
+  | Checks.Fail f ->
+      Alcotest.(check string) "kind" "sa-response"
+        (Checks.failure_kind_to_string f.Checks.kind)
+  | Checks.Pass _ -> Alcotest.fail "SA missed the never-responding divider"
+
+let test_crv_detects_divider_datapath_bug () =
+  let mutant =
+    List.find_map
+      (fun (m, d) -> if m.Mutation.operator = Mutation.Op_swap then Some d else None)
+      (Mutation.mutants sdiv.Entry.design)
+    |> Option.get
+  in
+  let outcome =
+    Testbench.Crv.run ~design_override:mutant sdiv
+      { Testbench.Crv.seed = 2; max_transactions = 200; idle_prob = 0.2 }
+  in
+  Alcotest.(check bool) "detected" true outcome.Testbench.Crv.detected
+
+let test_crv_detects_missing_response () =
+  let mutant =
+    List.find_map
+      (fun (m, d) -> if m.Mutation.id = "stuck_reg:next(done_):0" then Some d else None)
+      (Mutation.mutants sdiv.Entry.design)
+    |> Option.get
+  in
+  let outcome =
+    Testbench.Crv.run ~design_override:mutant sdiv
+      { Testbench.Crv.seed = 1; max_transactions = 50; idle_prob = 0.2 }
+  in
+  Alcotest.(check bool) "detected" true outcome.Testbench.Crv.detected;
+  match outcome.Testbench.Crv.failure with
+  | Some f ->
+      Alcotest.(check bool) "missing-response kind" true
+        (f.Testbench.Crv.kind = `Missing_response)
+  | None -> Alcotest.fail "no failure record"
+
+let test_monitor_rejects_fixed_latency_iface () =
+  let accum = Registry.find "accum" in
+  match Qed.Instrument.with_monitor accum.Entry.design accum.Entry.iface with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of fixed-latency interface"
+
+let suite =
+  [
+    ("variable.serial_div", `Quick, test_serial_div_results);
+    ("variable.gcd", `Quick, test_gcd_results);
+    ("variable.serial_mac", `Quick, test_serial_mac_accumulates);
+    ("variable.gcd_latency", `Quick, test_gcd_latency_is_data_dependent);
+    ("variable.flow_serial_mac", `Slow, test_flow_passes_serial_mac);
+    ("variable.aqed_false_alarm", `Slow, test_aqed_false_alarm_on_serial_mac);
+    ("variable.gqed_hidden_output", `Slow, test_gqed_catches_hidden_output_on_divider);
+    ("variable.sa_stuck_done", `Quick, test_sa_catches_stuck_done);
+    ("variable.crv_datapath", `Quick, test_crv_detects_divider_datapath_bug);
+    ("variable.crv_missing_response", `Quick, test_crv_detects_missing_response);
+    ("variable.monitor_rejects_fixed", `Quick, test_monitor_rejects_fixed_latency_iface);
+  ]

@@ -1,0 +1,99 @@
+(* VCD writer tests: document structure, change-only emission, and witness
+   rendering. *)
+
+module Bv = Bitvec
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec loop i = i + nn <= hn && (String.sub haystack i nn = needle || loop (i + 1)) in
+  nn = 0 || loop 0
+
+let accum_trace () =
+  let e = Designs.Registry.find "accum" in
+  let tx x =
+    Designs.Entry.operand_valuation e ~valid:true [ Bv.zero 1; Bv.make ~width:4 x ]
+  in
+  Rtl.simulate e.Designs.Entry.design [ tx 1; tx 2; tx 2 ]
+
+let test_structure () =
+  let doc = Vcd.of_trace ~design_name:"accum" (accum_trace ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains doc needle))
+    [
+      "$timescale";
+      "$enddefinitions";
+      "$scope module accum";
+      "$scope module inputs";
+      "$scope module state";
+      "$scope module outputs";
+      "$var wire 1";
+      "$var wire 4";
+      "#0";
+      "#10";
+      "#20";
+    ]
+
+let test_change_only_emission () =
+  (* The x input repeats the value 2 on cycles 1 and 2: its change must be
+     emitted once for that pair of cycles. *)
+  let doc = Vcd.of_trace (accum_trace ()) in
+  let id =
+    let lines = String.split_on_char '\n' doc in
+    List.find_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "$var"; "wire"; "4"; id; "x"; "$end" ] -> Some id
+        | _ -> None)
+      lines
+    |> Option.get
+  in
+  let count =
+    String.split_on_char '\n' doc
+    |> List.filter (fun line -> line = Printf.sprintf "b0010 %s" id)
+    |> List.length
+  in
+  Alcotest.(check int) "value 2 emitted once despite repeating" 1 count
+
+let test_empty_trace () =
+  let doc = Vcd.of_trace [] in
+  Alcotest.(check bool) "valid header" true (contains doc "$enddefinitions")
+
+let test_witness_rendering () =
+  let e = Designs.Registry.find "accum" in
+  let mutant =
+    List.find_map
+      (fun (m, d) ->
+        if m.Mutation.operator = Mutation.Hidden_output then Some d else None)
+      (Mutation.mutants e.Designs.Entry.design)
+    |> Option.get
+  in
+  match
+    (Qed.Checks.gqed mutant e.Designs.Entry.iface ~bound:6).Qed.Checks.verdict
+  with
+  | Qed.Checks.Fail f ->
+      let doc = Vcd.of_witness ~design_name:"cex" f.Qed.Checks.witness in
+      Alcotest.(check bool) "has the product's copy-1 signals" true
+        (contains doc "dut1__acc");
+      Alcotest.(check bool) "has the product's copy-2 signals" true
+        (contains doc "dut2__acc")
+  | Qed.Checks.Pass _ -> Alcotest.fail "expected counterexample"
+
+let test_to_file_roundtrip () =
+  let doc = Vcd.of_trace (accum_trace ()) in
+  let path = Filename.temp_file "gqed" ".vcd" in
+  Vcd.to_file path doc;
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" doc content
+
+let suite =
+  [
+    ("vcd.structure", `Quick, test_structure);
+    ("vcd.change_only", `Quick, test_change_only_emission);
+    ("vcd.empty", `Quick, test_empty_trace);
+    ("vcd.witness", `Quick, test_witness_rendering);
+    ("vcd.to_file", `Quick, test_to_file_roundtrip);
+  ]
