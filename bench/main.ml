@@ -3,10 +3,16 @@
    for the experiment index and the mapping to the paper's claims.
 
    Usage:
-     dune exec bench/main.exe              # all experiments
-     dune exec bench/main.exe -- t2 f1     # a subset, by id
+     dune exec bench/main.exe                       # all experiments
+     dune exec bench/main.exe -- t2 f1              # a subset, by id
+     dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
+     dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 f1 f2 f3 micro. *)
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 f1 f2 f3 micro.
+
+   Parallelism never changes any verdict or table cell: every task builds
+   its own engine and results are reassembled in input order (see
+   lib/par/DESIGN.md), so --jobs N only changes wall-clock time. *)
 
 module Entry = Designs.Entry
 module Registry = Designs.Registry
@@ -19,6 +25,89 @@ let time f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel fan-out (--jobs) and the JSON report (--json).              *)
+
+let jobs = ref 1
+
+(* Sum of per-task wall-clock seconds spent in Par fan-outs by the current
+   experiment. task_sum / experiment_wall estimates the speedup over a
+   1-domain run of the same tasks without rerunning it. *)
+let par_task_seconds = ref 0.0
+
+let par_map f xs =
+  let results = Par.map_timed ~jobs:!jobs f xs in
+  par_task_seconds :=
+    !par_task_seconds +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 results;
+  List.map fst results
+
+type json_experiment = {
+  je_id : string;
+  je_wall_s : float;
+  je_task_sum_s : float; (* 0 when the experiment ran no parallel section *)
+}
+
+type json_solver_row = {
+  js_design : string;
+  js_bound : int;
+  js_verdict : string;
+  js_time_s : float;
+  js_stats : Sat.Solver.stats;
+  js_cnf_vars : int;
+  js_cnf_clauses : int;
+}
+
+let json_experiments : json_experiment list ref = ref []
+let json_solver_rows : json_solver_row list ref = ref []
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"gqed-bench/1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
+       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Par.default_jobs ()));
+  Buffer.add_string buf "  \"experiments\": [\n";
+  List.iteri
+    (fun i e ->
+      let speedup =
+        if e.je_task_sum_s > 0.0 && e.je_wall_s > 0.0 then
+          Printf.sprintf "%.3f" (e.je_task_sum_s /. e.je_wall_s)
+        else "null"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": %S, \"wall_s\": %.3f, \"task_sum_s\": %.3f, \
+            \"est_speedup_vs_1domain\": %s}%s\n"
+           e.je_id e.je_wall_s e.je_task_sum_s speedup
+           (if i = List.length !json_experiments - 1 then "" else ",")))
+    !json_experiments;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"solver\": [\n";
+  let rows = !json_solver_rows in
+  List.iteri
+    (fun i r ->
+      let st = r.js_stats in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"bound\": %d, \"verdict\": %S, \"time_s\": %.3f, \
+            \"cnf_vars\": %d, \"cnf_clauses\": %d, \"conflicts\": %d, \"decisions\": %d, \
+            \"propagations\": %d, \"restarts\": %d, \"learnt_clauses\": %d}%s\n"
+           r.js_design r.js_bound r.js_verdict r.js_time_s r.js_cnf_vars r.js_cnf_clauses
+           st.Sat.Solver.conflicts st.Sat.Solver.decisions st.Sat.Solver.propagations
+           st.Sat.Solver.restarts st.Sat.Solver.learnt_clauses
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "bench report written to %s\n" path
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
@@ -68,55 +157,90 @@ type t2_row = {
   r_escapes_caught : int; (* CRV missed, G-QED flow caught *)
 }
 
+(* One task per matrix cell (design x mutant) plus one false-alarm task per
+   design; the whole matrix fans out over domains at once and the rows are
+   reassembled in registry order, so the printed table is independent of
+   [jobs]. *)
+type t2_cell = {
+  cc_crv_detected : bool;
+  cc_crv_cycles : int;
+  cc_aqed_hit : bool;
+  cc_gqed_hit : bool;
+  cc_gqed_cex : int option;
+}
+
 let t2_compute () =
+  let tasks =
+    List.concat_map
+      (fun e ->
+        `Alarm e :: List.map (fun (_m, mutant) -> `Cell (e, mutant)) (mutant_suite e))
+      Registry.all
+  in
+  let results =
+    par_map
+      (function
+        | `Alarm e ->
+            Printf.eprintf "  [t2] %s...\n%!" e.Entry.name;
+            (* Does A-QED false-alarm on the correct design? (It does, on
+               every interfering design — the paper's motivation.) *)
+            `Alarm_r
+              (e.Entry.interfering
+              && not
+                   (passed
+                      (Checks.aqed_fc e.Entry.design e.Entry.iface
+                         ~bound:e.Entry.rec_bound)))
+        | `Cell (e, mutant) ->
+            let bound = e.Entry.rec_bound in
+            let crv =
+              Crv.run ~design_override:mutant e
+                { Crv.seed = 1; max_transactions = 500; idle_prob = 0.2 }
+            in
+            (* A-QED only applies to non-interfering designs; on interfering
+               ones it already rejects the bug-free design. *)
+            let aqed_hit =
+              (not e.Entry.interfering)
+              && not (passed (Checks.aqed_fc mutant e.Entry.iface ~bound))
+            in
+            let g = Checks.flow mutant e.Entry.iface ~bound in
+            `Cell_r
+              {
+                cc_crv_detected = crv.Crv.detected;
+                cc_crv_cycles = crv.Crv.cycles_run;
+                cc_aqed_hit = aqed_hit;
+                cc_gqed_hit = not (passed g);
+                cc_gqed_cex = (if passed g then None else cex_length g);
+              })
+      tasks
+  in
+  (* Tasks and results align by index; reassemble per-design rows. *)
+  let combined = List.combine tasks results in
   List.map
     (fun e ->
-      Printf.eprintf "  [t2] %s...\n%!" e.Entry.name;
-      let bound = e.Entry.rec_bound in
-      let mutants = mutant_suite e in
-      (* Does A-QED false-alarm on the correct design? (It does, on every
-         interfering design — the paper's motivation.) *)
       let aqed_false_alarm =
-        e.Entry.interfering
-        && not (passed (Checks.aqed_fc e.Entry.design e.Entry.iface ~bound))
+        List.exists
+          (function `Alarm e', `Alarm_r fa -> e' == e && fa | _ -> false)
+          combined
       in
-      let crv_hits = ref 0 and aqed_hits = ref 0 and gqed_hits = ref 0 in
-      let gqed_cex = ref [] and crv_cycles = ref [] in
-      let escapes_caught = ref 0 in
-      List.iter
-        (fun (_m, mutant) ->
-          let crv =
-            Crv.run ~design_override:mutant e
-              { Crv.seed = 1; max_transactions = 500; idle_prob = 0.2 }
-          in
-          if crv.Crv.detected then begin
-            incr crv_hits;
-            crv_cycles := crv.Crv.cycles_run :: !crv_cycles
-          end;
-          (* A-QED only applies to non-interfering designs; on interfering
-             ones it already rejects the bug-free design. *)
-          if not e.Entry.interfering then begin
-            let a = Checks.aqed_fc mutant e.Entry.iface ~bound in
-            if not (passed a) then incr aqed_hits
-          end;
-          let g = Checks.flow mutant e.Entry.iface ~bound in
-          if not (passed g) then begin
-            incr gqed_hits;
-            if not crv.Crv.detected then incr escapes_caught;
-            match cex_length g with Some n -> gqed_cex := n :: !gqed_cex | None -> ()
-          end)
-        mutants;
+      let cells =
+        List.filter_map
+          (function `Cell (e', _), `Cell_r c when e' == e -> Some c | _ -> None)
+          combined
+      in
+      let count f = List.fold_left (fun acc c -> if f c then acc + 1 else acc) 0 cells in
       {
         r_name = e.Entry.name;
         r_interfering = e.Entry.interfering;
-        r_mutants = List.length mutants;
-        r_crv = !crv_hits;
-        r_aqed = !aqed_hits;
+        r_mutants = List.length cells;
+        r_crv = count (fun c -> c.cc_crv_detected);
+        r_aqed = count (fun c -> c.cc_aqed_hit);
         r_aqed_false_alarm = aqed_false_alarm;
-        r_gqed = !gqed_hits;
-        r_gqed_cex = !gqed_cex;
-        r_crv_cycles = !crv_cycles;
-        r_escapes_caught = !escapes_caught;
+        r_gqed = count (fun c -> c.cc_gqed_hit);
+        r_gqed_cex = List.filter_map (fun c -> c.cc_gqed_cex) cells;
+        r_crv_cycles =
+          List.filter_map
+            (fun c -> if c.cc_crv_detected then Some c.cc_crv_cycles else None)
+            cells;
+        r_escapes_caught = count (fun c -> c.cc_gqed_hit && not c.cc_crv_detected);
       })
     Registry.all
 
@@ -164,17 +288,35 @@ let t3 () =
   header "T3  G-QED verification cost on correct designs";
   Printf.printf "%-12s %6s %9s %9s %10s %9s %8s\n" "design" "bound" "vars" "clauses"
     "conflicts" "verdict" "time(s)";
+  (* Per-design rows fan out over domains; printing stays in registry order. *)
+  let rows =
+    Par.map_timed ~jobs:!jobs
+      (fun e -> (e, Checks.gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound))
+      Registry.all
+  in
+  par_task_seconds :=
+    !par_task_seconds +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 rows;
   List.iter
-    (fun e ->
-      let report, dt =
-        time (fun () -> Checks.gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound)
-      in
+    (fun ((e, report), dt) ->
       Printf.printf "%-12s %6d %9d %9d %10d %9s %8.2f\n%!" e.Entry.name e.Entry.rec_bound
         report.Checks.cnf_vars report.Checks.cnf_clauses
         report.Checks.sat_stats.Sat.Solver.conflicts
         (if passed report then "pass" else "FAIL")
-        dt)
-    Registry.all
+        dt;
+      json_solver_rows :=
+        !json_solver_rows
+        @ [
+            {
+              js_design = e.Entry.name;
+              js_bound = e.Entry.rec_bound;
+              js_verdict = (if passed report then "pass" else "fail");
+              js_time_s = dt;
+              js_stats = report.Checks.sat_stats;
+              js_cnf_vars = report.Checks.cnf_vars;
+              js_cnf_clauses = report.Checks.cnf_clauses;
+            };
+          ])
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* T4: productivity model (the 370 -> 21 person-days claim).            *)
@@ -206,7 +348,7 @@ let t5 () =
   header "T5  Theory validation (bounded-exhaustive + per-witness soundness)";
   let small = [ "accum"; "maxtrack"; "rle"; "seqdet"; "histogram" ] in
   Printf.printf "%-12s %24s %8s %8s\n" "design" "brute-force table" "G-QED" "agree";
-  List.iter
+  par_map
     (fun name ->
       let e = Registry.find name in
       let alphabet =
@@ -216,22 +358,24 @@ let t5 () =
         Theory.transaction_table e.Entry.design e.Entry.iface ~alphabet ~depth:4
       in
       let report = Checks.gqed e.Entry.design e.Entry.iface ~bound:6 in
-      let table_str =
-        match table with
-        | `Deterministic n -> Printf.sprintf "deterministic (%d keys)" n
-        | `Conflict _ -> "CONFLICT"
-      in
-      let agree =
-        match (table, passed report) with
-        | `Deterministic _, true | `Conflict _, false -> "yes"
-        | _ -> "NO"
-      in
-      Printf.printf "%-12s %24s %8s %8s\n%!" name table_str
-        (if passed report then "pass" else "fail")
-        agree)
-    small;
+      (name, table, passed report))
+    small
+  |> List.iter (fun (name, table, pass) ->
+         let table_str =
+           match table with
+           | `Deterministic n -> Printf.sprintf "deterministic (%d keys)" n
+           | `Conflict _ -> "CONFLICT"
+         in
+         let agree =
+           match (table, pass) with
+           | `Deterministic _, true | `Conflict _, false -> "yes"
+           | _ -> "NO"
+         in
+         Printf.printf "%-12s %24s %8s %8s\n%!" name table_str
+           (if pass then "pass" else "fail")
+           agree);
   Printf.printf "\nInjected interference (hidden-output mutants):\n";
-  List.iter
+  par_map
     (fun name ->
       let e = Registry.find name in
       match
@@ -240,7 +384,7 @@ let t5 () =
             if m.Mutation.operator = Mutation.Hidden_output then Some d else None)
           (Mutation.mutants e.Entry.design)
       with
-      | None -> ()
+      | None -> None
       | Some mutant ->
           let alphabet =
             Theory.default_alphabet ~operand_values:[ 0; 1; 3 ] mutant e.Entry.iface
@@ -252,29 +396,37 @@ let t5 () =
             | Checks.Fail f -> Theory.witness_is_genuine mutant e.Entry.iface f
             | Checks.Pass _ -> false
           in
-          Printf.printf "  %-12s brute-force=%-8s gqed=%-5s witness-genuine=%b\n%!" name
-            (match table with `Conflict _ -> "conflict" | `Deterministic _ -> "det")
-            (if passed report then "pass" else "fail")
-            genuine)
-    small;
+          Some (name, table, passed report, genuine))
+    small
+  |> List.iter (function
+       | None -> ()
+       | Some (name, table, pass, genuine) ->
+           Printf.printf "  %-12s brute-force=%-8s gqed=%-5s witness-genuine=%b\n%!" name
+             (match table with `Conflict _ -> "conflict" | `Deterministic _ -> "det")
+             (if pass then "pass" else "fail")
+             genuine);
   (* Every G-QED counterexample found on three mutant suites replays as a
-     genuine inconsistency. *)
-  let total = ref 0 and genuine = ref 0 in
-  List.iter
-    (fun name ->
-      let e = Registry.find name in
-      List.iter
-        (fun (_m, mutant) ->
-          let report = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
-          match report.Checks.verdict with
-          | Checks.Fail f ->
-              incr total;
-              if Theory.witness_is_genuine mutant e.Entry.iface f then incr genuine
-          | Checks.Pass _ -> ())
-        (mutant_suite e))
-    [ "accum"; "maxtrack"; "seqdet" ];
+     genuine inconsistency. One task per (design, mutant) pair. *)
+  let pairs =
+    List.concat_map
+      (fun name ->
+        let e = Registry.find name in
+        List.map (fun (_m, mutant) -> (e, mutant)) (mutant_suite e))
+      [ "accum"; "maxtrack"; "seqdet" ]
+  in
+  let verdicts =
+    par_map
+      (fun (e, mutant) ->
+        let report = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
+        match report.Checks.verdict with
+        | Checks.Fail f -> Some (Theory.witness_is_genuine mutant e.Entry.iface f)
+        | Checks.Pass _ -> None)
+      pairs
+  in
+  let total = List.length (List.filter Option.is_some verdicts) in
+  let genuine = List.length (List.filter (fun v -> v = Some true) verdicts) in
   Printf.printf "\nWitness soundness: %d/%d reported counterexamples replay as genuine\n"
-    !genuine !total
+    genuine total
 
 (* ------------------------------------------------------------------ *)
 (* A1: ablation — G-QED with vs without the post-state conjunct.        *)
@@ -282,9 +434,10 @@ let t5 () =
 let a1 () =
   header "A1  Ablation: post-state conjunct (hidden-state mutants of arch regs)";
   Printf.printf "%-12s %22s %22s\n" "design" "G-QED(full)" "G-QED(out-only)";
-  List.iter
+  par_map
     (fun e ->
-      if e.Entry.interfering then begin
+      if not e.Entry.interfering then None
+      else
         match
           List.find_map
             (fun (m, d) ->
@@ -297,20 +450,23 @@ let a1 () =
               else None)
             (Mutation.mutants e.Entry.design)
         with
-        | None -> ()
+        | None -> None
         | Some mutant ->
             let full = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
             let out_only =
               Checks.gqed_output_only mutant e.Entry.iface ~bound:e.Entry.rec_bound
             in
-            let show r =
-              match r.Checks.verdict with
-              | Checks.Pass _ -> "missed"
-              | Checks.Fail f -> "caught:" ^ Checks.failure_kind_to_string f.Checks.kind
-            in
-            Printf.printf "%-12s %22s %22s\n%!" e.Entry.name (show full) (show out_only)
-      end)
+            Some (e.Entry.name, full, out_only))
     Registry.all
+  |> List.iter (function
+       | None -> ()
+       | Some (name, full, out_only) ->
+           let show r =
+             match r.Checks.verdict with
+             | Checks.Pass _ -> "missed"
+             | Checks.Fail f -> "caught:" ^ Checks.failure_kind_to_string f.Checks.kind
+           in
+           Printf.printf "%-12s %22s %22s\n%!" name (show full) (show out_only))
 
 (* ------------------------------------------------------------------ *)
 (* A2: ablation — incremental vs monolithic BMC.                        *)
@@ -399,20 +555,31 @@ let a3 () =
 let f1 () =
   header "F1  G-QED runtime vs unroll bound (seconds; one series per design)";
   let designs = [ "accum"; "maxtrack"; "alu_pipe"; "mmio_engine" ] in
+  let bounds = [ 2; 3; 4; 5; 6 ] in
   Printf.printf "%-6s" "bound";
   List.iter (Printf.printf " %12s") designs;
   Printf.printf "\n";
-  List.iter
-    (fun bound ->
+  (* All (bound, design) cells fan out at once; each cell's time is its own
+     task wall-clock, so the grid is the same data the serial run prints. *)
+  let cells = List.concat_map (fun b -> List.map (fun d -> (b, d)) designs) bounds in
+  let timed =
+    Par.map_timed ~jobs:!jobs
+      (fun (bound, name) ->
+        let e = Registry.find name in
+        ignore (Checks.gqed e.Entry.design e.Entry.iface ~bound))
+      cells
+  in
+  par_task_seconds :=
+    !par_task_seconds +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed;
+  let dts = List.map snd timed in
+  List.iteri
+    (fun bi bound ->
       Printf.printf "%-6d" bound;
-      List.iter
-        (fun name ->
-          let e = Registry.find name in
-          let _, dt = time (fun () -> Checks.gqed e.Entry.design e.Entry.iface ~bound) in
-          Printf.printf " %12.3f%!" dt)
+      List.iteri
+        (fun di _ -> Printf.printf " %12.3f" (List.nth dts ((bi * List.length designs) + di)))
         designs;
-      Printf.printf "\n")
-    [ 2; 3; 4; 5; 6 ]
+      Printf.printf "\n%!")
+    bounds
 
 (* ------------------------------------------------------------------ *)
 (* F2: CRV detection rate vs budget, with the G-QED one-shot line.      *)
@@ -438,7 +605,7 @@ let f2 () =
   Printf.printf "%-20s" "mutant";
   List.iter (fun b -> Printf.printf " %7s" (Printf.sprintf "%dtx" b)) budgets;
   Printf.printf " %16s\n" "G-QED one-shot";
-  List.iter
+  par_map
     (fun (label, design_name, op) ->
       let e = Registry.find design_name in
       match
@@ -446,18 +613,20 @@ let f2 () =
           (fun (m, d) -> if m.Mutation.operator = op then Some d else None)
           (Mutation.mutants e.Entry.design)
       with
-      | None -> ()
+      | None -> None
       | Some mutant ->
           let curve = Crv.detection_curve ~design_override:mutant e ~budgets ~seeds in
-          Printf.printf "%-20s" label;
-          List.iter (fun (_, rate) -> Printf.printf " %6.0f%%" (100.0 *. rate)) curve;
           let report, dt =
             time (fun () -> Checks.flow mutant e.Entry.iface ~bound:e.Entry.rec_bound)
           in
-          Printf.printf " %9s %5.1fs\n%!"
-            (if passed report then "missed" else "found")
-            dt)
-    cases;
+          Some (label, curve, passed report, dt))
+    cases
+  |> List.iter (function
+       | None -> ()
+       | Some (label, curve, missed, dt) ->
+           Printf.printf "%-20s" label;
+           List.iter (fun (_, rate) -> Printf.printf " %6.0f%%" (100.0 *. rate)) curve;
+           Printf.printf " %9s %5.1fs\n%!" (if missed then "missed" else "found") dt);
   Printf.printf
     "\n(rare-trigger rows: the corruption needs a coincidence of hidden phase,\n\
      operand and state values; symbolic search constructs it in one query)\n"
@@ -585,19 +754,57 @@ let experiments =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+  let json_path = ref None in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2
+      end
+    | [ "--jobs" ] ->
+        prerr_endline "bench: --jobs expects a positive integer";
+        exit 2
+    | "--json" :: path :: rest ->
+        (* Fail fast on an unwritable path rather than after the full run. *)
+        (try close_out (open_out path)
+         with Sys_error e ->
+           prerr_endline ("bench: cannot write --json file: " ^ e);
+           exit 2);
+        json_path := Some path;
+        parse_args acc rest
+    | [ "--json" ] ->
+        prerr_endline "bench: --json expects a file path";
+        exit 2
+    | id :: rest -> parse_args (id :: acc) rest
   in
-  Printf.printf "G-QED reproduction harness — %d experiment(s)\n" (List.length requested);
+  let requested =
+    match parse_args [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | ids -> ids
+  in
   List.iter
     (fun id ->
-      match List.assoc_opt id experiments with
-      | Some f ->
-          let (), dt = time f in
-          Printf.printf "[%s completed in %.1fs]\n%!" id dt
-      | None ->
-          Printf.printf "unknown experiment %s (known: %s)\n" id
-            (String.concat " " (List.map fst experiments)))
-    requested
+      if not (List.mem_assoc id experiments) then begin
+        Printf.eprintf "bench: unknown experiment %s (known: %s)\n" id
+          (String.concat " " (List.map fst experiments));
+        exit 2
+      end)
+    requested;
+  Printf.printf "G-QED reproduction harness — %d experiment(s), %d job(s)\n"
+    (List.length requested) !jobs;
+  List.iter
+    (fun id ->
+      let f = List.assoc id experiments in
+      par_task_seconds := 0.0;
+      let (), dt = time f in
+      json_experiments :=
+        !json_experiments
+        @ [ { je_id = id; je_wall_s = dt; je_task_sum_s = !par_task_seconds } ];
+      Printf.printf "[%s completed in %.1fs]\n%!" id dt)
+    requested;
+  match !json_path with None -> () | Some path -> write_json path

@@ -112,6 +112,23 @@ let technique_arg =
           "One of $(b,gqed) (default), $(b,flow) (reset+SA+stability+G-FC), \
            $(b,aqed), $(b,gqed-out) (ablation), $(b,sa), $(b,stability).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run independent checks on $(docv) domains. With $(b,--technique flow) \
+           the four flow stages run concurrently; with $(b,--all-mutants) the \
+           per-mutant checks fan out. Verdicts are identical to the serial run.")
+
+let all_mutants_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "all-mutants" ]
+        ~doc:"Run the chosen technique on every mutant of the design and print a table.")
+
 let trace_flag =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full counterexample waveform.")
 
@@ -122,25 +139,7 @@ let vcd_arg =
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the waveform to $(docv) in VCD format.")
 
 let verify_cmd =
-  let run name technique bound mutant trace vcd =
-    let e = or_die (find_design name) in
-    let design, m = or_die (resolve_mutant e mutant) in
-    let bound = Option.value bound ~default:e.Entry.rec_bound in
-    (match m with
-    | Some m -> Printf.printf "injected mutation: %s (%s)\n" m.Mutation.id m.Mutation.description
-    | None -> ());
-    let check =
-      match technique with
-      | `Gqed -> Checks.gqed
-      | `Flow -> Checks.flow
-      | `Aqed -> Checks.aqed_fc
-      | `Gqed_out -> Checks.gqed_output_only
-      | `Sa -> Checks.sa_check
-      | `Stability -> Checks.stability_check
-    in
-    let t0 = Unix.gettimeofday () in
-    let report = check design e.Entry.iface ~bound in
-    let dt = Unix.gettimeofday () -. t0 in
+  let report_and_exit ~name ~trace ~vcd ~dt report =
     Format.printf "%a@." Checks.pp_verdict report.Checks.verdict;
     Printf.printf "cnf: %d vars, %d clauses; %s; %.2fs\n" report.Checks.cnf_vars
       report.Checks.cnf_clauses
@@ -157,11 +156,101 @@ let verify_cmd =
         | None -> ());
         exit 1
   in
+  let run name technique bound mutant all_mutants jobs trace vcd =
+    if jobs < 1 then begin
+      prerr_endline "gqed: --jobs must be a positive integer";
+      exit 2
+    end;
+    let e = or_die (find_design name) in
+    let bound = Option.value bound ~default:e.Entry.rec_bound in
+    let check technique design =
+      match technique with
+      | `Gqed -> Checks.gqed design e.Entry.iface ~bound
+      | `Flow -> Checks.flow design e.Entry.iface ~bound
+      | `Aqed -> Checks.aqed_fc design e.Entry.iface ~bound
+      | `Gqed_out -> Checks.gqed_output_only design e.Entry.iface ~bound
+      | `Sa -> Checks.sa_check design e.Entry.iface ~bound
+      | `Stability -> Checks.stability_check design e.Entry.iface ~bound
+    in
+    if all_mutants then begin
+      (match mutant with
+      | Some _ ->
+          prerr_endline "gqed: --mutant and --all-mutants are mutually exclusive";
+          exit 2
+      | None -> ());
+      let muts =
+        List.filter_map
+          (fun m ->
+            match Mutation.apply e.Entry.design m with
+            | Some design -> Some (m, design)
+            | None -> None)
+          (Mutation.enumerate e.Entry.design)
+      in
+      (* Each task builds its own engine inside the check, so mutants fan out
+         across domains with no shared solver state. *)
+      let results = Par.map_timed ~jobs (fun (_, design) -> check technique design) muts in
+      Printf.printf "%-40s %-10s %9s\n" "mutant" "verdict" "time";
+      let detected = ref 0 in
+      List.iter2
+        (fun (m, _) (report, dt) ->
+          let det =
+            match report.Checks.verdict with
+            | Checks.Fail _ ->
+                incr detected;
+                true
+            | Checks.Pass _ -> false
+          in
+          Printf.printf "%-40s %-10s %8.2fs\n" m.Mutation.id
+            (if det then "detected" else "ESCAPE")
+            dt)
+        muts results;
+      Printf.printf "detected %d/%d mutants\n" !detected (List.length muts);
+      exit (if !detected = List.length muts then 0 else 1)
+    end;
+    let design, m = or_die (resolve_mutant e mutant) in
+    (match m with
+    | Some m -> Printf.printf "injected mutation: %s (%s)\n" m.Mutation.id m.Mutation.description
+    | None -> ());
+    let t0 = Unix.gettimeofday () in
+    let report =
+      match technique with
+      | `Flow when jobs > 1 ->
+          (* Run the flow stages concurrently instead of sequentially.  The
+             reported verdict is the first failing stage in flow order (or the
+             final G-FC report when all pass), identical to Checks.flow. *)
+          let stages =
+            [
+              ("reset", fun () -> Checks.reset_check design e.Entry.iface);
+              ("single-action", fun () -> Checks.sa_check design e.Entry.iface ~bound);
+            ]
+            @ (if Qed.Iface.is_variable_latency e.Entry.iface then []
+               else
+                 [ ("stability", fun () -> Checks.stability_check design e.Entry.iface ~bound) ])
+            @ [ ("g-fc", fun () -> Checks.gqed design e.Entry.iface ~bound) ]
+          in
+          let reports = Par.run ~jobs (List.map snd stages) in
+          List.iter2
+            (fun (stage, _) r ->
+              Printf.printf "  stage %-13s %s\n" stage
+                (match r.Checks.verdict with Checks.Pass _ -> "pass" | Checks.Fail _ -> "FAIL"))
+            stages reports;
+          let rec first_fail = function
+            | [ r ] -> r
+            | r :: rest -> (
+                match r.Checks.verdict with Checks.Fail _ -> r | Checks.Pass _ -> first_fail rest)
+            | [] -> assert false
+          in
+          first_fail reports
+      | t -> check t design
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    report_and_exit ~name ~trace ~vcd ~dt report
+  in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run a QED check on a design (or one of its mutants).")
     Term.(
-      const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ trace_flag
-      $ vcd_arg)
+      const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
+      $ jobs_arg $ trace_flag $ vcd_arg)
 
 (* ---- mutants ---- *)
 

@@ -19,7 +19,14 @@ type t = {
   mutable num_nodes : int;
   mutable num_inputs : int;
   mutable num_ands : int;
-  strash : (int * int, int) Hashtbl.t; (* (fanin0, fanin1) -> node *)
+  (* Structural hashing: an open-addressing table of AND node ids, probed
+     with the packed [(fanin0 << 31) | fanin1] key. The key is never stored —
+     it is recomputed from the fanin arrays on comparison — so a hit
+     allocates nothing (the tuple-keyed Hashtbl it replaces boxed a fresh
+     [(int * int)] per lookup, the hottest allocation of unrolling). *)
+  mutable strash_tab : int array; (* node id, or -1 for an empty slot *)
+  mutable strash_mask : int; (* Array.length strash_tab - 1, power of two *)
+  mutable strash_count : int;
 }
 
 let create () =
@@ -30,8 +37,17 @@ let create () =
     num_nodes = 1 (* the constant node *);
     num_inputs = 0;
     num_ands = 0;
-    strash = Hashtbl.create 256;
+    strash_tab = Array.make 256 (-1);
+    strash_mask = 255;
+    strash_count = 0;
   }
+
+(* Fibonacci hashing of the packed key; AIG literals stay well below 2^31
+   (that would be a two-billion-node graph), so the pack is injective. *)
+let strash_hash a b mask =
+  let key = (a lsl 31) lor b in
+  let h = key * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land mask
 
 let grow g =
   let cap = Array.length g.fanin0 in
@@ -61,6 +77,23 @@ let input_index g l =
   let n = node_of l in
   if n < g.num_nodes && g.input_of.(n) >= 0 then Some g.input_of.(n) else None
 
+let strash_grow g =
+  let size = 2 * (g.strash_mask + 1) in
+  let mask = size - 1 in
+  let tab = Array.make size (-1) in
+  (* Reinsert every AND node; keys are recomputed from the fanin arrays. *)
+  for n = 1 to g.num_nodes - 1 do
+    if g.fanin0.(n) >= 0 then begin
+      let i = ref (strash_hash g.fanin0.(n) g.fanin1.(n) mask) in
+      while Array.unsafe_get tab !i >= 0 do
+        i := (!i + 1) land mask
+      done;
+      tab.(!i) <- n
+    end
+  done;
+  g.strash_tab <- tab;
+  g.strash_mask <- mask
+
 let and_ g a b =
   (* Local simplification before hash-consing. *)
   if a = false_ || b = false_ then false_
@@ -70,15 +103,27 @@ let and_ g a b =
   else if a = not_ b then false_
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
-    match Hashtbl.find_opt g.strash (a, b) with
-    | Some n -> mk_lit n ~compl:false
-    | None ->
-        let n = new_node g in
-        g.fanin0.(n) <- a;
-        g.fanin1.(n) <- b;
-        g.num_ands <- g.num_ands + 1;
-        Hashtbl.add g.strash (a, b) n;
-        mk_lit n ~compl:false
+    (* Linear probing; the load factor is kept below 3/4. *)
+    let tab = g.strash_tab and mask = g.strash_mask in
+    let i = ref (strash_hash a b mask) in
+    while
+      let n = Array.unsafe_get tab !i in
+      n >= 0 && not (g.fanin0.(n) = a && g.fanin1.(n) = b)
+    do
+      i := (!i + 1) land mask
+    done;
+    let n = Array.unsafe_get tab !i in
+    if n >= 0 then mk_lit n ~compl:false
+    else begin
+      let n = new_node g in
+      g.fanin0.(n) <- a;
+      g.fanin1.(n) <- b;
+      g.num_ands <- g.num_ands + 1;
+      tab.(!i) <- n;
+      g.strash_count <- g.strash_count + 1;
+      if 4 * g.strash_count >= 3 * (mask + 1) then strash_grow g;
+      mk_lit n ~compl:false
+    end
   end
 
 let or_ g a b = not_ (and_ g (not_ a) (not_ b))

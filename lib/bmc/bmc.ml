@@ -85,9 +85,10 @@ module Unroller = struct
         Hashtbl.add t.regs (name, frame) bits;
         bits
 
-  (* Enumerate allocated input bit vectors for witness extraction. *)
-  let allocated_inputs t =
-    Hashtbl.fold (fun key bits acc -> (key, bits) :: acc) t.inputs []
+  (* Input bits allocated for (port, frame), if that port was ever read at
+     that frame. O(1); used by witness extraction for every port of every
+     frame, so it must not enumerate the table. *)
+  let find_input t name ~frame = Hashtbl.find_opt t.inputs (name, frame)
 end
 
 type witness = {
@@ -144,16 +145,16 @@ module Engine = struct
     let design = t.design in
     let frames = Unroller.max_frame t.unroller + 1 in
     (* Input valuation per frame: read allocated bits from the model and
-       fill unallocated ports with zeros (they are don't-cares). *)
+       fill unallocated ports with zeros (they are don't-cares). The lookup
+       is a hashtable hit per (port, frame) — previously this rebuilt the
+       full allocation assoc list for every port of every frame, which was
+       quadratic in the number of allocated input vectors. *)
     let inputs =
       Array.init frames (fun frame ->
           List.fold_left
             (fun m (v : Expr.var) ->
               let bits =
-                match
-                  List.assoc_opt (v.Expr.name, frame)
-                    (Unroller.allocated_inputs t.unroller)
-                with
+                match Unroller.find_input t.unroller v.Expr.name ~frame with
                 | Some bits -> bits_value t bits
                 | None -> Bitvec.zero v.Expr.width
               in

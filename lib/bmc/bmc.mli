@@ -37,6 +37,10 @@ module Unroller : sig
 
   val max_frame : t -> int
   (** Highest frame index touched so far, -1 if none. *)
+
+  val find_input : t -> string -> frame:int -> Aig.lit array option
+  (** The AIG input bits allocated for a port at a frame, if that port was
+      read there; [None] for never-touched (port, frame) pairs. O(1). *)
 end
 
 (** A witness (counterexample) to a bounded check. *)

@@ -8,10 +8,20 @@ type clause = {
      literals. For a reason clause, lits.(0) is the implied literal. *)
   learnt : bool;
   mutable act : float;
+  mutable lbd : int; (* glue (distinct decision levels) at learn time; 0 for problem clauses *)
   mutable removed : bool;
 }
 
-let dummy_clause = { lits = [||]; learnt = false; act = 0.; removed = true }
+let dummy_clause = { lits = [||]; learnt = false; act = 0.; lbd = 0; removed = true }
+
+(* Watch-list entry. [blocker] is some literal of the clause other than the
+   watched one; if it is already true the clause is satisfied and the visit
+   never touches the clause itself (better locality on the hot path). For
+   binary clauses the blocker is the only other literal, so binary watchers
+   carry the full semantics of the clause and propagation needs no search. *)
+type watcher = { w_clause : clause; w_blocker : int }
+
+let dummy_watcher = { w_clause = dummy_clause; w_blocker = 0 }
 
 type result = Sat | Unsat
 
@@ -36,8 +46,11 @@ type t = {
   mutable activity : float array;
   mutable polarity : bool array; (* saved phase: true = assign negative *)
   mutable seen : bool array;
-  (* Per-literal watch lists, capacity >= 2 * nvars. *)
-  mutable watches : clause Vec.t array;
+  (* Per-literal watch lists, capacity >= 2 * nvars. [watches] holds clauses
+     of length >= 3; binary clauses live in [bin_watches], where each entry's
+     blocker is the implied literal. *)
+  mutable watches : watcher Vec.t array;
+  mutable bin_watches : watcher Vec.t array;
   (* Clause databases. *)
   clauses : clause Vec.t;
   learnts : clause Vec.t;
@@ -54,6 +67,10 @@ type t = {
   mutable assumptions : int array;
   conflict : int Vec.t; (* failed assumptions, negated *)
   analyze_toclear : int Vec.t;
+  (* LBD computation scratch: level -> stamp of the last clause that
+     contained a literal at that level. *)
+  mutable lbd_seen : int array;
+  mutable lbd_stamp : int;
   (* Status. *)
   mutable ok : bool;
   mutable answer : answer;
@@ -79,7 +96,8 @@ let create () =
     activity = Array.make 16 0.;
     polarity = Array.make 16 true;
     seen = Array.make 16 false;
-    watches = Array.init 32 (fun _ -> Vec.create dummy_clause);
+    watches = Array.init 32 (fun _ -> Vec.create dummy_watcher);
+    bin_watches = Array.init 32 (fun _ -> Vec.create dummy_watcher);
     clauses = Vec.create dummy_clause;
     learnts = Vec.create dummy_clause;
     trail = Vec.create 0;
@@ -92,6 +110,8 @@ let create () =
     assumptions = [||];
     conflict = Vec.create 0;
     analyze_toclear = Vec.create 0;
+    lbd_seen = Array.make 16 0;
+    lbd_stamp = 0;
     ok = true;
     answer = A_none;
     model = [||];
@@ -182,11 +202,18 @@ let new_var s =
   s.polarity <- grow_array s.polarity s.nvars true;
   s.seen <- grow_array s.seen s.nvars false;
   s.heap_index <- grow_array s.heap_index s.nvars (-1);
+  s.lbd_seen <- grow_array s.lbd_seen (s.nvars + 1) 0;
   if 2 * s.nvars > Array.length s.watches then begin
-    let old = s.watches in
-    let a = Array.init (max (2 * s.nvars) (2 * Array.length old)) (fun _ -> Vec.create dummy_clause) in
-    Array.blit old 0 a 0 (Array.length old);
-    s.watches <- a
+    let grow_watchlists old =
+      let a =
+        Array.init (max (2 * s.nvars) (2 * Array.length old)) (fun _ ->
+            Vec.create dummy_watcher)
+      in
+      Array.blit old 0 a 0 (Array.length old);
+      a
+    in
+    s.watches <- grow_watchlists s.watches;
+    s.bin_watches <- grow_watchlists s.bin_watches
   end;
   s.assigns.(v) <- 0;
   s.level.(v) <- -1;
@@ -260,10 +287,17 @@ let cancel_until s lvl =
 (* Clause attachment.                                                  *)
 
 (* watches.(l) holds the clauses that must be inspected when [l] becomes
-   true, i.e. the clauses watching the literal [negate l]. *)
+   true, i.e. the clauses watching the literal [negate l]. Binary clauses go
+   to the dedicated implication lists instead. *)
 let attach_clause s c =
-  Vec.push s.watches.(Lit.negate c.lits.(0)) c;
-  Vec.push s.watches.(Lit.negate c.lits.(1)) c
+  if Array.length c.lits = 2 then begin
+    Vec.push s.bin_watches.(Lit.negate c.lits.(0)) { w_clause = c; w_blocker = c.lits.(1) };
+    Vec.push s.bin_watches.(Lit.negate c.lits.(1)) { w_clause = c; w_blocker = c.lits.(0) }
+  end
+  else begin
+    Vec.push s.watches.(Lit.negate c.lits.(0)) { w_clause = c; w_blocker = c.lits.(1) };
+    Vec.push s.watches.(Lit.negate c.lits.(1)) { w_clause = c; w_blocker = c.lits.(0) }
+  end
 
 (* Detaching is lazy: [removed] clauses are dropped when the watch lists are
    next traversed, which avoids O(watchlist) scans here. *)
@@ -284,58 +318,108 @@ let locked s c =
 
 exception Conflict of clause
 
+(* Binary implications for the newly-true literal [p]: each watcher's blocker
+   is the only other literal of its clause, so the visit is assign-or-detect
+   with no clause scan. Reason clauses keep the MiniSat invariant that
+   lits.(0) is the implied literal, so the two binary literals are swapped
+   into place on implication. *)
+let propagate_bin s p =
+  let ws = s.bin_watches.(p) in
+  let i = ref 0 and j = ref 0 in
+  let n = Vec.size ws in
+  while !i < n do
+    let w = Vec.unsafe_get ws !i in
+    incr i;
+    let c = w.w_clause in
+    if not c.removed then begin
+      Vec.unsafe_set ws !j w;
+      incr j;
+      let other = w.w_blocker in
+      match value_lit s other with
+      | 1 -> ()
+      | 0 ->
+          if c.lits.(0) <> other then begin
+            c.lits.(0) <- other;
+            c.lits.(1) <- Lit.negate p
+          end;
+          unchecked_enqueue s other c
+      | _ ->
+          (* Both literals false: conflict. Copy the tail back first. *)
+          while !i < n do
+            Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+            incr i;
+            incr j
+          done;
+          Vec.shrink ws !j;
+          s.qhead <- Vec.size s.trail;
+          raise (Conflict c)
+    end
+  done;
+  Vec.shrink ws !j
+
 let propagate s =
   try
     while s.qhead < Vec.size s.trail do
       let p = Vec.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       s.n_propagations <- s.n_propagations + 1;
+      propagate_bin s p;
       let ws = s.watches.(p) in
       let i = ref 0 and j = ref 0 in
       let n = Vec.size ws in
       while !i < n do
-        let c = Vec.unsafe_get ws !i in
+        let w = Vec.unsafe_get ws !i in
         incr i;
-        if not c.removed then begin
-          let lits = c.lits in
-          let false_lit = Lit.negate p in
-          (* Make sure the false watch is at position 1. *)
-          if lits.(0) = false_lit then begin
-            lits.(0) <- lits.(1);
-            lits.(1) <- false_lit
-          end;
-          if value_lit s lits.(0) = 1 then begin
-            (* Clause already satisfied by the other watch: keep it. *)
-            Vec.unsafe_set ws !j c;
-            incr j
-          end
-          else begin
-            (* Look for a new literal to watch. *)
-            let len = Array.length lits in
-            let k = ref 2 in
-            while !k < len && value_lit s lits.(!k) = -1 do incr k done;
-            if !k < len then begin
-              lits.(1) <- lits.(!k);
-              lits.(!k) <- false_lit;
-              Vec.push s.watches.(Lit.negate lits.(1)) c
-              (* not kept in ws: do not copy *)
+        if value_lit s w.w_blocker = 1 then begin
+          (* Blocker already true: the clause is satisfied, keep the watcher
+             without touching the clause. *)
+          Vec.unsafe_set ws !j w;
+          incr j
+        end
+        else begin
+          let c = w.w_clause in
+          if not c.removed then begin
+            let lits = c.lits in
+            let false_lit = Lit.negate p in
+            (* Make sure the false watch is at position 1. *)
+            if lits.(0) = false_lit then begin
+              lits.(0) <- lits.(1);
+              lits.(1) <- false_lit
+            end;
+            if value_lit s lits.(0) = 1 then begin
+              (* Clause already satisfied by the other watch: keep it, with
+                 that watch as the new blocker. *)
+              Vec.unsafe_set ws !j { w_clause = c; w_blocker = lits.(0) };
+              incr j
             end
             else begin
-              (* Unit or conflicting. *)
-              Vec.unsafe_set ws !j c;
-              incr j;
-              if value_lit s lits.(0) = -1 then begin
-                (* Conflict: copy the remaining watchers back first. *)
-                while !i < n do
-                  Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
-                  incr i;
-                  incr j
-                done;
-                Vec.shrink ws !j;
-                s.qhead <- Vec.size s.trail;
-                raise (Conflict c)
+              (* Look for a new literal to watch. *)
+              let len = Array.length lits in
+              let k = ref 2 in
+              while !k < len && value_lit s lits.(!k) = -1 do incr k done;
+              if !k < len then begin
+                lits.(1) <- lits.(!k);
+                lits.(!k) <- false_lit;
+                Vec.push s.watches.(Lit.negate lits.(1)) { w_clause = c; w_blocker = lits.(0) }
+                (* not kept in ws: do not copy *)
               end
-              else unchecked_enqueue s lits.(0) c
+              else begin
+                (* Unit or conflicting. *)
+                Vec.unsafe_set ws !j { w_clause = c; w_blocker = lits.(0) };
+                incr j;
+                if value_lit s lits.(0) = -1 then begin
+                  (* Conflict: copy the remaining watchers back first. *)
+                  while !i < n do
+                    Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                    incr i;
+                    incr j
+                  done;
+                  Vec.shrink ws !j;
+                  s.qhead <- Vec.size s.trail;
+                  raise (Conflict c)
+                end
+                else unchecked_enqueue s lits.(0) c
+              end
             end
           end
         end
@@ -347,6 +431,23 @@ let propagate s =
 
 (* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP).                                      *)
+
+(* Literal-blocks-distance ("glue", Audemard & Simon 2009): the number of
+   distinct decision levels among the literals. Must be called while the
+   literals are still assigned (i.e. before backtracking). *)
+let compute_lbd s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let count = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(Lit.var l) in
+      if lv > 0 && s.lbd_seen.(lv) <> stamp then begin
+        s.lbd_seen.(lv) <- stamp;
+        incr count
+      end)
+    lits;
+  !count
 
 (* Is [l] implied by the current learnt set? Basic (non-recursive)
    minimization: every literal of its reason (other than the implied one)
@@ -373,7 +474,13 @@ let analyze s confl =
   let c = ref confl in
   let continue = ref true in
   while !continue do
-    if !c.learnt then bump_clause s !c;
+    if !c.learnt then begin
+      bump_clause s !c;
+      (* Dynamic glue update: a learnt clause involved in a new conflict may
+         now span fewer levels than when it was learnt. Keep the minimum. *)
+      let d = compute_lbd s !c.lits in
+      if d < !c.lbd then !c.lbd <- d
+    end;
     let start = if !p = -1 then 0 else 1 in
     for jj = start to Array.length !c.lits - 1 do
       let q = !c.lits.(jj) in
@@ -474,7 +581,9 @@ let add_clause s lits =
           unchecked_enqueue s l dummy_clause;
           if propagate s <> None then s.ok <- false
       | _ :: _ :: _ ->
-          let c = { lits = Array.of_list lits; learnt = false; act = 0.; removed = false } in
+          let c =
+            { lits = Array.of_list lits; learnt = false; act = 0.; lbd = 0; removed = false }
+          in
           Vec.push s.clauses c;
           attach_clause s c
     end
@@ -484,14 +593,20 @@ let add_clause s lits =
 (* Learnt DB reduction and level-0 simplification.                     *)
 
 let reduce_db s =
-  (* Learnts sorted by ascending activity: the first half (cold clauses) is
-     dropped unless a clause is binary or currently a reason. *)
-  Vec.sort_sub (fun a b -> Float.compare a.act b.act) s.learnts;
+  (* Glue-based reduction (Glucose-style): sort so the clauses to drop come
+     first — highest LBD first, coldest activity as tiebreak — then drop the
+     first half. Binary clauses, "glue" clauses (LBD <= 2) and clauses
+     currently acting as a reason are always kept. *)
+  Vec.sort_sub
+    (fun a b ->
+      if a.lbd <> b.lbd then Int.compare b.lbd a.lbd else Float.compare a.act b.act)
+    s.learnts;
   let n = Vec.size s.learnts in
   let keep = Vec.create dummy_clause in
   for i = 0 to n - 1 do
     let c = Vec.get s.learnts i in
-    if locked s c || Array.length c.lits = 2 || i >= n / 2 then Vec.push keep c
+    if locked s c || Array.length c.lits = 2 || c.lbd <= 2 || i >= n / 2 then
+      Vec.push keep c
     else remove_clause s c
   done;
   Vec.clear s.learnts;
@@ -565,7 +680,7 @@ let decide s =
   in
   assume ()
 
-let record_learnt s learnt blevel =
+let record_learnt s learnt blevel ~lbd =
   cancel_until s blevel;
   match Array.length learnt with
   | 1 ->
@@ -574,7 +689,7 @@ let record_learnt s learnt blevel =
          level with no reason. Correct because blevel = 0 for units. *)
       unchecked_enqueue s learnt.(0) dummy_clause
   | _ ->
-      let c = { lits = learnt; learnt = true; act = 0.; removed = false } in
+      let c = { lits = learnt; learnt = true; act = 0.; lbd; removed = false } in
       Vec.push s.learnts c;
       attach_clause s c;
       bump_clause s c;
@@ -593,7 +708,9 @@ let search s ~max_conflicts =
           raise Found_unsat
         end;
         let learnt, blevel = analyze s confl in
-        record_learnt s learnt blevel;
+        (* LBD must be computed before [record_learnt] backtracks. *)
+        let lbd = compute_lbd s learnt in
+        record_learnt s learnt blevel ~lbd;
         decay_var_activity s;
         decay_clause_activity s
     | None ->

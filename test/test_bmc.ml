@@ -149,6 +149,52 @@ let test_follower_violation_found () =
         (Bv.to_int (Rtl.Smap.find "d" first.Rtl.t_inputs))
   | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
 
+(* Regression for witness extraction on designs with many input ports over
+   many frames (the extraction path is per-port-per-frame; it used to rebuild
+   the full input-allocation list for every lookup). The assumes pin every
+   port to a distinct constant, so the witness input valuation is fully
+   determined and any extraction bug shows up as a changed witness. *)
+let many_inputs_design n_ports =
+  let port i = Printf.sprintf "d%d" i in
+  let cnt = Expr.var "cnt" 8 in
+  let sum =
+    List.fold_left
+      (fun acc i -> Expr.add acc (Expr.var (port i) 8))
+      cnt
+      (List.init n_ports (fun i -> i))
+  in
+  Rtl.make ~name:"many_inputs"
+    ~inputs:(List.init n_ports (fun i -> { Expr.name = port i; width = 8 }))
+    ~registers:[ { Rtl.reg = { Expr.name = "cnt"; width = 8 }; init = Bv.zero 8; next = sum } ]
+    ~outputs:[ ("total", cnt) ]
+
+let test_witness_many_inputs_many_frames () =
+  let n_ports = 10 in
+  let design = many_inputs_design n_ports in
+  let assumes =
+    List.init n_ports (fun i ->
+        Expr.eq (Expr.var (Printf.sprintf "d%d" i) 8) (Expr.const_int ~width:8 (i + 1)))
+  in
+  (* Each cycle adds 1 + 2 + ... + 10 = 55; cnt = 55k mod 256 reaches 74 at
+     k = 6, so the shortest counterexample has 7 frames. *)
+  let inv = Expr.ne (Expr.var "cnt" 8) (Expr.const_int ~width:8 74) in
+  match Bmc.check_safety ~assumes ~design ~invariant:inv ~depth:10 () with
+  | Bmc.Holds n, _ -> Alcotest.failf "holds up to %d but should fail" n
+  | Bmc.Violated w, _ ->
+      Alcotest.(check int) "length" 7 w.Bmc.w_length;
+      Array.iteri
+        (fun frame valuation ->
+          for i = 0 to n_ports - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "d%d at frame %d" i frame)
+              (i + 1)
+              (Bv.to_int (Rtl.Smap.find (Printf.sprintf "d%d" i) valuation))
+          done)
+        w.Bmc.w_inputs;
+      let last = List.nth w.Bmc.w_trace (w.Bmc.w_length - 1) in
+      Alcotest.(check int) "cnt is 74 at the failure cycle" 74
+        (Bv.to_int (Rtl.Smap.find "cnt" last.Rtl.t_state))
+
 (* Property: the incremental engine reports the *shortest* counterexample.
    For the enabled counter, the shortest trace reaching value n has exactly
    n + 1 cycles (n increments plus the violating cycle). *)
@@ -175,5 +221,6 @@ let suite =
     ("bmc.immediate_violation", `Quick, test_immediate_violation);
     ("bmc.relational_holds", `Quick, test_relational_invariant_holds);
     ("bmc.follower_violation", `Quick, test_follower_violation_found);
+    ("bmc.witness_many_inputs", `Quick, test_witness_many_inputs_many_frames);
     QCheck_alcotest.to_alcotest prop_shortest_cex;
   ]
