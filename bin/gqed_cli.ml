@@ -6,7 +6,8 @@
      gqed verify DESIGN [options]       run a QED check (optionally on a mutant)
      gqed mutants DESIGN                list the mutation ids of a design
      gqed simulate DESIGN [options]     random simulation trace
-     gqed crv DESIGN [options]          constrained-random baseline run *)
+     gqed crv DESIGN [options]          constrained-random baseline run
+     gqed fuzz [options]                differential fuzz of the verifier itself *)
 
 open Cmdliner
 
@@ -317,9 +318,87 @@ let crv_cmd =
     (Cmd.info "crv" ~doc:"Run the constrained-random baseline against the golden model.")
     Term.(const run $ design_arg $ mutant_arg $ budget_arg $ seed_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random designs to generate.")
+  in
+  let cert_flag =
+    Arg.(
+      value & flag
+      & info [ "cert" ]
+          ~doc:
+            "Certify every UNSAT answer of the BMC oracles with a DRAT proof \
+             checked by the independent in-repo checker.")
+  in
+  let dimacs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "dimacs" ] ~docv:"N"
+          ~doc:
+            "Additionally fuzz the SAT solver on $(docv) random DIMACS instances \
+             (cross-checked against an exhaustive enumerator).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "fuzz-failures"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk failing designs (created on first failure).")
+  in
+  let run seed count cert dimacs_count out =
+    Printf.printf "fuzzing %d designs (seed %d, certification %s)\n%!" count seed
+      (if cert then "on" else "off");
+    let summary =
+      Fuzz.run ~out_dir:out
+        ~progress:(fun i ->
+          if (i + 1) mod 50 = 0 then Printf.printf "  %d/%d designs done\n%!" (i + 1) count)
+        ~seed ~count ~cert ()
+    in
+    List.iter
+      (fun (f : Fuzz.failure) ->
+        Printf.printf "FAIL case %d, oracle %s: %s\n" f.Fuzz.case f.Fuzz.oracle
+          f.Fuzz.message;
+        (match f.Fuzz.file with
+        | Some path -> Printf.printf "  shrunk reproducer written to %s\n" path
+        | None -> ());
+        print_string (Fuzz.design_to_string f.Fuzz.design))
+      summary.Fuzz.failures;
+    let dimacs_bad =
+      if dimacs_count > 0 then begin
+        Printf.printf "fuzzing %d DIMACS instances\n%!" dimacs_count;
+        let bad = Fuzz.dimacs ~seed ~count:dimacs_count ~cert () in
+        List.iter
+          (fun (i, msg) -> Printf.printf "FAIL dimacs instance %d: %s\n" i msg)
+          bad;
+        List.length bad
+      end
+      else 0
+    in
+    Printf.printf "%d cases, %d failures" summary.Fuzz.cases
+      (List.length summary.Fuzz.failures + dimacs_bad);
+    if cert then
+      Printf.printf ", %d UNSAT bounds DRAT-certified" summary.Fuzz.certified_unsats;
+    print_newline ();
+    exit (if summary.Fuzz.failures = [] && dimacs_bad = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the verification stack itself: random well-typed \
+          designs through independent simulator/BMC/AIG/solver paths, with \
+          optional DRAT certification of every UNSAT verdict.")
+    Term.(const run $ seed_arg $ count_arg $ cert_flag $ dimacs_arg $ out_arg)
+
 let () =
   let info =
     Cmd.info "gqed" ~version:"1.0.0"
       ~doc:"G-QED pre-silicon verification of (interfering) hardware accelerators"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; info_cmd; verify_cmd; mutants_cmd; simulate_cmd; crv_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; info_cmd; verify_cmd; mutants_cmd; simulate_cmd; crv_cmd; fuzz_cmd ]))

@@ -27,9 +27,10 @@ type t = {
   mutable strash_tab : int array; (* node id, or -1 for an empty slot *)
   mutable strash_mask : int; (* Array.length strash_tab - 1, power of two *)
   mutable strash_count : int;
+  strash_enabled : bool;
 }
 
-let create () =
+let create ?(strash = true) () =
   {
     fanin0 = Array.make 64 (-1);
     fanin1 = Array.make 64 (-1);
@@ -40,6 +41,7 @@ let create () =
     strash_tab = Array.make 256 (-1);
     strash_mask = 255;
     strash_count = 0;
+    strash_enabled = strash;
   }
 
 (* Fibonacci hashing of the packed key; AIG literals stay well below 2^31
@@ -101,6 +103,17 @@ let and_ g a b =
   else if b = true_ then a
   else if a = b then a
   else if a = not_ b then false_
+  else if not g.strash_enabled then begin
+    (* Structural hashing disabled (differential-testing mode): every AND
+       becomes a fresh node. Semantics must be identical to the hashed
+       construction; the fuzz harness checks exactly that. *)
+    let a, b = if a < b then (a, b) else (b, a) in
+    let n = new_node g in
+    g.fanin0.(n) <- a;
+    g.fanin1.(n) <- b;
+    g.num_ands <- g.num_ands + 1;
+    mk_lit n ~compl:false
+  end
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
     (* Linear probing; the load factor is kept below 3/4. *)

@@ -24,7 +24,12 @@ type lit = int
 val false_ : lit
 val true_ : lit
 
-val create : unit -> t
+val create : ?strash:bool -> unit -> t
+(** [strash] (default [true]) enables structural hashing. Building with it
+    disabled produces a (much larger) graph computing the same functions —
+    the fuzz harness constructs both and demands evaluation agreement,
+    which cross-checks the hash-consing table against the naive
+    construction. *)
 
 val fresh_input : t -> lit
 (** Allocate a new primary input; returns its positive literal. Inputs are

@@ -102,6 +102,8 @@ let pp_witness ppf w =
   Format.fprintf ppf "counterexample of %d cycle(s):@." w.w_length;
   Rtl.pp_trace ppf w.w_trace
 
+exception Certification_failed of string
+
 module Engine = struct
   type t = {
     graph : Aig.t;
@@ -110,14 +112,17 @@ module Engine = struct
     solver : Sat.Solver.t;
     emitter : Aig.Cnf.emitter;
     symbolic_init : bool;
+    certify : bool;
+    mutable certified_unsats : int;
   }
 
-  let create ?(symbolic_init = false) design =
+  let create ?(symbolic_init = false) ?(certify = false) design =
     let graph = Aig.create () in
     let unroller = Unroller.create ~symbolic_init graph design in
     let solver = Sat.Solver.create () in
+    if certify then Sat.Solver.start_proof solver;
     let emitter = Aig.Cnf.make graph solver in
-    { graph; design; unroller; solver; emitter; symbolic_init }
+    { graph; design; unroller; solver; emitter; symbolic_init; certify; certified_unsats = 0 }
 
   let unroller t = t.unroller
   let graph t = t.graph
@@ -176,12 +181,32 @@ module Engine = struct
 
   let model_lit = model_bit
 
+  (* Replay the solver's DRAT stream through the independent checker. Only
+     meaningful right after an UNSAT answer to a query with exactly these
+     SAT-level assumptions. *)
+  let certify_unsat_sat_lits t sat_assumptions =
+    Sat.Drat.check ~assumptions:sat_assumptions (Sat.Solver.proof t.solver)
+
+  let certify_unsat t ~assumptions =
+    (* The cones of the assumption literals were emitted by the query that
+       answered UNSAT, so [assume_lit] is a memoized lookup here and adds no
+       clauses. *)
+    let sat_assumptions = List.map (Aig.Cnf.assume_lit t.emitter) assumptions in
+    certify_unsat_sat_lits t sat_assumptions
+
   let check t ~assumptions =
     let sat_assumptions = List.map (Aig.Cnf.assume_lit t.emitter) assumptions in
     match Sat.Solver.solve ~assumptions:sat_assumptions t.solver with
     | Sat.Solver.Sat -> Some (extract_witness t)
-    | Sat.Solver.Unsat -> None
+    | Sat.Solver.Unsat ->
+        if t.certify then begin
+          match certify_unsat_sat_lits t sat_assumptions with
+          | Ok () -> t.certified_unsats <- t.certified_unsats + 1
+          | Error msg -> raise (Certification_failed msg)
+        end;
+        None
 
+  let certified_unsats t = t.certified_unsats
   let stats t = Sat.Solver.stats t.solver
 
   let cnf_size t =
@@ -205,7 +230,8 @@ let assert_assumes engine ~assumes k =
       Engine.assert_lit engine bit)
     assumes
 
-let check_safety ?(symbolic_init = false) ?(assumes = []) ~design ~invariant ~depth () =
+let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = []) ~design
+    ~invariant ~depth () =
   if Expr.width invariant <> 1 then
     invalid_arg "Bmc.check_safety: invariant must be 1 bit wide";
   List.iter
@@ -213,7 +239,7 @@ let check_safety ?(symbolic_init = false) ?(assumes = []) ~design ~invariant ~de
       if Expr.width a <> 1 then
         invalid_arg "Bmc.check_safety: assumptions must be 1 bit wide")
     assumes;
-  let engine = Engine.create ~symbolic_init design in
+  let engine = Engine.create ~symbolic_init ~certify design in
   let rec deepen k =
     if k >= depth then (Holds depth, Engine.stats engine)
     else begin
@@ -230,8 +256,8 @@ let check_safety ?(symbolic_init = false) ?(assumes = []) ~design ~invariant ~de
   in
   deepen 0
 
-let check_safety_mono ?(symbolic_init = false) ?(assumes = []) ~design ~invariant ~depth
-    () =
+let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
+    ~design ~invariant ~depth () =
   if Expr.width invariant <> 1 then
     invalid_arg "Bmc.check_safety_mono: invariant must be 1 bit wide";
   let last_stats = ref None in
@@ -239,7 +265,7 @@ let check_safety_mono ?(symbolic_init = false) ?(assumes = []) ~design ~invarian
     if k >= depth then (Holds depth, Option.get !last_stats)
     else begin
       (* Fresh engine per bound: no learnt-clause reuse across bounds. *)
-      let engine = Engine.create ~symbolic_init design in
+      let engine = Engine.create ~symbolic_init ~certify design in
       for j = 0 to k do
         assert_assumes engine ~assumes j
       done;

@@ -53,10 +53,23 @@ type witness = {
 
 val pp_witness : Format.formatter -> witness -> unit
 
+exception Certification_failed of string
+(** Raised by a certifying engine when an UNSAT answer's DRAT certificate
+    is rejected by the independent checker — i.e. the solver claimed
+    "verified" but could not prove it. This must never happen; the fuzz
+    harness treats it as a verifier bug. *)
+
 module Engine : sig
   type t
 
-  val create : ?symbolic_init:bool -> Rtl.design -> t
+  val create : ?symbolic_init:bool -> ?certify:bool -> Rtl.design -> t
+  (** [certify] (default [false]) turns on DRAT proof logging in the
+      underlying solver and checks a certificate for {e every} UNSAT
+      answer of {!check}, raising {!Certification_failed} on rejection.
+      SAT answers are independently validated by the simulator replay in
+      witness extraction, so with [certify:true] both verdict polarities
+      are cross-checked. *)
+
   val unroller : t -> Unroller.t
   val graph : t -> Aig.t
   val solver : t -> Sat.Solver.t
@@ -73,6 +86,15 @@ module Engine : sig
       [check] returned [Some _] and before the next query). Unconstrained
       literals read as [false]. *)
 
+  val certify_unsat : t -> assumptions:Aig.lit list -> (unit, string) result
+  (** Explicitly re-check the DRAT certificate of the most recent UNSAT
+      answer (which must have used exactly these assumptions). Requires a
+      [certify:true] engine. [check] already does this automatically; this
+      entry point exists for tests and tooling. *)
+
+  val certified_unsats : t -> int
+  (** Number of UNSAT answers certified so far on this engine. *)
+
   val stats : t -> Sat.Solver.stats
   val cnf_size : t -> int * int
   (** [(vars, clauses)] currently in the solver. *)
@@ -84,6 +106,7 @@ type outcome =
 
 val check_safety :
   ?symbolic_init:bool ->
+  ?certify:bool ->
   ?assumes:Expr.t list ->
   design:Rtl.design ->
   invariant:Expr.t ->
@@ -93,10 +116,13 @@ val check_safety :
 (** Incremental-deepening BMC: check that the 1-bit [invariant] (over
     inputs, registers and outputs) holds at every cycle of every trace of
     length <= [depth], under the 1-bit [assumes] constraints applied at
-    every cycle. *)
+    every cycle. With [certify:true] every UNSAT bound along the way is
+    DRAT-certified (so a [Holds] verdict is fully certificate-backed);
+    raises {!Certification_failed} on a rejected certificate. *)
 
 val check_safety_mono :
   ?symbolic_init:bool ->
+  ?certify:bool ->
   ?assumes:Expr.t list ->
   design:Rtl.design ->
   invariant:Expr.t ->

@@ -1,0 +1,142 @@
+(** Differential fuzzing of the verification stack.
+
+    The verifier's verdicts are only as trustworthy as its kernels — the
+    expression evaluator, the bit-blaster, the hash-consed AIG, the CDCL
+    solver and the parallel fan-out all sit between a design and a
+    "Proved"/"Detected" answer. This module generates seeded random but
+    well-typed RTL transition systems and runs every artifact through
+    {e independent} implementation paths, demanding bit-exact agreement:
+
+    - {b sim-vs-unroll}: the cycle-accurate {!Rtl} simulator against the
+      BMC unrolling of the same design evaluated on the same concrete
+      stimulus ({!Aig.eval} over the unrolled graph);
+    - {b eval-vs-blast}: concrete {!Expr.eval} against the bit-blasted
+      {!Expr.blast} interpretation, expression by expression;
+    - {b strash}: AIG construction with structural hashing on against the
+      naive construction with hashing off;
+    - {b bmc-vs-sim}: BMC verdicts against simulator replay — counter-
+      examples must violate the invariant exactly at their last cycle, and
+      invariants that are true by construction must come back [Holds];
+      with certification on, every UNSAT bound is DRAT-checked
+      ({!Sat.Drat});
+    - {b jobs}: verdicts computed under {!Par} domain fan-out against the
+      serial run.
+
+    Failing designs are shrunk greedily to a (locally) minimal reproducer
+    and written to a corpus directory together with the seed that found
+    them. Everything is deterministic in the seed. *)
+
+type config = {
+  max_inputs : int;  (** 1..n input ports *)
+  max_regs : int;  (** 1..n registers *)
+  max_outputs : int;  (** 1..n outputs *)
+  max_width : int;  (** widths drawn from 1..n (capped at {!Bitvec.max_width}) *)
+  max_depth : int;  (** expression generator recursion depth *)
+  sim_cycles : int;  (** concrete stimulus length for sim-vs-unroll *)
+  bmc_depth : int;  (** unroll depth for the BMC oracles *)
+}
+
+val default_config : config
+(** Small designs (≤3 inputs/registers/outputs, widths ≤8, depth 3,
+    6 simulated cycles, BMC depth 3) — big enough to exercise every kernel,
+    small enough to run hundreds per second. *)
+
+(** {1 Generation} *)
+
+module Gen : sig
+  val design : ?config:config -> Random.State.t -> Rtl.design
+  (** A random well-typed synchronous design (guaranteed to pass
+      {!Rtl.validate} by construction). *)
+
+  val expr : Random.State.t -> vars:Expr.var list -> width:int -> depth:int -> Expr.t
+  (** A random well-typed expression of the given width over the given
+      variables. *)
+
+  val valuation : Random.State.t -> Expr.var list -> Rtl.valuation
+  (** Uniform random values for every variable. *)
+
+  val true_invariant : Random.State.t -> vars:Expr.var list -> Expr.t
+  (** A 1-bit expression that is true in every state {e by algebra} (e.g.
+      [a + b = b + a], [(a & b) <= a]) but not syntactically trivial, so
+      proving it exercises real SAT work at every BMC bound. *)
+end
+
+(** {1 Oracles}
+
+    Each oracle returns [Ok ()] on agreement and [Error msg] pinpointing
+    the first disagreement. Oracles draw their stimulus from the supplied
+    RNG; reseed to replay. *)
+
+module Oracle : sig
+  val sim_vs_unroll : cycles:int -> Random.State.t -> Rtl.design -> (unit, string) result
+  val eval_vs_blast : Random.State.t -> Rtl.design -> (unit, string) result
+  val strash_on_vs_off : Random.State.t -> Rtl.design -> (unit, string) result
+
+  val bmc_vs_sim :
+    ?cert:bool -> depth:int -> Random.State.t -> Rtl.design -> (int, string) result
+  (** On success, the number of UNSAT bounds that were DRAT-certified
+      (0 when [cert] is false). *)
+
+  val jobs_vs_serial : depth:int -> Random.State.t -> Rtl.design -> (unit, string) result
+end
+
+(** {1 Shrinking} *)
+
+val shrink : failing:(Rtl.design -> bool) -> Rtl.design -> Rtl.design
+(** Greedy structural shrinking: repeatedly drop outputs, registers and
+    inputs and replace subexpressions by constants or their own children,
+    keeping any smaller design for which [failing] still holds, until a
+    fixpoint (or a trial budget) is reached. *)
+
+(** {1 Driver} *)
+
+type failure = {
+  case : int;  (** index of the failing case within the run *)
+  oracle : string;
+  message : string;
+  design : Rtl.design;  (** the shrunk reproducer *)
+  file : string option;  (** corpus file, when a directory was given *)
+}
+
+type summary = {
+  cases : int;
+  failures : failure list;
+  certified_unsats : int;  (** DRAT certificates checked and accepted *)
+}
+
+val run :
+  ?config:config ->
+  ?out_dir:string ->
+  ?progress:(int -> unit) ->
+  seed:int ->
+  count:int ->
+  cert:bool ->
+  unit ->
+  summary
+(** Generate [count] designs from [seed] and run all oracles on each.
+    Failures are shrunk and, when [out_dir] is given, written there as
+    reproducible text files. Case [i] depends only on [(seed, i)].
+    [progress] is called after each case. *)
+
+val design_to_string : Rtl.design -> string
+(** Human-readable dump used for corpus files (inputs, registers with
+    reset values and next-state functions, outputs). *)
+
+(** {1 DIMACS-level fuzz}
+
+    The solver-only half of the harness (promoted out of the SAT test
+    suite): seeded random CNF instances solved through the DIMACS text
+    pipeline and cross-checked against an exhaustive enumerator that
+    shares no code with the solver. SAT answers are validated against the
+    model; with [cert] set, UNSAT answers must carry an accepted DRAT
+    certificate. Returns the list of (instance index, complaint) —
+    empty when the solver survived. *)
+
+val dimacs :
+  ?max_vars:int -> seed:int -> count:int -> cert:bool -> unit -> (int * string) list
+
+val exhaustive_sat : int -> Sat.Lit.t list list -> bool
+(** The reference enumerator used by {!dimacs}: exhaustive backtracking
+    over all assignments of [n] variables with clause-falsification
+    pruning. Exposed so tests can cross-validate it against other
+    reference implementations. *)

@@ -71,6 +71,10 @@ type t = {
      contained a literal at that level. *)
   mutable lbd_seen : int array;
   mutable lbd_stamp : int;
+  (* DRAT proof logging (off unless [start_proof] was called). The stream
+     is kept reversed; [proof] re-chronologizes it. *)
+  mutable proof_logging : bool;
+  mutable proof_rev : Drat.event list;
   (* Status. *)
   mutable ok : bool;
   mutable answer : answer;
@@ -112,6 +116,8 @@ let create () =
     analyze_toclear = Vec.create 0;
     lbd_seen = Array.make 16 0;
     lbd_stamp = 0;
+    proof_logging = false;
+    proof_rev = [];
     ok = true;
     answer = A_none;
     model = [||];
@@ -124,6 +130,34 @@ let create () =
 
 let nvars s = s.nvars
 let ok s = s.ok
+
+(* ------------------------------------------------------------------ *)
+(* DRAT proof logging.                                                 *)
+
+let start_proof s =
+  if Vec.size s.clauses > 0 || Vec.size s.learnts > 0 || Vec.size s.trail > 0 || not s.ok
+  then invalid_arg "Solver.start_proof: must be enabled before any clause is added";
+  s.proof_logging <- true;
+  s.proof_rev <- []
+
+let proof_logging s = s.proof_logging
+let proof s = List.rev s.proof_rev
+
+(* The solver permutes clause arrays in place (watch maintenance), so every
+   logged clause is copied at logging time. *)
+let log_input s lits =
+  if s.proof_logging then s.proof_rev <- Drat.Input (Array.of_list lits) :: s.proof_rev
+
+let log_add_list s lits =
+  if s.proof_logging then s.proof_rev <- Drat.Add (Array.of_list lits) :: s.proof_rev
+
+let log_add_arr s lits =
+  if s.proof_logging then s.proof_rev <- Drat.Add (Array.copy lits) :: s.proof_rev
+
+let log_empty s = if s.proof_logging then s.proof_rev <- Drat.Add [||] :: s.proof_rev
+
+let log_delete s lits =
+  if s.proof_logging then s.proof_rev <- Drat.Delete (Array.copy lits) :: s.proof_rev
 
 (* ------------------------------------------------------------------ *)
 (* Variable order heap (max-heap on activity).                         *)
@@ -304,8 +338,8 @@ let attach_clause s c =
 let remove_clause s c =
   c.removed <- true;
   (* A removed clause must never remain a reason. Callers guarantee this via
-     the [locked] check; assert it in debug spirit. *)
-  ignore s
+     the [locked] check. *)
+  log_delete s c.lits
 
 let locked s c =
   Array.length c.lits > 0
@@ -562,6 +596,7 @@ let analyze_final s p =
 let add_clause s lits =
   if decision_level s <> 0 then
     invalid_arg "Solver.add_clause: only allowed at decision level 0";
+  log_input s lits;
   if s.ok then begin
     (* Sort + dedup; detect tautologies and level-0 entailment. *)
     let lits = List.sort_uniq Int.compare lits in
@@ -574,15 +609,29 @@ let add_clause s lits =
     in
     let satisfied = List.exists (fun l -> value_lit s l = 1) lits in
     if not (tautology || satisfied) then begin
-      let lits = List.filter (fun l -> value_lit s l <> -1) lits in
-      match lits with
+      let filtered = List.filter (fun l -> value_lit s l <> -1) lits in
+      (* Literals false at level 0 are dropped before storing; the stronger
+         clause is a unit-propagation consequence of the original plus the
+         level-0 facts, so it goes into the proof as a derived clause (and
+         is the identity any later [Delete] of this clause refers to). *)
+      if List.compare_lengths filtered lits <> 0 then log_add_list s filtered;
+      match filtered with
       | [] -> s.ok <- false
       | [ l ] ->
           unchecked_enqueue s l dummy_clause;
-          if propagate s <> None then s.ok <- false
+          if propagate s <> None then begin
+            s.ok <- false;
+            log_empty s
+          end
       | _ :: _ :: _ ->
           let c =
-            { lits = Array.of_list lits; learnt = false; act = 0.; lbd = 0; removed = false }
+            {
+              lits = Array.of_list filtered;
+              learnt = false;
+              act = 0.;
+              lbd = 0;
+              removed = false;
+            }
           in
           Vec.push s.clauses c;
           attach_clause s c
@@ -632,7 +681,10 @@ let simplify s =
     compact s.learnts;
     compact s.clauses
   end
-  else if s.ok && decision_level s = 0 then s.ok <- false
+  else if s.ok && decision_level s = 0 then begin
+    s.ok <- false;
+    log_empty s
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Search.                                                             *)
@@ -681,6 +733,9 @@ let decide s =
   assume ()
 
 let record_learnt s learnt blevel ~lbd =
+  (* First-UIP learnt clauses are derived by resolution over reason clauses,
+     hence RUP with respect to the clauses alive right now. *)
+  log_add_arr s learnt;
   cancel_until s blevel;
   match Array.length learnt with
   | 1 ->
@@ -705,6 +760,7 @@ let search s ~max_conflicts =
         incr conflict_c;
         if decision_level s = 0 then begin
           s.ok <- false;
+          log_empty s;
           raise Found_unsat
         end;
         let learnt, blevel = analyze s confl in

@@ -61,3 +61,25 @@ val unsat_assumptions : t -> Lit.t list
 val stats : t -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Proof logging}
+
+    With logging enabled, the solver records a {!Drat} event stream —
+    problem clauses, derived (learnt/simplified) clauses and deletions — so
+    that any [Unsat] answer can be certified by the independent
+    {!Drat.check} replay: pass the stream, plus the assumptions of the
+    UNSAT [solve] call (if any). [Sat] answers are certified by evaluating
+    the model instead; see {!value}/{!model}. *)
+
+val start_proof : t -> unit
+(** Enable DRAT logging. Must be called before the first {!add_clause};
+    raises [Invalid_argument] otherwise. Logging costs one copied clause
+    per addition/learn/delete event. *)
+
+val proof_logging : t -> bool
+
+val proof : t -> Drat.proof
+(** The events logged so far, in chronological order. The stream grows
+    monotonically across incremental [add_clause]/[solve] calls, so a
+    snapshot taken after an [Unsat] answer certifies exactly the clause set
+    added up to that point. *)

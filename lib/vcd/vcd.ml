@@ -97,3 +97,135 @@ let to_file path doc =
   let oc = open_out path in
   output_string oc doc;
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Reader.                                                             *)
+
+module Read = struct
+  type signal = { path : string list; name : string; width : int; id : string }
+
+  type t = { signals : signal list; changes : (int * (string * string) list) list }
+
+  exception Bad of string
+
+  let parse_exn doc =
+    (* The header is a token stream ($-keywords up to $enddefinitions); the
+       change section is line-oriented. Split once, then walk both. *)
+    let tokens = ref [] in
+    let in_header = ref true in
+    let body_lines = ref [] in
+    String.split_on_char '\n' doc
+    |> List.iter (fun line ->
+           if !in_header then begin
+             let words =
+               String.split_on_char ' ' line
+               |> List.concat_map (String.split_on_char '\t')
+               |> List.filter (fun w -> w <> "")
+             in
+             tokens := List.rev_append words !tokens;
+             if List.mem "$enddefinitions" words then in_header := false
+           end
+           else body_lines := line :: !body_lines);
+    if !in_header then raise (Bad "missing $enddefinitions");
+    let tokens = List.rev !tokens in
+    (* Walk the header tokens tracking the scope stack. *)
+    let signals = ref [] in
+    let rec skip_to_end = function
+      | "$end" :: rest -> rest
+      | _ :: rest -> skip_to_end rest
+      | [] -> raise (Bad "unterminated $-section")
+    in
+    let rec header scopes = function
+      | [] -> ()
+      | "$scope" :: _kind :: name :: "$end" :: rest -> header (name :: scopes) rest
+      | "$upscope" :: "$end" :: rest -> (
+          match scopes with
+          | _ :: outer -> header outer rest
+          | [] -> raise (Bad "$upscope with no open scope"))
+      | "$var" :: _kind :: width :: id :: name :: rest -> (
+          let width =
+            match int_of_string_opt width with
+            | Some w when w > 0 -> w
+            | _ -> raise (Bad ("bad $var width: " ^ width))
+          in
+          signals := { path = List.rev scopes; name; width; id } :: !signals;
+          (* Tolerate bit-select suffixes ("name [7:0]") before $end. *)
+          match skip_to_end rest with rest -> header scopes rest)
+      | "$enddefinitions" :: rest -> header scopes (skip_to_end rest)
+      | ("$date" | "$version" | "$timescale" | "$comment") :: rest ->
+          header scopes (skip_to_end rest)
+      | "$dumpvars" :: rest -> header scopes rest
+      | tok :: _ -> raise (Bad ("unexpected header token: " ^ tok))
+    in
+    header [] tokens;
+    (* Change section. *)
+    let changes = ref [] in
+    let current = ref None (* (time, rev changes at that time) *) in
+    let flush () =
+      match !current with
+      | Some (t, cs) -> changes := (t, List.rev cs) :: !changes
+      | None -> ()
+    in
+    let record id v =
+      match !current with
+      | Some (t, cs) -> current := Some (t, (id, v) :: cs)
+      | None -> raise (Bad "value change before any #timestamp")
+    in
+    List.rev !body_lines
+    |> List.iter (fun line ->
+           let line = String.trim line in
+           if line = "" then ()
+           else
+             match line.[0] with
+             | '#' -> (
+                 match int_of_string_opt (String.sub line 1 (String.length line - 1)) with
+                 | Some t ->
+                     flush ();
+                     current := Some (t, [])
+                 | None -> raise (Bad ("bad timestamp: " ^ line)))
+             | '0' | '1' | 'x' | 'X' | 'z' | 'Z' ->
+                 (* Scalar change: value immediately followed by the id. *)
+                 record
+                   (String.sub line 1 (String.length line - 1))
+                   (String.make 1 line.[0])
+             | 'b' | 'B' -> (
+                 match String.index_opt line ' ' with
+                 | Some sp ->
+                     record
+                       (String.trim (String.sub line (sp + 1) (String.length line - sp - 1)))
+                       (String.sub line 1 (sp - 1))
+                 | None -> raise (Bad ("vector change without identifier: " ^ line)))
+             | '$' -> () (* $dumpvars / $end markers inside the dump *)
+             | _ -> raise (Bad ("unexpected change line: " ^ line)));
+    flush ();
+    { signals = List.rev !signals; changes = List.rev !changes }
+
+  let parse doc =
+    match parse_exn doc with
+    | t -> Ok t
+    | exception Bad msg -> Error msg
+
+  let find_signal t ~scope name =
+    List.find_opt
+      (fun s ->
+        s.name = name
+        && match List.rev s.path with innermost :: _ -> innermost = scope | [] -> false)
+      t.signals
+
+  let value_at t (s : signal) ~time =
+    let bits = ref None in
+    List.iter
+      (fun (tstamp, cs) ->
+        if tstamp <= time then
+          List.iter (fun (id, v) -> if id = s.id then bits := Some v) cs)
+      t.changes;
+    match !bits with
+    | None -> None
+    | Some v ->
+        let v =
+          if String.length v >= s.width then
+            String.sub v (String.length v - s.width) s.width
+          else String.make (s.width - String.length v) '0' ^ v
+        in
+        Some (Bitvec.of_bits (List.init s.width (fun i -> v.[i] = '1')))
+end

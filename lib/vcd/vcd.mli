@@ -15,3 +15,35 @@ val of_witness : ?design_name:string -> Bmc.witness -> string
 
 val to_file : string -> string -> unit
 (** [to_file path doc] writes the document. *)
+
+(** Minimal VCD reader, enough to parse documents produced by this writer
+    (and the common subset of the format: [$scope]/[$var] headers, [#time]
+    stamps, scalar and [b...] vector changes). Exists so the test suite can
+    round-trip traces — simulate, write, re-parse, compare cycle by cycle —
+    rather than trusting the writer by inspection. *)
+module Read : sig
+  type signal = {
+    path : string list;  (** enclosing scopes, outermost first *)
+    name : string;
+    width : int;
+    id : string;  (** identifier code used in the change section *)
+  }
+
+  type t = {
+    signals : signal list;  (** in declaration order *)
+    changes : (int * (string * string) list) list;
+        (** per timestamp (ascending), the (id, binary MSB-first value)
+            changes recorded at it, in file order *)
+  }
+
+  val parse : string -> (t, string) result
+
+  val find_signal : t -> scope:string -> string -> signal option
+  (** Signal by name within the innermost scope named [scope]. *)
+
+  val value_at : t -> signal -> time:int -> Bitvec.t option
+  (** Value of a signal at a timestamp: the last change at or before
+      [time], zero-padded to the declared width (VCD semantics for [b]
+      values shorter than the width). [None] before the signal's first
+      change. *)
+end

@@ -183,6 +183,166 @@ let props =
         = List.length (List.filter (fun x -> x) (Bv.to_bits va)));
   ]
 
+(* A naive reference model over LSB-first bit lists: ripple-carry adder,
+   shift-and-add multiplier, MSB-down comparison, bit-list shifts. Shares
+   nothing with the packed-int implementation, and covers the full width
+   range 1..max_width (the native-int props above stop at 32 because they
+   compare against untruncated [int] arithmetic). *)
+module Ref = struct
+  let of_bv v = List.init (Bv.width v) (Bv.bit v)
+
+  let to_bv bits = Bv.of_bits (List.rev bits)
+
+  let add a b =
+    let rec go carry = function
+      | [], [] -> []
+      | x :: xs, y :: ys ->
+          let s = (if x then 1 else 0) + (if y then 1 else 0) + if carry then 1 else 0 in
+          (s land 1 = 1) :: go (s >= 2) (xs, ys)
+      | _ -> invalid_arg "Ref.add"
+    in
+    go false (a, b)
+
+  let lognot = List.map not
+
+  let one_like a = List.mapi (fun i _ -> i = 0) a
+
+  let neg a = add (lognot a) (one_like a)
+
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    (* Shift-and-add, truncating to the operand width. *)
+    let w = List.length a in
+    let shift1 bits = List.filteri (fun i _ -> i < w) (false :: bits) in
+    let rec go acc a = function
+      | [] -> acc
+      | y :: ys -> go (if y then add acc a else acc) (shift1 a) ys
+    in
+    go (List.map (fun _ -> false) a) a b
+
+  (* Unsigned less-than by scanning from the most significant bit. *)
+  let ult a b =
+    let rec go = function
+      | [], [] -> false
+      | x :: xs, y :: ys -> if x <> y then y else go (xs, ys)
+      | _ -> invalid_arg "Ref.ult"
+    in
+    go (List.rev a, List.rev b)
+
+  let ule a b = a = b || ult a b
+
+  let sign a = match List.rev a with s :: _ -> s | [] -> false
+
+  let slt a b =
+    (* Negative < non-negative; same sign defers to the unsigned order. *)
+    match (sign a, sign b) with
+    | true, false -> true
+    | false, true -> false
+    | _ -> ult a b
+
+  let sle a b = a = b || slt a b
+
+  let shift_amount b =
+    List.fold_right (fun bit acc -> (2 * acc) + if bit then 1 else 0) b 0
+
+  let shl a b =
+    let w = List.length a and n = shift_amount b in
+    if n >= w then List.map (fun _ -> false) a
+    else List.filteri (fun i _ -> i < w) (List.init n (fun _ -> false) @ a)
+
+  let lshr a b =
+    let w = List.length a and n = shift_amount b in
+    if n >= w then List.map (fun _ -> false) a
+    else List.filteri (fun i _ -> i >= n) a @ List.init n (fun _ -> false)
+
+  let ashr a b =
+    let w = List.length a and n = shift_amount b in
+    let fill = sign a in
+    if n >= w then List.map (fun _ -> fill) a
+    else List.filteri (fun i _ -> i >= n) a @ List.init n (fun _ -> fill)
+end
+
+(* Width-biased generator: all widths 1..max_width (the issue of record says
+   up to 128 bits; the packed-int representation caps at [Bv.max_width] = 62,
+   and the width-0 / over-limit cases are covered by the raising tests
+   below), with the all-zeros / all-ones / one corners drawn often. *)
+let gen_wide_pair =
+  QCheck.Gen.(
+    int_range 1 Bv.max_width >>= fun w ->
+    let value =
+      frequency
+        [
+          (1, return (Bv.zero w));
+          (1, return (Bv.ones w));
+          (1, return (Bv.one w));
+          ( 5,
+            (* Uniform over a random-magnitude low chunk so small and large
+               values both appear at every width. *)
+            int_bound (min w 60) >>= fun hi ->
+            int_bound ((1 lsl (hi + 1)) - 1) >>= fun v ->
+            return (Bv.make ~width:w v) );
+        ]
+    in
+    value >>= fun a ->
+    value >>= fun b -> return (w, a, b))
+
+let arb_wide_pair =
+  QCheck.make
+    ~print:(fun (w, a, b) ->
+      Printf.sprintf "w=%d a=%s b=%s" w (Bv.to_string a) (Bv.to_string b))
+    gen_wide_pair
+
+let wprop name f = QCheck.Test.make ~count:1000 ~name arb_wide_pair f
+
+let ref_props =
+  let bveq impl reference = Bv.equal impl (Ref.to_bv reference) in
+  [
+    wprop "add matches bit-list reference" (fun (_, a, b) ->
+        bveq (Bv.add a b) (Ref.add (Ref.of_bv a) (Ref.of_bv b)));
+    wprop "sub matches bit-list reference" (fun (_, a, b) ->
+        bveq (Bv.sub a b) (Ref.sub (Ref.of_bv a) (Ref.of_bv b)));
+    wprop "neg matches bit-list reference" (fun (_, a, _) ->
+        bveq (Bv.neg a) (Ref.neg (Ref.of_bv a)));
+    wprop "mul matches bit-list reference" (fun (_, a, b) ->
+        bveq (Bv.mul a b) (Ref.mul (Ref.of_bv a) (Ref.of_bv b)));
+    wprop "ult matches bit-list reference" (fun (_, a, b) ->
+        Bv.to_bool (Bv.ult a b) = Ref.ult (Ref.of_bv a) (Ref.of_bv b));
+    wprop "ule matches bit-list reference" (fun (_, a, b) ->
+        Bv.to_bool (Bv.ule a b) = Ref.ule (Ref.of_bv a) (Ref.of_bv b));
+    wprop "slt matches bit-list reference" (fun (_, a, b) ->
+        Bv.to_bool (Bv.slt a b) = Ref.slt (Ref.of_bv a) (Ref.of_bv b));
+    wprop "sle matches bit-list reference" (fun (_, a, b) ->
+        Bv.to_bool (Bv.sle a b) = Ref.sle (Ref.of_bv a) (Ref.of_bv b));
+    wprop "shl matches bit-list reference" (fun (_, a, b) ->
+        bveq (Bv.shl a b) (Ref.shl (Ref.of_bv a) (Ref.of_bv b)));
+    wprop "lshr matches bit-list reference" (fun (_, a, b) ->
+        bveq (Bv.lshr a b) (Ref.lshr (Ref.of_bv a) (Ref.of_bv b)));
+    wprop "ashr matches bit-list reference" (fun (_, a, b) ->
+        bveq (Bv.ashr a b) (Ref.ashr (Ref.of_bv a) (Ref.of_bv b)));
+  ]
+
+let test_out_of_range_widths_raise () =
+  (* Widths beyond the representation (including the issue's nominal 128)
+     must fail loudly at construction, never truncate silently. *)
+  List.iter
+    (fun w ->
+      match Bv.make ~width:w 0 with
+      | _ -> Alcotest.failf "width %d accepted" w
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; 63; 64; 128 ]
+
+let test_all_ones_corners () =
+  let w = Bv.max_width in
+  let v = Bv.ones w in
+  Alcotest.check bv "ones + 1 wraps to zero" (Bv.zero w) (Bv.add v (Bv.one w));
+  Alcotest.check bv "ones is -1" v (Bv.make ~width:w (-1));
+  Alcotest.(check int) "signed value" (-1) (Bv.to_signed_int v);
+  Alcotest.(check bool) "slt min" true
+    (Bv.to_bool (Bv.slt v (Bv.zero w)));
+  Alcotest.check bv "mul by ones negates" (Bv.neg (Bv.make ~width:w 12345))
+    (Bv.mul (Bv.make ~width:w 12345) v)
+
 let suite =
   [
     ("bitvec.make", `Quick, test_make_truncates);
@@ -199,5 +359,8 @@ let suite =
     ("bitvec.ite", `Quick, test_ite);
     ("bitvec.printing", `Quick, test_printing);
     ("bitvec.width_mismatch", `Quick, test_width_mismatch_raises);
+    ("bitvec.out_of_range_widths", `Quick, test_out_of_range_widths_raise);
+    ("bitvec.all_ones_corners", `Quick, test_all_ones_corners);
   ]
   @ List.map QCheck_alcotest.to_alcotest props
+  @ List.map QCheck_alcotest.to_alcotest ref_props

@@ -15,4 +15,6 @@ let () =
       ("testbench", Test_testbench.suite);
       ("vcd", Test_vcd.suite);
       ("variable", Test_variable.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("matrix", Test_matrix.suite);
     ]

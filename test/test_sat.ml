@@ -252,93 +252,25 @@ let test_dimacs_multiline_clause () =
   | Error e -> Alcotest.fail e
   | Ok cnf -> Alcotest.(check int) "one clause" 1 (List.length cnf.Dimacs.clauses)
 
-(* Seeded DIMACS fuzz: ≥500 random instances with up to 20 variables, fed
-   through the DIMACS text pipeline and cross-checked against an exhaustive
-   enumerator.  The clause-length distribution is biased toward binary
-   clauses so the specialised binary implication lists, watcher blockers and
-   LBD-based learnt reduction all see real traffic. *)
-
-let exhaustive_sat n clauses =
-  (* Exhaustive backtracking over all 2^n assignments, pruning a branch as
-     soon as some clause has every literal assigned false.  Deliberately
-     shares no code with the solver under test. *)
-  let assign = Array.make (max n 1) (-1) in
-  let clauses = Array.of_list (List.map Array.of_list clauses) in
-  let clause_alive c =
-    Array.exists
-      (fun l ->
-        let v = assign.(Lit.var l) in
-        v = -1 || v = (if Lit.is_neg l then 0 else 1))
-      c
-  in
-  let rec go d =
-    if not (Array.for_all clause_alive clauses) then false
-    else if d = n then true
-    else begin
-      assign.(d) <- 0;
-      let r =
-        go (d + 1)
-        ||
-        (assign.(d) <- 1;
-         go (d + 1))
-      in
-      assign.(d) <- -1;
-      r
-    end
-  in
-  go 0
+(* Seeded DIMACS fuzz, now shared with the `gqed fuzz` harness: ≥500 random
+   instances with up to 20 variables, fed through the DIMACS text pipeline,
+   cross-checked against an exhaustive enumerator — and with a DRAT
+   certificate demanded (and independently checked) for every UNSAT verdict.
+   The clause-length distribution is biased toward binary clauses so the
+   specialised binary implication lists, watcher blockers and LBD-based
+   learnt reduction all see real traffic. *)
 
 let test_dimacs_fuzz_20vars () =
-  let rand = Random.State.make [| 0xD1CA5 |] in
-  let instances = 500 in
-  let bad = ref [] in
-  let flag i msg = bad := (i, msg) :: !bad in
-  for i = 1 to instances do
-    let n = 1 + Random.State.int rand 20 in
-    let m = Random.State.int rand (4 * n + 1) in
-    let clauses = ref [] in
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" n m);
-    for _ = 1 to m do
-      let len =
-        match Random.State.int rand 10 with
-        | 0 -> 1
-        | 1 | 2 | 3 | 4 -> 2
-        | 5 | 6 | 7 -> 3
-        | _ -> 4
-      in
-      let lits =
-        List.init len (fun _ ->
-            Lit.make (Random.State.int rand n) ~neg:(Random.State.bool rand))
-      in
-      clauses := lits :: !clauses;
-      List.iter
-        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " "))
-        lits;
-      Buffer.add_string buf "0\n"
-    done;
-    let expected = exhaustive_sat n !clauses in
-    (* Keep the reference honest: on small instances the pruned enumerator
-       must agree with the naive full enumeration above. *)
-    if n <= 10 && expected <> brute_force n !clauses then
-      flag i "enumerators disagree";
-    match Dimacs.solve_string (Buffer.contents buf) with
-    | Error e -> flag i ("parse error: " ^ e)
-    | Ok (result, model) -> begin
-        if (result = Solver.Sat) <> expected then flag i "verdict disagrees";
-        match (result, model) with
-        | Solver.Sat, None -> flag i "sat without model"
-        | Solver.Sat, Some model ->
-            let lit_true l =
-              let v = model.(Lit.var l) in
-              if Lit.is_neg l then not v else v
-            in
-            if not (List.for_all (List.exists lit_true) !clauses) then
-              flag i "model does not satisfy instance"
-        | _ -> ()
-      end
-  done;
-  Alcotest.(check (list (pair int string))) "all instances agree" [] (List.rev !bad)
+  Alcotest.(check (list (pair int string)))
+    "all instances agree and certify" []
+    (Fuzz.dimacs ~max_vars:20 ~seed:0xD1CA5 ~count:500 ~cert:true ())
+
+let prop_exhaustive_matches_brute_force =
+  (* Keep the fuzz harness's reference enumerator honest: the pruned
+     backtracking search must agree with naive full enumeration. *)
+  QCheck.Test.make ~count:300 ~name:"fuzz enumerator agrees with brute force"
+    (QCheck.make ~print:print_cnf random_cnf_gen)
+    (fun (n, clauses) -> Fuzz.exhaustive_sat n clauses = brute_force n clauses)
 
 let test_contradictory_assumptions () =
   let s = Solver.create () in
@@ -423,4 +355,5 @@ let suite =
     q prop_matches_brute_force;
     q prop_assumptions_match_brute_force;
     q prop_incremental_consistency;
+    q prop_exhaustive_matches_brute_force;
   ]

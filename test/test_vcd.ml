@@ -89,6 +89,90 @@ let test_to_file_roundtrip () =
   Sys.remove path;
   Alcotest.(check string) "roundtrip" doc content
 
+(* Semantic round trip: simulate, write VCD, re-parse with the minimal
+   reader, and compare every signal of every cycle against the original
+   trace. This catches writer bugs the substring checks above can't (wrong
+   ids, missed changes, bad binary rendering). *)
+
+let check_roundtrip design_name trace =
+  let doc = Vcd.of_trace ~design_name trace in
+  let parsed =
+    match Vcd.Read.parse doc with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "reader rejected writer output: %s" msg
+  in
+  let check_group scope proj =
+    List.iteri
+      (fun cycle step ->
+        Rtl.Smap.iter
+          (fun name expected ->
+            let signal =
+              match Vcd.Read.find_signal parsed ~scope name with
+              | Some s -> s
+              | None -> Alcotest.failf "signal %s missing from scope %s" name scope
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%s width" scope name)
+              (Bv.width expected) signal.Vcd.Read.width;
+            (* Cycle k occupies time [10k, 10k+10); sample inside it. *)
+            match Vcd.Read.value_at parsed signal ~time:((cycle * 10) + 5) with
+            | None -> Alcotest.failf "%s/%s has no value at cycle %d" scope name cycle
+            | Some got ->
+                if not (Bv.equal got expected) then
+                  Alcotest.failf "%s/%s cycle %d: wrote %s, read back %s" scope name
+                    cycle (Bv.to_string expected) (Bv.to_string got))
+          (proj step))
+      trace
+  in
+  check_group "inputs" (fun (s : Rtl.trace_step) -> s.Rtl.t_inputs);
+  check_group "state" (fun (s : Rtl.trace_step) -> s.Rtl.t_state);
+  check_group "outputs" (fun (s : Rtl.trace_step) -> s.Rtl.t_outputs)
+
+let test_read_roundtrip () = check_roundtrip "accum" (accum_trace ())
+
+let test_read_roundtrip_all_designs () =
+  (* Every benchmark design, driven with its own transaction generator, must
+     survive the round trip — wider signals, multi-register state, repeated
+     values (change-only emission) all included. *)
+  List.iter
+    (fun (e : Designs.Entry.t) ->
+      let rand = Random.State.make [| 0xC0FFEE |] in
+      let inputs =
+        List.init 5 (fun _ ->
+            if Random.State.float rand 1.0 < 0.2 then Designs.Entry.idle_valuation e
+            else
+              Designs.Entry.operand_valuation e ~valid:true
+                (e.Designs.Entry.sample_operand rand))
+      in
+      check_roundtrip e.Designs.Entry.name
+        (Rtl.simulate e.Designs.Entry.design inputs))
+    Designs.Registry.all
+
+let test_read_clk () =
+  let doc = Vcd.of_trace ~design_name:"accum" (accum_trace ()) in
+  let parsed = Result.get_ok (Vcd.Read.parse doc) in
+  let clk = Option.get (Vcd.Read.find_signal parsed ~scope:"accum" "clk") in
+  (* clk is 1 at the cycle start, 0 at the mid-cycle toggle. *)
+  Alcotest.(check bool) "high at cycle start" true
+    (Bv.to_bool (Option.get (Vcd.Read.value_at parsed clk ~time:10)));
+  Alcotest.(check bool) "low mid-cycle" false
+    (Bv.to_bool (Option.get (Vcd.Read.value_at parsed clk ~time:15)))
+
+let test_read_rejects_garbage () =
+  List.iter
+    (fun doc ->
+      match Vcd.Read.parse doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" doc)
+    [
+      "";
+      "$scope module m $end\n";
+      (* never closed, no enddefinitions *)
+      "$enddefinitions $end\nb101\n";
+      (* vector change without id *)
+      "$enddefinitions $end\n1! \n#notanumber\n";
+    ]
+
 let suite =
   [
     ("vcd.structure", `Quick, test_structure);
@@ -96,4 +180,8 @@ let suite =
     ("vcd.empty", `Quick, test_empty_trace);
     ("vcd.witness", `Quick, test_witness_rendering);
     ("vcd.to_file", `Quick, test_to_file_roundtrip);
+    ("vcd.read_roundtrip", `Quick, test_read_roundtrip);
+    ("vcd.read_roundtrip_all", `Quick, test_read_roundtrip_all_designs);
+    ("vcd.read_clk", `Quick, test_read_clk);
+    ("vcd.read_garbage", `Quick, test_read_rejects_garbage);
   ]
