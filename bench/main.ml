@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
      dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 f1 f2 f3 micro.
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 micro.
+
+   --designs d1,d2 restricts s1 to the named designs; --no-simplify runs
+   the solver-cost experiments (t3, f1, a2) with the formula-shrinking
+   pipeline off. s1 exits nonzero if any pipeline stage changes a verdict.
 
    Parallelism never changes any verdict or table cell: every task builds
    its own engine and results are reassembled in input order (see
@@ -30,6 +34,11 @@ let time f =
 (* Parallel fan-out (--jobs) and the JSON report (--json).              *)
 
 let jobs = ref 1
+
+(* --no-simplify: run the solver-cost experiments (t3, f1, a2) with the
+   formula-shrinking pipeline disabled, for before/after comparisons. S1
+   always runs both configurations and ignores this flag. *)
+let pipeline = ref Bmc.default_simplify
 
 (* Sum of per-task wall-clock seconds spent in Par fan-outs by the current
    experiment. task_sum / experiment_wall estimates the speedup over a
@@ -56,10 +65,40 @@ type json_solver_row = {
   js_stats : Sat.Solver.stats;
   js_cnf_vars : int;
   js_cnf_clauses : int;
+  js_simp : Bmc.Engine.simp_stats;
+}
+
+(* One S1 ablation cell: the same check with the pipeline off and fully on. *)
+type json_simplify_row = {
+  jp_design : string;
+  jp_case : string; (* "correct" or the mutant label *)
+  jp_verdict_off : string;
+  jp_verdict_on : string;
+  jp_vars_off : int;
+  jp_vars_on : int;
+  jp_clauses_off : int;
+  jp_clauses_on : int;
+  jp_time_off_s : float;
+  jp_time_on_s : float;
+}
+
+type json_stage_row = {
+  jg_design : string;
+  jg_stage : string;
+  jg_vars : int;
+  jg_clauses : int;
+  jg_time_s : float;
 }
 
 let json_experiments : json_experiment list ref = ref []
 let json_solver_rows : json_solver_row list ref = ref []
+let json_simplify_rows : json_simplify_row list ref = ref []
+let json_stage_rows : json_stage_row list ref = ref []
+let json_simplify_geomean = ref nan
+
+(* Verdict mismatches between pipeline configurations detected by S1; a
+   nonzero count fails the whole bench run (CI perf-smoke trips on it). *)
+let verdict_mismatches = ref 0
 
 let write_json path =
   let buf = Buffer.create 4096 in
@@ -93,17 +132,64 @@ let write_json path =
   List.iteri
     (fun i r ->
       let st = r.js_stats in
+      let sp = r.js_simp in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"design\": %S, \"bound\": %d, \"verdict\": %S, \"time_s\": %.3f, \
             \"cnf_vars\": %d, \"cnf_clauses\": %d, \"conflicts\": %d, \"decisions\": %d, \
-            \"propagations\": %d, \"restarts\": %d, \"learnt_clauses\": %d}%s\n"
+            \"propagations\": %d, \"restarts\": %d, \"learnt_clauses\": %d, \
+            \"simp\": {\"queries\": %d, \"coi_regs_before\": %d, \"coi_regs_after\": %d, \
+            \"rewrite_hits\": %d, \"clauses_emitted\": %d, \"clauses_plain\": %d, \
+            \"single_pol_nodes\": %d, \"pre_subsumed\": %d, \"pre_strengthened\": %d, \
+            \"pre_eliminated\": %d, \"pre_units\": %d, \"t_rewrite_s\": %.3f, \
+            \"t_cnf_s\": %.3f}}%s\n"
            r.js_design r.js_bound r.js_verdict r.js_time_s r.js_cnf_vars r.js_cnf_clauses
            st.Sat.Solver.conflicts st.Sat.Solver.decisions st.Sat.Solver.propagations
-           st.Sat.Solver.restarts st.Sat.Solver.learnt_clauses
+           st.Sat.Solver.restarts st.Sat.Solver.learnt_clauses sp.Bmc.Engine.ss_queries
+           sp.Bmc.Engine.ss_coi_regs_before sp.Bmc.Engine.ss_coi_regs_after
+           sp.Bmc.Engine.ss_rewrite_hits sp.Bmc.Engine.ss_clauses_emitted
+           sp.Bmc.Engine.ss_clauses_plain sp.Bmc.Engine.ss_single_pol
+           sp.Bmc.Engine.ss_pre.Sat.Solver.pre_subsumed
+           sp.Bmc.Engine.ss_pre.Sat.Solver.pre_strengthened
+           sp.Bmc.Engine.ss_pre.Sat.Solver.pre_eliminated
+           sp.Bmc.Engine.ss_pre.Sat.Solver.pre_units sp.Bmc.Engine.ss_t_rewrite
+           sp.Bmc.Engine.ss_t_cnf
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"simplify\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"geo_mean_clause_reduction\": %s,\n"
+       (if Float.is_nan !json_simplify_geomean then "null"
+        else Printf.sprintf "%.4f" !json_simplify_geomean));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"verdict_mismatches\": %d,\n" !verdict_mismatches);
+  Buffer.add_string buf "    \"matrix\": [\n";
+  let srows = !json_simplify_rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"design\": %S, \"case\": %S, \"verdict_off\": %S, \"verdict_on\": %S, \
+            \"vars_off\": %d, \"vars_on\": %d, \"clauses_off\": %d, \"clauses_on\": %d, \
+            \"time_off_s\": %.3f, \"time_on_s\": %.3f}%s\n"
+           r.jp_design r.jp_case r.jp_verdict_off r.jp_verdict_on r.jp_vars_off r.jp_vars_on
+           r.jp_clauses_off r.jp_clauses_on r.jp_time_off_s r.jp_time_on_s
+           (if i = List.length srows - 1 then "" else ",")))
+    srows;
+  Buffer.add_string buf "    ],\n";
+  Buffer.add_string buf "    \"ablation\": [\n";
+  let grows = !json_stage_rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"design\": %S, \"stage\": %S, \"vars\": %d, \"clauses\": %d, \
+            \"time_s\": %.3f}%s\n"
+           r.jg_design r.jg_stage r.jg_vars r.jg_clauses r.jg_time_s
+           (if i = List.length grows - 1 then "" else ",")))
+    grows;
+  Buffer.add_string buf "    ]\n  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -291,7 +377,8 @@ let t3 () =
   (* Per-design rows fan out over domains; printing stays in registry order. *)
   let rows =
     Par.map_timed ~jobs:!jobs
-      (fun e -> (e, Checks.gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound))
+      (fun e ->
+        (e, Checks.gqed ~simplify:!pipeline e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound))
       Registry.all
   in
   par_task_seconds :=
@@ -314,6 +401,7 @@ let t3 () =
               js_stats = report.Checks.sat_stats;
               js_cnf_vars = report.Checks.cnf_vars;
               js_cnf_clauses = report.Checks.cnf_clauses;
+              js_simp = report.Checks.simp;
             };
           ])
     rows
@@ -486,11 +574,13 @@ let a2 () =
     (fun depth ->
       let (r1, _), t_inc =
         time (fun () ->
-            Bmc.check_safety ~assumes ~design:e.Entry.design ~invariant ~depth ())
+            Bmc.check_safety ~assumes ~simplify:!pipeline ~design:e.Entry.design ~invariant
+              ~depth ())
       in
       let (r2, _), t_mono =
         time (fun () ->
-            Bmc.check_safety_mono ~assumes ~design:e.Entry.design ~invariant ~depth ())
+            Bmc.check_safety_mono ~assumes ~simplify:!pipeline ~design:e.Entry.design
+              ~invariant ~depth ())
       in
       let result, same =
         match (r1, r2) with
@@ -550,6 +640,170 @@ let a3 () =
       | None -> Printf.printf "seeded bug NOT localized\n")
 
 (* ------------------------------------------------------------------ *)
+(* S1: formula-shrinking pipeline — per-stage ablation and the           *)
+(* off-vs-on design x mutant matrix.                                     *)
+
+let design_filter : string list option ref = ref None
+
+let s1_entries () =
+  match !design_filter with
+  | None -> Registry.all
+  | Some names ->
+      List.iter
+        (fun n ->
+          if not (List.exists (fun e -> e.Entry.name = n) Registry.all) then begin
+            Printf.eprintf "bench: --designs: unknown design %s\n" n;
+            exit 2
+          end)
+        names;
+      List.filter (fun e -> List.mem e.Entry.name names) Registry.all
+
+let verdict_key report =
+  match report.Checks.verdict with
+  | Checks.Pass n -> Printf.sprintf "pass@%d" n
+  | Checks.Fail f ->
+      Printf.sprintf "fail:%s@%d"
+        (Checks.failure_kind_to_string f.Checks.kind)
+        f.Checks.witness.Bmc.w_length
+
+let s1 () =
+  header "S1  Formula-shrinking pipeline: stage ablation + off-vs-on matrix";
+  let entries = s1_entries () in
+  let stages =
+    [
+      ("off", Bmc.no_simplify);
+      ("coi", { Bmc.no_simplify with Bmc.sc_coi = true });
+      ("rewrite", { Bmc.no_simplify with Bmc.sc_rewrite = true });
+      ("pg", { Bmc.no_simplify with Bmc.sc_pg = true });
+      ("cnf", { Bmc.no_simplify with Bmc.sc_cnf = true });
+      ("all", Bmc.default_simplify);
+    ]
+  in
+  (* Per-stage ablation on the correct designs, in monolithic mode (the
+     mode where every stage of the pipeline is live — per-query compaction
+     and BVE are no-ops on the incremental engine). "clauses" is the total
+     number of clauses sent to the solver over all SAT queries of the
+     check. Any stage changing the verdict is a verifier bug and fails the
+     bench run. *)
+  Printf.printf
+    "per-stage clauses sent (correct designs, monolithic G-QED at the recommended bound):\n";
+  Printf.printf "%-12s %-8s %9s %9s %10s %8s\n" "design" "stage" "vars" "clauses" "verdict"
+    "time(s)";
+  let ablation =
+    par_map
+      (fun (e, (stage, conf)) ->
+        let report, dt =
+          time (fun () ->
+              Checks.gqed ~simplify:conf ~mono:true e.Entry.design e.Entry.iface
+                ~bound:e.Entry.rec_bound)
+        in
+        (e.Entry.name, stage, report, dt))
+      (List.concat_map (fun e -> List.map (fun s -> (e, s)) stages) entries)
+  in
+  let baseline_verdict name =
+    List.find_map
+      (fun (n, stage, r, _) -> if n = name && stage = "off" then Some (verdict_key r) else None)
+      ablation
+  in
+  List.iter
+    (fun (name, stage, report, dt) ->
+      let vk = verdict_key report in
+      let mismatch = baseline_verdict name <> Some vk in
+      if mismatch then incr verdict_mismatches;
+      let sent = report.Checks.simp.Bmc.Engine.ss_clauses_emitted in
+      Printf.printf "%-12s %-8s %9d %9d %10s %8.2f%s\n%!" name stage report.Checks.cnf_vars
+        sent vk dt
+        (if mismatch then "  VERDICT MISMATCH" else "");
+      json_stage_rows :=
+        !json_stage_rows
+        @ [
+            {
+              jg_design = name;
+              jg_stage = stage;
+              jg_vars = report.Checks.cnf_vars;
+              jg_clauses = sent;
+              jg_time_s = dt;
+            };
+          ])
+    ablation;
+  (* Off-vs-on over the full design x mutant matrix (same mutant suites as
+     T2), monolithic mode on both sides so the comparison is controlled.
+     "Clauses" is again the total sent to the solver over the whole check;
+     the per-case ratios feed the geo-mean reduction figure. *)
+  let cases =
+    List.concat_map
+      (fun e ->
+        ("correct", e, e.Entry.design)
+        :: List.map
+             (fun (m, mutant) ->
+               ( Printf.sprintf "%s:%s" (Mutation.operator_to_string m.Mutation.operator)
+                   m.Mutation.target,
+                 e,
+                 mutant ))
+             (mutant_suite e))
+      entries
+  in
+  let matrix =
+    par_map
+      (fun (label, e, design) ->
+        let off, t_off =
+          time (fun () ->
+              Checks.gqed ~simplify:Bmc.no_simplify ~mono:true design e.Entry.iface
+                ~bound:e.Entry.rec_bound)
+        in
+        let on, t_on =
+          time (fun () ->
+              Checks.gqed ~mono:true design e.Entry.iface ~bound:e.Entry.rec_bound)
+        in
+        {
+          jp_design = e.Entry.name;
+          jp_case = label;
+          jp_verdict_off = verdict_key off;
+          jp_verdict_on = verdict_key on;
+          jp_vars_off = off.Checks.cnf_vars;
+          jp_vars_on = on.Checks.cnf_vars;
+          jp_clauses_off = off.Checks.simp.Bmc.Engine.ss_clauses_emitted;
+          jp_clauses_on = on.Checks.simp.Bmc.Engine.ss_clauses_emitted;
+          jp_time_off_s = t_off;
+          jp_time_on_s = t_on;
+        })
+      cases
+  in
+  Printf.printf "\noff vs on over the design x mutant matrix (%d cases):\n"
+    (List.length matrix);
+  Printf.printf "%-12s %-28s %10s %10s %7s %10s\n" "design" "case" "cl(off)" "cl(on)"
+    "saved" "verdict";
+  let log_sum = ref 0.0 and log_n = ref 0 in
+  List.iter
+    (fun r ->
+      let mismatch = r.jp_verdict_off <> r.jp_verdict_on in
+      if mismatch then incr verdict_mismatches;
+      if r.jp_clauses_off > 0 && r.jp_clauses_on > 0 then begin
+        log_sum :=
+          !log_sum +. log (float_of_int r.jp_clauses_on /. float_of_int r.jp_clauses_off);
+        incr log_n
+      end;
+      let saved =
+        if r.jp_clauses_off > 0 then
+          Printf.sprintf "%.0f%%"
+            (100.0 *. (1.0 -. (float_of_int r.jp_clauses_on /. float_of_int r.jp_clauses_off)))
+        else "-"
+      in
+      Printf.printf "%-12s %-28s %10d %10d %7s %10s%s\n%!" r.jp_design r.jp_case
+        r.jp_clauses_off r.jp_clauses_on saved r.jp_verdict_on
+        (if mismatch then
+           Printf.sprintf "  VERDICT MISMATCH (off: %s)" r.jp_verdict_off
+         else ""))
+    matrix;
+  json_simplify_rows := !json_simplify_rows @ matrix;
+  if !log_n > 0 then begin
+    let geo = 1.0 -. exp (!log_sum /. float_of_int !log_n) in
+    json_simplify_geomean := geo;
+    Printf.printf "\ngeo-mean clause reduction: %.1f%% over %d cases; verdict mismatches: %d\n"
+      (100.0 *. geo) !log_n !verdict_mismatches
+  end
+
+(* ------------------------------------------------------------------ *)
 (* F1: G-QED runtime vs unroll bound (scaling curves).                  *)
 
 let f1 () =
@@ -566,7 +820,7 @@ let f1 () =
     Par.map_timed ~jobs:!jobs
       (fun (bound, name) ->
         let e = Registry.find name in
-        ignore (Checks.gqed e.Entry.design e.Entry.iface ~bound))
+        ignore (Checks.gqed ~simplify:!pipeline e.Entry.design e.Entry.iface ~bound))
       cells
   in
   par_task_seconds :=
@@ -749,7 +1003,8 @@ let micro () =
 let experiments =
   [
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
-    ("a1", a1); ("a2", a2); ("a3", a3); ("f1", f1); ("f2", f2); ("f3", f3);
+    ("a1", a1); ("a2", a2); ("a3", a3); ("s1", s1);
+    ("f1", f1); ("f2", f2); ("f3", f3);
     ("micro", micro);
   ]
 
@@ -768,6 +1023,15 @@ let () =
       end
     | [ "--jobs" ] ->
         prerr_endline "bench: --jobs expects a positive integer";
+        exit 2
+    | "--no-simplify" :: rest ->
+        pipeline := Bmc.no_simplify;
+        parse_args acc rest
+    | "--designs" :: names :: rest ->
+        design_filter := Some (String.split_on_char ',' names);
+        parse_args acc rest
+    | [ "--designs" ] ->
+        prerr_endline "bench: --designs expects a comma-separated list";
         exit 2
     | "--json" :: path :: rest ->
         (* Fail fast on an unwritable path rather than after the full run. *)
@@ -807,4 +1071,10 @@ let () =
         @ [ { je_id = id; je_wall_s = dt; je_task_sum_s = !par_task_seconds } ];
       Printf.printf "[%s completed in %.1fs]\n%!" id dt)
     requested;
-  match !json_path with None -> () | Some path -> write_json path
+  (match !json_path with None -> () | Some path -> write_json path);
+  if !verdict_mismatches > 0 then begin
+    Printf.eprintf
+      "bench: FAILED — %d verdict mismatch(es) between pipeline configurations\n"
+      !verdict_mismatches;
+    exit 1
+  end

@@ -130,6 +130,49 @@ let all_mutants_flag =
     & info [ "all-mutants" ]
         ~doc:"Run the chosen technique on every mutant of the design and print a table.")
 
+(* Formula-shrinking pipeline knobs. The verdict never depends on these;
+   they exist for ablation and debugging (see lib/bmc/bmc.mli). *)
+let simplify_term =
+  let no_simplify =
+    Arg.(
+      value & flag
+      & info [ "no-simplify" ]
+          ~doc:"Disable the whole formula-shrinking pipeline (COI, AIG rewriting, \
+                polarity-aware Tseitin, CNF preprocessing).")
+  in
+  let stage_flag name doc = Arg.(value & flag & info [ "no-" ^ name ] ~doc) in
+  let combine off coi rewrite pg cnf =
+    if off then Bmc.no_simplify
+    else
+      {
+        Bmc.sc_coi = not coi;
+        sc_rewrite = not rewrite;
+        sc_pg = not pg;
+        sc_cnf = not cnf;
+      }
+  in
+  Term.(
+    const combine $ no_simplify
+    $ stage_flag "coi" "Disable cone-of-influence reduction."
+    $ stage_flag "rewrite" "Disable AIG rewriting and per-query compaction."
+    $ stage_flag "pg" "Disable polarity-aware (Plaisted-Greenbaum) Tseitin."
+    $ stage_flag "cnf" "Disable CNF preprocessing (subsumption / strengthening / BVE).")
+
+let mono_flag =
+  Arg.(
+    value & flag
+    & info [ "mono" ]
+        ~doc:
+          "Monolithic mode: blast the design once, run every SAT query on a fresh \
+           solver. Unlocks the per-query compaction and variable-elimination \
+           stages of the pipeline; same verdicts as the incremental default.")
+
+let simp_stats_flag =
+  Arg.(
+    value & flag
+    & info [ "simp-stats" ]
+        ~doc:"Print the formula-shrinking pipeline statistics after the verdict.")
+
 let trace_flag =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full counterexample waveform.")
 
@@ -140,12 +183,14 @@ let vcd_arg =
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the waveform to $(docv) in VCD format.")
 
 let verify_cmd =
-  let report_and_exit ~name ~trace ~vcd ~dt report =
+  let report_and_exit ~name ~trace ~vcd ~dt ~simp_stats report =
     Format.printf "%a@." Checks.pp_verdict report.Checks.verdict;
     Printf.printf "cnf: %d vars, %d clauses; %s; %.2fs\n" report.Checks.cnf_vars
       report.Checks.cnf_clauses
       (Format.asprintf "%a" Sat.Solver.pp_stats report.Checks.sat_stats)
       dt;
+    if simp_stats then
+      Format.printf "simplify: %a@." Bmc.Engine.pp_simp_stats report.Checks.simp;
     match report.Checks.verdict with
     | Checks.Pass _ -> exit 0
     | Checks.Fail f ->
@@ -157,7 +202,8 @@ let verify_cmd =
         | None -> ());
         exit 1
   in
-  let run name technique bound mutant all_mutants jobs trace vcd =
+  let run name technique bound mutant all_mutants jobs trace vcd simplify mono simp_stats
+      =
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
       exit 2
@@ -166,12 +212,12 @@ let verify_cmd =
     let bound = Option.value bound ~default:e.Entry.rec_bound in
     let check technique design =
       match technique with
-      | `Gqed -> Checks.gqed design e.Entry.iface ~bound
-      | `Flow -> Checks.flow design e.Entry.iface ~bound
-      | `Aqed -> Checks.aqed_fc design e.Entry.iface ~bound
-      | `Gqed_out -> Checks.gqed_output_only design e.Entry.iface ~bound
-      | `Sa -> Checks.sa_check design e.Entry.iface ~bound
-      | `Stability -> Checks.stability_check design e.Entry.iface ~bound
+      | `Gqed -> Checks.gqed ~simplify ~mono design e.Entry.iface ~bound
+      | `Flow -> Checks.flow ~simplify ~mono design e.Entry.iface ~bound
+      | `Aqed -> Checks.aqed_fc ~simplify ~mono design e.Entry.iface ~bound
+      | `Gqed_out -> Checks.gqed_output_only ~simplify ~mono design e.Entry.iface ~bound
+      | `Sa -> Checks.sa_check ~simplify ~mono design e.Entry.iface ~bound
+      | `Stability -> Checks.stability_check ~simplify ~mono design e.Entry.iface ~bound
     in
     if all_mutants then begin
       (match mutant with
@@ -221,13 +267,19 @@ let verify_cmd =
              final G-FC report when all pass), identical to Checks.flow. *)
           let stages =
             [
-              ("reset", fun () -> Checks.reset_check design e.Entry.iface);
-              ("single-action", fun () -> Checks.sa_check design e.Entry.iface ~bound);
+              ("reset", fun () -> Checks.reset_check ~simplify ~mono design e.Entry.iface);
+              ( "single-action",
+                fun () -> Checks.sa_check ~simplify ~mono design e.Entry.iface ~bound );
             ]
             @ (if Qed.Iface.is_variable_latency e.Entry.iface then []
                else
-                 [ ("stability", fun () -> Checks.stability_check design e.Entry.iface ~bound) ])
-            @ [ ("g-fc", fun () -> Checks.gqed design e.Entry.iface ~bound) ]
+                 [
+                   ( "stability",
+                     fun () ->
+                       Checks.stability_check ~simplify ~mono design e.Entry.iface ~bound
+                   );
+                 ])
+            @ [ ("g-fc", fun () -> Checks.gqed ~simplify ~mono design e.Entry.iface ~bound) ]
           in
           let reports = Par.run ~jobs (List.map snd stages) in
           List.iter2
@@ -245,13 +297,13 @@ let verify_cmd =
       | t -> check t design
     in
     let dt = Unix.gettimeofday () -. t0 in
-    report_and_exit ~name ~trace ~vcd ~dt report
+    report_and_exit ~name ~trace ~vcd ~dt ~simp_stats report
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run a QED check on a design (or one of its mutants).")
     Term.(
       const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
-      $ jobs_arg $ trace_flag $ vcd_arg)
+      $ jobs_arg $ trace_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag)
 
 (* ---- mutants ---- *)
 

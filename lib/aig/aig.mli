@@ -24,12 +24,19 @@ type lit = int
 val false_ : lit
 val true_ : lit
 
-val create : ?strash:bool -> unit -> t
+val create : ?strash:bool -> ?rewrite:bool -> unit -> t
 (** [strash] (default [true]) enables structural hashing. Building with it
     disabled produces a (much larger) graph computing the same functions —
     the fuzz harness constructs both and demands evaluation agreement,
     which cross-checks the hash-consing table against the naive
-    construction. *)
+    construction.
+
+    [rewrite] (default [false]) additionally applies one- and two-level
+    AND-rewriting rules at construction time (absorption, substitution,
+    complement annihilation, shared-fanin contraction, resolution), as in
+    ABC's [rewrite]: each hit replaces a would-be node by a strictly
+    smaller function of existing nodes, so the graph shrinks before CNF
+    emission ever sees it. *)
 
 val fresh_input : t -> lit
 (** Allocate a new primary input; returns its positive literal. Inputs are
@@ -39,6 +46,10 @@ val num_inputs : t -> int
 
 val num_ands : t -> int
 (** Number of AND nodes currently in the graph. *)
+
+val num_rewrites : t -> int
+(** Number of construction-time rewrite rule applications (0 unless the
+    graph was created with [~rewrite:true]). *)
 
 val input_index : t -> lit -> int option
 (** [input_index g l] is [Some i] when [l] is (possibly complemented)
@@ -72,6 +83,17 @@ val eval : t -> bool array -> lit -> bool
 val eval_many : t -> bool array -> lit list -> bool list
 (** Same, sharing one memo table across all roots. *)
 
+(** {1 Cone extraction} *)
+
+val compact : t -> roots:lit list -> t * (lit -> lit option)
+(** [compact g ~roots] copies the cones of [roots] into a fresh graph built
+    with strashing {e and} rewriting enabled, dropping every node that does
+    not feed a root (dangling-node sweep) and re-running the rewrite rules
+    over the surviving logic. Returns the new graph and a literal map; the
+    map is [None] for literals outside the copied cones. All primary inputs
+    are pre-allocated in their original order, so input indices (and hence
+    {!eval} input arrays) are unchanged. *)
+
 (** {1 CNF emission (Tseitin)} *)
 
 module Cnf : sig
@@ -81,11 +103,31 @@ module Cnf : sig
       underlying solver exactly once. Suitable for incremental use: new AIG
       nodes built after earlier queries are handled transparently. *)
 
-  val make : t -> Sat.Solver.t -> emitter
+  type stats = {
+    cnf_vars : int;  (** SAT variables allocated by this emitter *)
+    cnf_clauses : int;  (** defining clauses actually emitted *)
+    cnf_clauses_plain : int;
+        (** what plain (both-direction) Tseitin would have emitted for the
+            same nodes — the polarity-aware saving is the difference *)
+    cnf_single_pol : int;
+        (** AND nodes currently emitted in one polarity only *)
+  }
+
+  val make : ?pg:bool -> t -> Sat.Solver.t -> emitter
+  (** [pg] (default [false]) enables polarity-aware (Plaisted–Greenbaum)
+      emission: each AND gate's defining clauses are emitted only in the
+      direction(s) its use sites require, tracked per node and upgraded on
+      demand when a later (incremental) query uses the other polarity. The
+      resulting CNF is equisatisfiable and any model still assigns the
+      original constraints' input values correctly; internal node variables
+      may be under-constrained, so read models through primary inputs. *)
+
+  val pg_enabled : emitter -> bool
 
   val sat_lit : emitter -> lit -> Sat.Lit.t
   (** SAT literal equisatisfiably representing the AIG literal; emits the
-      supporting clauses for the node's cone if not already present. *)
+      supporting clauses for the node's cone if not already present. The
+      literal is taken in positive use: true entails the AIG function. *)
 
   val assert_lit : emitter -> lit -> unit
   (** Add the unit clause forcing the AIG literal true. *)
@@ -93,6 +135,14 @@ module Cnf : sig
   val assume_lit : emitter -> lit -> Sat.Lit.t
   (** Like {!sat_lit} but intended for use in [Solver.solve ~assumptions]:
       returns the SAT literal to pass as an assumption. *)
+
+  val lookup_lit : emitter -> lit -> Sat.Lit.t option
+  (** The SAT literal for an AIG literal whose node was already emitted,
+      without emitting anything — the model-read path. [None] if the node
+      never reached the solver (its value is unconstrained: treat as
+      don't-care). *)
+
+  val stats : emitter -> stats
 end
 
 (** {1 Statistics} *)

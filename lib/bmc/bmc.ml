@@ -104,39 +104,259 @@ let pp_witness ppf w =
 
 exception Certification_failed of string
 
+type simplify_config = {
+  sc_coi : bool;
+  sc_rewrite : bool;
+  sc_pg : bool;
+  sc_cnf : bool;
+}
+
+let default_simplify = { sc_coi = true; sc_rewrite = true; sc_pg = true; sc_cnf = true }
+let no_simplify = { sc_coi = false; sc_rewrite = false; sc_pg = false; sc_cnf = false }
+
+module Coi = struct
+  module S = Set.Make (String)
+
+  type stats = {
+    coi_regs_before : int;
+    coi_regs_after : int;
+    coi_outputs_before : int;
+    coi_outputs_after : int;
+  }
+
+  let no_reduction (design : Rtl.design) =
+    let nr = List.length design.Rtl.registers
+    and no = List.length design.Rtl.outputs in
+    { coi_regs_before = nr; coi_regs_after = nr; coi_outputs_before = no; coi_outputs_after = no }
+
+  (* Name-level cone fixpoint: a register is in the cone when its name is
+     (transitively) reachable from the property expressions through
+     next-state functions and output definitions. Inputs are always kept,
+     so input indices — and hence witness input valuations — are unchanged
+     by the reduction. *)
+  let reduce (design : Rtl.design) ~props =
+    let reg_next =
+      List.map (fun (r : Rtl.reg) -> (r.Rtl.reg.Expr.name, r.Rtl.next)) design.Rtl.registers
+    in
+    let need = ref S.empty in
+    let frontier = ref [] in
+    let demand name =
+      if not (S.mem name !need) then begin
+        need := S.add name !need;
+        frontier := name :: !frontier
+      end
+    in
+    let demand_expr e = List.iter (fun (v : Expr.var) -> demand v.Expr.name) (Expr.vars e) in
+    List.iter demand_expr props;
+    while !frontier <> [] do
+      let name = List.hd !frontier in
+      frontier := List.tl !frontier;
+      match List.assoc_opt name reg_next with
+      | Some next -> demand_expr next
+      | None -> (
+          match List.assoc_opt name design.Rtl.outputs with
+          | Some e -> demand_expr e
+          | None -> () (* input: no support *))
+    done;
+    let keep = !need in
+    let registers =
+      List.filter (fun (r : Rtl.reg) -> S.mem r.Rtl.reg.Expr.name keep) design.Rtl.registers
+    in
+    let outputs = List.filter (fun (name, _) -> S.mem name keep) design.Rtl.outputs in
+    let stats =
+      {
+        coi_regs_before = List.length design.Rtl.registers;
+        coi_regs_after = List.length registers;
+        coi_outputs_before = List.length design.Rtl.outputs;
+        coi_outputs_after = List.length outputs;
+      }
+    in
+    if
+      List.length registers = List.length design.Rtl.registers
+      && List.length outputs = List.length design.Rtl.outputs
+    then (design, stats)
+    else
+      match
+        Rtl.validate ~name:design.Rtl.name ~inputs:design.Rtl.inputs ~registers ~outputs
+      with
+      | Ok () ->
+          (Rtl.make ~name:design.Rtl.name ~inputs:design.Rtl.inputs ~registers ~outputs, stats)
+      | Error _ -> (design, no_reduction design)
+end
+
 module Engine = struct
+  type simp_stats = {
+    ss_queries : int;
+    ss_coi_regs_before : int;
+    ss_coi_regs_after : int;
+    ss_rewrite_hits : int;
+    ss_compact_in : int;
+    ss_compact_out : int;
+    ss_clauses_emitted : int;
+    ss_clauses_plain : int;
+    ss_single_pol : int;
+    ss_pre : Sat.Solver.presult;
+    ss_t_rewrite : float;
+    ss_t_cnf : float;
+  }
+
+  let pp_simp_stats ppf s =
+    Format.fprintf ppf
+      "queries=%d coi-regs=%d->%d rewrites=%d compact=%d->%d clauses=%d (plain %d, 1-pol \
+       nodes %d) pre: sub=%d str=%d elim=%d units=%d (%d->%d clauses)"
+      s.ss_queries s.ss_coi_regs_before s.ss_coi_regs_after s.ss_rewrite_hits s.ss_compact_in
+      s.ss_compact_out s.ss_clauses_emitted s.ss_clauses_plain s.ss_single_pol
+      s.ss_pre.Sat.Solver.pre_subsumed s.ss_pre.Sat.Solver.pre_strengthened
+      s.ss_pre.Sat.Solver.pre_eliminated s.ss_pre.Sat.Solver.pre_units
+      s.ss_pre.Sat.Solver.pre_clauses_before s.ss_pre.Sat.Solver.pre_clauses_after
+
+  let add_presult (a : Sat.Solver.presult) (b : Sat.Solver.presult) =
+    Sat.Solver.
+      {
+        pre_clauses_before = a.pre_clauses_before + b.pre_clauses_before;
+        pre_clauses_after = a.pre_clauses_after + b.pre_clauses_after;
+        pre_subsumed = a.pre_subsumed + b.pre_subsumed;
+        pre_strengthened = a.pre_strengthened + b.pre_strengthened;
+        pre_eliminated = a.pre_eliminated + b.pre_eliminated;
+        pre_resolvents = a.pre_resolvents + b.pre_resolvents;
+        pre_units = a.pre_units + b.pre_units;
+      }
+
+  let zero_presult =
+    Sat.Solver.
+      {
+        pre_clauses_before = 0;
+        pre_clauses_after = 0;
+        pre_subsumed = 0;
+        pre_strengthened = 0;
+        pre_eliminated = 0;
+        pre_resolvents = 0;
+        pre_units = 0;
+      }
+
   type t = {
     graph : Aig.t;
     design : Rtl.design;
     unroller : Unroller.t;
-    solver : Sat.Solver.t;
-    emitter : Aig.Cnf.emitter;
+    simplify : simplify_config;
+    mono : bool;
     symbolic_init : bool;
     certify : bool;
+    mutable solver : Sat.Solver.t;
+    mutable emitter : Aig.Cnf.emitter;
+    mutable map : (Aig.lit -> Aig.lit option) option;
+        (* literal translation into the current compacted graph; [None] when
+           the emitter works on [graph] directly *)
+    mutable pending : Aig.lit list; (* mono: permanent asserts, newest first *)
     mutable certified_unsats : int;
+    (* Pipeline accounting. The [*_acc] fields collect stats of solvers and
+       emitters retired by mono-mode resets; [simp_stats] adds the live ones. *)
+    mutable queries : int;
+    mutable coi_before : int;
+    mutable coi_after : int;
+    mutable rewrite_acc : int;
+    mutable compact_in : int;
+    mutable compact_out : int;
+    mutable emitted_acc : int;
+    mutable plain_acc : int;
+    mutable single_acc : int;
+    mutable pre_acc : Sat.Solver.presult;
+    mutable t_rewrite : float;
+    mutable t_cnf : float;
   }
 
-  let create ?(symbolic_init = false) ?(certify = false) design =
-    let graph = Aig.create () in
+  let create ?(symbolic_init = false) ?(certify = false) ?(simplify = default_simplify)
+      ?(mono = false) design =
+    let graph = Aig.create ~rewrite:simplify.sc_rewrite () in
     let unroller = Unroller.create ~symbolic_init graph design in
     let solver = Sat.Solver.create () in
     if certify then Sat.Solver.start_proof solver;
-    let emitter = Aig.Cnf.make graph solver in
-    { graph; design; unroller; solver; emitter; symbolic_init; certify; certified_unsats = 0 }
+    let emitter = Aig.Cnf.make ~pg:simplify.sc_pg graph solver in
+    {
+      graph;
+      design;
+      unroller;
+      simplify;
+      mono;
+      symbolic_init;
+      certify;
+      solver;
+      emitter;
+      map = None;
+      pending = [];
+      certified_unsats = 0;
+      queries = 0;
+      coi_before = List.length design.Rtl.registers;
+      coi_after = List.length design.Rtl.registers;
+      rewrite_acc = 0;
+      compact_in = 0;
+      compact_out = 0;
+      emitted_acc = 0;
+      plain_acc = 0;
+      single_acc = 0;
+      pre_acc = zero_presult;
+      t_rewrite = 0.;
+      t_cnf = 0.;
+    }
 
   let unroller t = t.unroller
   let graph t = t.graph
   let solver t = t.solver
-  let assert_lit t l = Aig.Cnf.assert_lit t.emitter l
+  let note_coi t ~before ~after =
+    t.coi_before <- before;
+    t.coi_after <- after
 
-  (* Value of an AIG literal in the SAT model. Bits whose node never reached
-     the solver are unconstrained; default them to false. *)
+  let map_lit t l = match t.map with None -> Some l | Some f -> f l
+
+  let assert_lit t l =
+    if t.mono then t.pending <- l :: t.pending else Aig.Cnf.assert_lit t.emitter l
+
+  (* Mono mode: every query gets a fresh solver over exactly the cones it
+     needs. Retire the outgoing solver/emitter into the accumulators, then —
+     when rewriting is on — sweep the persistent graph down to the cones of
+     the roots (re-running the rewrite rules over them) and emit from the
+     compacted copy. *)
+  let reset_query t ~roots =
+    let st = Aig.Cnf.stats t.emitter in
+    t.emitted_acc <- t.emitted_acc + st.Aig.Cnf.cnf_clauses;
+    t.plain_acc <- t.plain_acc + st.Aig.Cnf.cnf_clauses_plain;
+    t.single_acc <- t.single_acc + st.Aig.Cnf.cnf_single_pol;
+    t.pre_acc <- add_presult t.pre_acc (Sat.Solver.preprocess_totals t.solver);
+    let solver = Sat.Solver.create () in
+    if t.certify then Sat.Solver.start_proof solver;
+    t.solver <- solver;
+    if t.simplify.sc_rewrite then begin
+      let t0 = Sys.time () in
+      t.compact_in <- t.compact_in + Aig.num_ands t.graph;
+      let h, map = Aig.compact t.graph ~roots in
+      t.compact_out <- t.compact_out + Aig.num_ands h;
+      t.rewrite_acc <- t.rewrite_acc + Aig.num_rewrites h;
+      t.t_rewrite <- t.t_rewrite +. (Sys.time () -. t0);
+      t.map <- Some map;
+      t.emitter <- Aig.Cnf.make ~pg:t.simplify.sc_pg h solver
+    end
+    else begin
+      t.map <- None;
+      t.emitter <- Aig.Cnf.make ~pg:t.simplify.sc_pg t.graph solver
+    end
+
+  (* Value of an AIG literal (of the persistent graph) in the SAT model.
+     Bits whose node never reached the solver — outside the compacted cone,
+     or never emitted — are unconstrained; default them to false. *)
   let model_bit t l =
     if l = Aig.true_ then true
     else if l = Aig.false_ then false
     else
-      let sat_lit = Aig.Cnf.sat_lit t.emitter l in
-      try Sat.Solver.value t.solver sat_lit with Failure _ -> false
+      match map_lit t l with
+      | None -> false
+      | Some l' ->
+          if l' = Aig.true_ then true
+          else if l' = Aig.false_ then false
+          else (
+            match Aig.Cnf.lookup_lit t.emitter l' with
+            | None -> false
+            | Some sat_lit -> (
+                try Sat.Solver.value t.solver sat_lit with Failure _ -> false))
 
   let bits_value t bits =
     let n = Array.length bits in
@@ -187,15 +407,39 @@ module Engine = struct
   let certify_unsat_sat_lits t sat_assumptions =
     Sat.Drat.check ~assumptions:sat_assumptions (Sat.Solver.proof t.solver)
 
+  let mapped t l =
+    match map_lit t l with
+    | Some l' -> l'
+    | None -> invalid_arg "Bmc.Engine: literal outside the compacted cone"
+
   let certify_unsat t ~assumptions =
     (* The cones of the assumption literals were emitted by the query that
        answered UNSAT, so [assume_lit] is a memoized lookup here and adds no
        clauses. *)
-    let sat_assumptions = List.map (Aig.Cnf.assume_lit t.emitter) assumptions in
+    let sat_assumptions =
+      List.map (fun l -> Aig.Cnf.assume_lit t.emitter (mapped t l)) assumptions
+    in
     certify_unsat_sat_lits t sat_assumptions
 
   let check t ~assumptions =
-    let sat_assumptions = List.map (Aig.Cnf.assume_lit t.emitter) assumptions in
+    t.queries <- t.queries + 1;
+    if t.mono then begin
+      reset_query t ~roots:(assumptions @ t.pending);
+      List.iter
+        (fun l -> Aig.Cnf.assert_lit t.emitter (mapped t l))
+        (List.rev t.pending)
+    end;
+    let sat_assumptions =
+      List.map (fun l -> Aig.Cnf.assume_lit t.emitter (mapped t l)) assumptions
+    in
+    if t.simplify.sc_cnf then begin
+      let t0 = Sys.time () in
+      (* BVE only for one-shot (mono) queries: it is merely satisfiability-
+         preserving, and incremental engines keep adding clauses over
+         existing variables. *)
+      ignore (Sat.Solver.preprocess ~elim:t.mono ~frozen:sat_assumptions t.solver);
+      t.t_cnf <- t.t_cnf +. (Sys.time () -. t0)
+    end;
     match Sat.Solver.solve ~assumptions:sat_assumptions t.solver with
     | Sat.Solver.Sat -> Some (extract_witness t)
     | Sat.Solver.Unsat ->
@@ -212,6 +456,23 @@ module Engine = struct
   let cnf_size t =
     let st = Sat.Solver.stats t.solver in
     (st.Sat.Solver.vars, st.Sat.Solver.clauses)
+
+  let simp_stats t =
+    let st = Aig.Cnf.stats t.emitter in
+    {
+      ss_queries = t.queries;
+      ss_coi_regs_before = t.coi_before;
+      ss_coi_regs_after = t.coi_after;
+      ss_rewrite_hits = Aig.num_rewrites t.graph + t.rewrite_acc;
+      ss_compact_in = t.compact_in;
+      ss_compact_out = t.compact_out;
+      ss_clauses_emitted = t.emitted_acc + st.Aig.Cnf.cnf_clauses;
+      ss_clauses_plain = t.plain_acc + st.Aig.Cnf.cnf_clauses_plain;
+      ss_single_pol = t.single_acc + st.Aig.Cnf.cnf_single_pol;
+      ss_pre = add_presult t.pre_acc (Sat.Solver.preprocess_totals t.solver);
+      ss_t_rewrite = t.t_rewrite;
+      ss_t_cnf = t.t_cnf;
+    }
 end
 
 type outcome = Holds of int | Violated of witness
@@ -230,8 +491,30 @@ let assert_assumes engine ~assumes k =
       Engine.assert_lit engine bit)
     assumes
 
-let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = []) ~design
-    ~invariant ~depth () =
+(* Re-anchor a witness found on a COI-reduced design to the original one:
+   inputs carry over verbatim (the reduction keeps every input), registers
+   outside the cone take their reset value (or zero under symbolic init —
+   they cannot influence the property), and the trace is re-simulated on
+   the original design so the waveform shows every register. *)
+let reconstruct_witness ~original ~symbolic_init w =
+  let base =
+    if symbolic_init then
+      List.fold_left
+        (fun m (r : Rtl.reg) ->
+          Rtl.Smap.add r.Rtl.reg.Expr.name (Bitvec.zero r.Rtl.reg.Expr.width) m)
+        Rtl.Smap.empty original.Rtl.registers
+    else Rtl.initial_state original
+  in
+  let initial = Rtl.Smap.union (fun _ v _ -> Some v) w.w_initial base in
+  let trace = Rtl.simulate_from original initial (Array.to_list w.w_inputs) in
+  { w with w_initial = initial; w_trace = trace }
+
+let coi_setup simplify ~design ~props =
+  if simplify.sc_coi then Coi.reduce design ~props
+  else (design, Coi.no_reduction design)
+
+let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
+    ?(simplify = default_simplify) ?stats ~design ~invariant ~depth () =
   if Expr.width invariant <> 1 then
     invalid_arg "Bmc.check_safety: invariant must be 1 bit wide";
   List.iter
@@ -239,14 +522,23 @@ let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = []) ~de
       if Expr.width a <> 1 then
         invalid_arg "Bmc.check_safety: assumptions must be 1 bit wide")
     assumes;
-  let engine = Engine.create ~symbolic_init ~certify design in
+  let original = design in
+  let design, coi = coi_setup simplify ~design ~props:(invariant :: assumes) in
+  let engine = Engine.create ~symbolic_init ~certify ~simplify design in
+  Engine.note_coi engine ~before:coi.Coi.coi_regs_before ~after:coi.Coi.coi_regs_after;
+  let finish outcome =
+    Option.iter (fun f -> f (Engine.simp_stats engine)) stats;
+    (outcome, Engine.stats engine)
+  in
   let rec deepen k =
-    if k >= depth then (Holds depth, Engine.stats engine)
+    if k >= depth then finish (Holds depth)
     else begin
       assert_assumes engine ~assumes k;
       let bad = bad_at engine ~invariant k in
       match Engine.check engine ~assumptions:[ bad ] with
-      | Some w -> (Violated w, Engine.stats engine)
+      | Some w ->
+          let w = if design == original then w else reconstruct_witness ~original ~symbolic_init w in
+          finish (Violated w)
       | None ->
           (* The invariant holds at cycle k: assert it to help deeper
              queries, then deepen. *)
@@ -257,31 +549,44 @@ let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = []) ~de
   deepen 0
 
 let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
-    ~design ~invariant ~depth () =
+    ?(simplify = default_simplify) ?stats ~design ~invariant ~depth () =
   if Expr.width invariant <> 1 then
     invalid_arg "Bmc.check_safety_mono: invariant must be 1 bit wide";
-  let last_stats = ref None in
-  let rec deepen k =
-    if k >= depth then (Holds depth, Option.get !last_stats)
-    else begin
-      (* Fresh engine per bound: no learnt-clause reuse across bounds. *)
-      let engine = Engine.create ~symbolic_init ~certify design in
-      for j = 0 to k do
-        assert_assumes engine ~assumes j
-      done;
-      (* Property must hold at frames < k and fail at k. *)
-      for j = 0 to k - 1 do
-        Engine.assert_lit engine (Aig.not_ (bad_at engine ~invariant j))
-      done;
-      let bad = bad_at engine ~invariant k in
-      let result = Engine.check engine ~assumptions:[ bad ] in
-      last_stats := Some (Engine.stats engine);
-      match result with
-      | Some w -> (Violated w, Engine.stats engine)
-      | None -> deepen (k + 1)
-    end
+  List.iter
+    (fun a ->
+      if Expr.width a <> 1 then
+        invalid_arg "Bmc.check_safety_mono: assumptions must be 1 bit wide")
+    assumes;
+  let original = design in
+  let design, coi = coi_setup simplify ~design ~props:(invariant :: assumes) in
+  (* One engine for all bounds: the design blasting (graph + unrolling) is
+     hoisted out of the per-bound loop and shared, while each bound's query
+     still runs on a fresh solver (no learnt-clause reuse — that is what
+     makes this the monolithic variant). Per bound only the new frame's
+     assumptions and the previous bound's property are recorded; the
+     engine replays them into each fresh solver. *)
+  let engine = Engine.create ~symbolic_init ~certify ~simplify ~mono:true design in
+  Engine.note_coi engine ~before:coi.Coi.coi_regs_before ~after:coi.Coi.coi_regs_after;
+  let finish outcome =
+    Option.iter (fun f -> f (Engine.simp_stats engine)) stats;
+    (outcome, Engine.stats engine)
   in
-  if depth <= 0 then
-    let engine = Engine.create ~symbolic_init design in
-    (Holds 0, Engine.stats engine)
-  else deepen 0
+  if depth <= 0 then finish (Holds 0)
+  else begin
+    let rec deepen k =
+      assert_assumes engine ~assumes k;
+      let bad = bad_at engine ~invariant k in
+      match Engine.check engine ~assumptions:[ bad ] with
+      | Some w ->
+          let w = if design == original then w else reconstruct_witness ~original ~symbolic_init w in
+          finish (Violated w)
+      | None ->
+          if k + 1 >= depth then finish (Holds depth)
+          else begin
+            (* Property holds at bound k: deeper bounds may assume it. *)
+            Engine.assert_lit engine (Aig.not_ bad);
+            deepen (k + 1)
+          end
+    in
+    deepen 0
+  end

@@ -43,6 +43,51 @@ module Unroller : sig
       read there; [None] for never-touched (port, frame) pairs. O(1). *)
 end
 
+(** {1 Formula-shrinking pipeline}
+
+    Between unrolling and solving, four verdict-preserving simplification
+    stages shrink the formula each SAT query sees. Every stage toggles
+    independently, so the bench harness can ablate them one at a time. *)
+
+type simplify_config = {
+  sc_coi : bool;
+      (** cone-of-influence reduction: drop registers/outputs outside the
+          property's transitive support before unrolling *)
+  sc_rewrite : bool;
+      (** AIG rewriting: one- and two-level rules at construction time,
+          plus a per-query compaction sweep in monolithic mode *)
+  sc_pg : bool;  (** polarity-aware (Plaisted–Greenbaum) Tseitin emission *)
+  sc_cnf : bool;
+      (** CNF preprocessing: subsumption + self-subsuming resolution (and
+          bounded variable elimination in monolithic mode), DRAT-logged *)
+}
+
+val default_simplify : simplify_config
+(** All four stages on — the default everywhere. *)
+
+val no_simplify : simplify_config
+(** All four stages off — the pre-pipeline behaviour, kept for ablation and
+    as the differential-fuzzing baseline. *)
+
+(** Cone-of-influence reduction at the design level. *)
+module Coi : sig
+  type stats = {
+    coi_regs_before : int;
+    coi_regs_after : int;
+    coi_outputs_before : int;
+    coi_outputs_after : int;
+  }
+
+  val reduce : Rtl.design -> props:Expr.t list -> Rtl.design * stats
+  (** [reduce design ~props] keeps exactly the registers and outputs in the
+      transitive support of [props] (name-level fixpoint through next-state
+      functions and output definitions). All inputs are kept, so witnesses
+      of the reduced design replay on the original with the same input
+      valuations. Returns the design unchanged when nothing is droppable. *)
+
+  val no_reduction : Rtl.design -> stats
+end
+
 (** A witness (counterexample) to a bounded check. *)
 type witness = {
   w_length : int;  (** number of cycles, frames [0 .. w_length - 1] *)
@@ -62,13 +107,50 @@ exception Certification_failed of string
 module Engine : sig
   type t
 
-  val create : ?symbolic_init:bool -> ?certify:bool -> Rtl.design -> t
+  (** Per-engine totals of the simplification pipeline, accumulated over
+      every query (including solvers retired by monolithic-mode resets). *)
+  type simp_stats = {
+    ss_queries : int;  (** SAT queries issued *)
+    ss_coi_regs_before : int;  (** registers before COI (set by the drivers) *)
+    ss_coi_regs_after : int;
+    ss_rewrite_hits : int;  (** AIG rewrite rule applications *)
+    ss_compact_in : int;  (** AND nodes entering per-query compaction (sum) *)
+    ss_compact_out : int;  (** AND nodes surviving it (sum) *)
+    ss_clauses_emitted : int;  (** Tseitin clauses actually emitted *)
+    ss_clauses_plain : int;  (** what plain Tseitin would have emitted *)
+    ss_single_pol : int;  (** AND nodes emitted in a single polarity *)
+    ss_pre : Sat.Solver.presult;  (** CNF-preprocessing totals *)
+    ss_t_rewrite : float;  (** CPU seconds in rewriting/compaction *)
+    ss_t_cnf : float;  (** CPU seconds in CNF preprocessing *)
+  }
+
+  val pp_simp_stats : Format.formatter -> simp_stats -> unit
+
+  val create :
+    ?symbolic_init:bool ->
+    ?certify:bool ->
+    ?simplify:simplify_config ->
+    ?mono:bool ->
+    Rtl.design ->
+    t
   (** [certify] (default [false]) turns on DRAT proof logging in the
       underlying solver and checks a certificate for {e every} UNSAT
       answer of {!check}, raising {!Certification_failed} on rejection.
       SAT answers are independently validated by the simulator replay in
       witness extraction, so with [certify:true] both verdict polarities
-      are cross-checked. *)
+      are cross-checked.
+
+      [simplify] (default {!default_simplify}) selects the pipeline stages
+      this engine applies; [sc_coi] is handled by the {!check_safety}
+      drivers, not here.
+
+      [mono] (default [false]) puts the engine in monolithic mode: the AIG
+      and unrolling persist across queries (so the design is only blasted
+      once), but every {!check} runs on a fresh solver. [assert_lit] then
+      records the literal for replay instead of constraining the current
+      solver; with [sc_rewrite] each query additionally sweeps the graph
+      down to the cones it needs, and with [sc_cnf] bounded variable
+      elimination is enabled (safe only because each solver is one-shot). *)
 
   val unroller : t -> Unroller.t
   val graph : t -> Aig.t
@@ -98,6 +180,13 @@ module Engine : sig
   val stats : t -> Sat.Solver.stats
   val cnf_size : t -> int * int
   (** [(vars, clauses)] currently in the solver. *)
+
+  val simp_stats : t -> simp_stats
+
+  val note_coi : t -> before:int -> after:int -> unit
+  (** Record COI figures (register counts) in this engine's {!simp_stats};
+      called by drivers that reduced the design before creating the
+      engine. *)
 end
 
 type outcome =
@@ -108,6 +197,8 @@ val check_safety :
   ?symbolic_init:bool ->
   ?certify:bool ->
   ?assumes:Expr.t list ->
+  ?simplify:simplify_config ->
+  ?stats:(Engine.simp_stats -> unit) ->
   design:Rtl.design ->
   invariant:Expr.t ->
   depth:int ->
@@ -118,17 +209,28 @@ val check_safety :
     length <= [depth], under the 1-bit [assumes] constraints applied at
     every cycle. With [certify:true] every UNSAT bound along the way is
     DRAT-certified (so a [Holds] verdict is fully certificate-backed);
-    raises {!Certification_failed} on a rejected certificate. *)
+    raises {!Certification_failed} on a rejected certificate.
+
+    [simplify] (default {!default_simplify}) selects the formula-shrinking
+    stages; under COI, counterexamples are re-anchored to the original
+    design (out-of-cone registers at their reset values — or zero under
+    symbolic init — and the trace re-simulated), so witnesses always speak
+    about the design passed in. [stats], when given, receives the engine's
+    pipeline totals just before the result is returned. *)
 
 val check_safety_mono :
   ?symbolic_init:bool ->
   ?certify:bool ->
   ?assumes:Expr.t list ->
+  ?simplify:simplify_config ->
+  ?stats:(Engine.simp_stats -> unit) ->
   design:Rtl.design ->
   invariant:Expr.t ->
   depth:int ->
   unit ->
   outcome * Sat.Solver.stats
 (** Non-incremental variant: one monolithic SAT query per bound with a
-    fresh solver each time. Exists for the incremental-vs-monolithic
-    ablation (experiment R-A2); same answers as {!check_safety}. *)
+    fresh solver each time; the design blasting (AIG + unrolling) is shared
+    across bounds, so each bound only lowers its new frame. Exists for the
+    incremental-vs-monolithic ablation (experiment R-A2); same answers as
+    {!check_safety}. *)

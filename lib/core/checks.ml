@@ -39,6 +39,7 @@ type report = {
   sat_stats : Sat.Solver.stats;
   cnf_vars : int;
   cnf_clauses : int;
+  simp : Bmc.Engine.simp_stats;
 }
 
 let copy1_prefix = "dut1__"
@@ -132,7 +133,13 @@ type pair_conds = {
 
 let report_of engine verdict =
   let vars, clauses = Bmc.Engine.cnf_size engine in
-  { verdict; sat_stats = Bmc.Engine.stats engine; cnf_vars = vars; cnf_clauses = clauses }
+  {
+    verdict;
+    sat_stats = Bmc.Engine.stats engine;
+    cnf_vars = vars;
+    cnf_clauses = clauses;
+    simp = Bmc.Engine.simp_stats engine;
+  }
 
 (* Solve for any of the pending conditions of one selector; on SAT identify
    the failing pair in the model. On UNSAT every pending condition has been
@@ -207,9 +214,9 @@ let drive ~engine ~bound ~pairs_at ~kinds =
 (* ------------------------------------------------------------------ *)
 (* A-QED functional consistency (single copy).                          *)
 
-let aqed_fc_fixed design iface ~bound =
+let aqed_fc_fixed ~simplify ~mono design iface ~bound =
   Iface.check design iface;
-  let engine = Bmc.Engine.create design in
+  let engine = Bmc.Engine.create ~simplify ~mono design in
   let view = { engine; prefix = ""; iface } in
   let gr = Bmc.Engine.graph engine in
   let latency = iface.Iface.latency in
@@ -244,12 +251,12 @@ let aqed_fc_fixed design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* G-QED (product of two copies).                                       *)
 
-let gqed_generic ~with_state design iface ~bound =
+let gqed_generic ~simplify ~mono ~with_state design iface ~bound =
   Iface.check design iface;
   let copy1 = Rtl.rename ~prefix:copy1_prefix design in
   let copy2 = Rtl.rename ~prefix:copy2_prefix design in
   let prod = Rtl.product copy1 copy2 in
-  let engine = Bmc.Engine.create prod in
+  let engine = Bmc.Engine.create ~simplify ~mono prod in
   let v1 = { engine; prefix = copy1_prefix; iface } in
   let v2 = { engine; prefix = copy2_prefix; iface } in
   let gr = Bmc.Engine.graph engine in
@@ -299,25 +306,26 @@ let gqed_generic ~with_state design iface ~bound =
   drive ~engine ~bound ~pairs_at
     ~kinds:(Gfc_output, Gfc_response, if with_state then Some Gfc_state else None)
 
-let gqed_fixed design iface ~bound = gqed_generic ~with_state:true design iface ~bound
+let gqed_fixed ~simplify ~mono design iface ~bound =
+  gqed_generic ~simplify ~mono ~with_state:true design iface ~bound
 
-let gqed_output_only_fixed design iface ~bound =
-  gqed_generic ~with_state:false design iface ~bound
+let gqed_output_only_fixed ~simplify ~mono design iface ~bound =
+  gqed_generic ~simplify ~mono ~with_state:false design iface ~bound
 
 (* ------------------------------------------------------------------ *)
 (* Single-action (responsiveness): with fixed latency L, out_valid at
    frame f must equal in_valid at frame f - L (false before reset).      *)
 
-let sa_check_fixed design iface ~bound =
+let sa_check_fixed ~simplify ~mono design iface ~bound =
   Iface.check design iface;
   if iface.Iface.out_valid = None then begin
     (* No response-valid port: responses are combinational values sampled at
        dispatch + latency, so single-action holds by construction. *)
-    let engine = Bmc.Engine.create design in
+    let engine = Bmc.Engine.create ~simplify ~mono design in
     report_of engine (Pass bound)
   end
   else begin
-  let engine = Bmc.Engine.create design in
+  let engine = Bmc.Engine.create ~simplify ~mono design in
   let view = { engine; prefix = ""; iface } in
   let gr = Bmc.Engine.graph engine in
   let latency = iface.Iface.latency in
@@ -341,15 +349,15 @@ let sa_check_fixed design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* Stability: without a dispatch, the architectural state cannot move.   *)
 
-let stability_check design iface ~bound =
+let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
   Iface.check design iface;
   if iface.Iface.arch_regs = [] || iface.Iface.in_valid = None then begin
     (* No architectural state, or a transaction on every cycle: vacuous. *)
-    let engine = Bmc.Engine.create design in
+    let engine = Bmc.Engine.create ~simplify ~mono design in
     report_of engine (Pass bound)
   end
   else begin
-    let engine = Bmc.Engine.create design in
+    let engine = Bmc.Engine.create ~simplify ~mono design in
     let view = { engine; prefix = ""; iface } in
     let gr = Bmc.Engine.graph engine in
     let pairs_at k =
@@ -376,12 +384,12 @@ let stability_check design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* Reset: documented architectural reset values match the RTL.           *)
 
-let reset_check design iface =
+let reset_check ?(simplify = Bmc.default_simplify) ?(mono = false) design iface =
   Iface.check design iface;
   (* Static check: reset values are constants in this modelling. The report
      shape is kept for uniformity; a failure carries a zero-length witness
      whose initial state shows the wrong value. *)
-  let engine = Bmc.Engine.create design in
+  let engine = Bmc.Engine.create ~simplify ~mono design in
   let initial = Rtl.initial_state design in
   let mismatch =
     List.find_opt
@@ -425,13 +433,13 @@ let assert_k_stable engine prefix ~frame =
    [with_arch] adds the equal-architectural-state hypothesis (dropping it
    gives the A-QED-style check, which false-alarms on interfering designs);
    [with_state] adds the post-state conjunct. *)
-let gqed_variable ~with_arch ~with_state design iface ~bound =
+let gqed_variable ~simplify ~mono ~with_arch ~with_state design iface ~bound =
   Iface.check design iface;
   let instrumented = Instrument.with_monitor design iface in
   let copy1 = Rtl.rename ~prefix:copy1_prefix instrumented in
   let copy2 = Rtl.rename ~prefix:copy2_prefix instrumented in
   let prod = Rtl.product copy1 copy2 in
-  let engine = Bmc.Engine.create prod in
+  let engine = Bmc.Engine.create ~simplify ~mono prod in
   let v name w prefix = Expr.var (prefix ^ name) w in
   let both f = (f copy1_prefix, f copy2_prefix) in
   let have p =
@@ -515,11 +523,11 @@ let gqed_variable ~with_arch ~with_state design iface ~bound =
 
 (* Responsiveness for variable latency: no response when nothing is
    outstanding, and every dispatch is answered within max_latency. *)
-let sa_variable design iface ~bound =
+let sa_variable ~simplify ~mono design iface ~bound =
   Iface.check design iface;
   let lmax = Option.get iface.Iface.max_latency in
   let instrumented = Instrument.with_monitor design iface in
-  let engine = Bmc.Engine.create instrumented in
+  let engine = Bmc.Engine.create ~simplify ~mono instrumented in
   let u = Bmc.Engine.unroller engine in
   let gr = Bmc.Engine.graph engine in
   let dispatch_e = Instrument.dispatch_expr design iface in
@@ -563,34 +571,38 @@ let sa_variable design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* Public checks: dispatch on the interface's latency mode.              *)
 
-let aqed_fc design iface ~bound =
+let aqed_fc ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~with_arch:false ~with_state:false design iface ~bound
-  else aqed_fc_fixed design iface ~bound
+    gqed_variable ~simplify ~mono ~with_arch:false ~with_state:false design iface ~bound
+  else aqed_fc_fixed ~simplify ~mono design iface ~bound
 
-let gqed design iface ~bound =
+let gqed ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~with_arch:true ~with_state:true design iface ~bound
-  else gqed_fixed design iface ~bound
+    gqed_variable ~simplify ~mono ~with_arch:true ~with_state:true design iface ~bound
+  else gqed_fixed ~simplify ~mono design iface ~bound
 
-let gqed_output_only design iface ~bound =
+let gqed_output_only ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound
+    =
   if Iface.is_variable_latency iface then
-    gqed_variable ~with_arch:true ~with_state:false design iface ~bound
-  else gqed_output_only_fixed design iface ~bound
+    gqed_variable ~simplify ~mono ~with_arch:true ~with_state:false design iface ~bound
+  else gqed_output_only_fixed ~simplify ~mono design iface ~bound
 
-let sa_check design iface ~bound =
-  if Iface.is_variable_latency iface then sa_variable design iface ~bound
-  else sa_check_fixed design iface ~bound
+let sa_check ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
+  if Iface.is_variable_latency iface then sa_variable ~simplify ~mono design iface ~bound
+  else sa_check_fixed ~simplify ~mono design iface ~bound
 
 (* ------------------------------------------------------------------ *)
 (* The complete flow.                                                    *)
 
-let flow design iface ~bound =
+let flow ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
   let stages =
-    [ (fun () -> reset_check design iface); (fun () -> sa_check design iface ~bound) ]
+    [
+      (fun () -> reset_check ~simplify ~mono design iface);
+      (fun () -> sa_check ~simplify ~mono design iface ~bound);
+    ]
     @ (if Iface.is_variable_latency iface then []
-       else [ (fun () -> stability_check design iface ~bound) ])
-    @ [ (fun () -> gqed design iface ~bound) ]
+       else [ (fun () -> stability_check ~simplify ~mono design iface ~bound) ])
+    @ [ (fun () -> gqed ~simplify ~mono design iface ~bound) ]
   in
   let rec run_stages last = function
     | [] -> last
@@ -601,7 +613,7 @@ let flow design iface ~bound =
         | Pass _ -> run_stages report rest
       end
   in
-  run_stages (reset_check design iface) stages
+  run_stages (reset_check ~simplify design iface) stages
 
 (* ------------------------------------------------------------------ *)
 
@@ -613,9 +625,9 @@ let technique_to_string = function
   | Gqed_output_only -> "G-QED(out-only)"
   | Gqed_flow -> "G-QED(flow)"
 
-let run technique design iface ~bound =
+let run ?(simplify = Bmc.default_simplify) ?(mono = false) technique design iface ~bound =
   match technique with
-  | Aqed -> aqed_fc design iface ~bound
-  | Gqed -> gqed design iface ~bound
-  | Gqed_output_only -> gqed_output_only design iface ~bound
-  | Gqed_flow -> flow design iface ~bound
+  | Aqed -> aqed_fc ~simplify ~mono design iface ~bound
+  | Gqed -> gqed ~simplify ~mono design iface ~bound
+  | Gqed_output_only -> gqed_output_only ~simplify ~mono design iface ~bound
+  | Gqed_flow -> flow ~simplify ~mono design iface ~bound

@@ -55,25 +55,51 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-type report = { verdict : verdict; sat_stats : Sat.Solver.stats; cnf_vars : int; cnf_clauses : int }
+type report = {
+  verdict : verdict;
+  sat_stats : Sat.Solver.stats;
+  cnf_vars : int;
+  cnf_clauses : int;
+  simp : Bmc.Engine.simp_stats;
+      (** formula-shrinking pipeline totals for this check's engine *)
+}
 
-val aqed_fc : Rtl.design -> Iface.t -> bound:int -> report
-val gqed : Rtl.design -> Iface.t -> bound:int -> report
-val gqed_output_only : Rtl.design -> Iface.t -> bound:int -> report
-val sa_check : Rtl.design -> Iface.t -> bound:int -> report
+(** Every check takes [?simplify] (default {!Bmc.default_simplify})
+    selecting the formula-shrinking stages of its BMC engine; pass
+    {!Bmc.no_simplify} (or a partial configuration) for ablation. [?mono]
+    (default [false]) runs the engine in monolithic mode — the design is
+    blasted once and every SAT query gets a fresh solver, which unlocks the
+    per-query compaction sweep and bounded variable elimination stages of
+    the pipeline (see {!Bmc.Engine.create}). The verdict is independent of
+    both knobs — the bench harness and the fuzz oracle enforce this. *)
 
-val stability_check : Rtl.design -> Iface.t -> bound:int -> report
+val aqed_fc :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+
+val gqed :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+
+val gqed_output_only :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+
+val sa_check :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+
+val stability_check :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
 (** Architectural state may change only through a dispatched transaction:
     on any cycle without a dispatch, the architectural registers must keep
     their values. Together with {!sa_check} this discharges the
     transactional-machine abstraction the G-FC soundness argument uses. *)
 
-val reset_check : Rtl.design -> Iface.t -> report
+val reset_check :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> report
 (** The RTL reset values of the architectural registers match the
     documented ones from {!Iface.t.arch_reset}. Static (no BMC): reset
     values are constants in this modelling. *)
 
-val flow : Rtl.design -> Iface.t -> bound:int -> report
+val flow :
+  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
 (** The complete G-QED flow as run in the evaluation: {!reset_check}, then
     {!sa_check}, then {!stability_check}, then {!gqed}; the first failing
     stage is reported. *)
@@ -83,7 +109,15 @@ val flow : Rtl.design -> Iface.t -> bound:int -> report
 type technique = Aqed | Gqed | Gqed_output_only | Gqed_flow
 
 val technique_to_string : technique -> string
-val run : technique -> Rtl.design -> Iface.t -> bound:int -> report
+
+val run :
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  technique ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 
 (** {2 Copy prefixes}
 

@@ -497,6 +497,83 @@ module Oracle = struct
         (Printf.sprintf "jobs: serial [%s] but parallel [%s]"
            (String.concat "; " serial)
            (String.concat "; " parallel))
+
+  (* The formula-shrinking pipeline must be invisible in verdicts: the same
+     safety check runs with every stage on, every stage off, and each stage
+     individually, and all runs must agree (same proved bound, or
+     counterexamples of the same length whose witnesses replay — every run
+     goes through the simulator replay inside [check_safety]). The COI-only
+     run is held to a stronger standard: the reduction keeps all inputs and
+     the unroller is lazy, so its CNF — and hence its witness — must be
+     bit-identical to the baseline's. With [cert] the fully-simplified run
+     is DRAT-certified at every UNSAT bound, exercising the proof logging
+     of rewriting + Plaisted-Greenbaum + preprocessing end to end. *)
+  let simplify_on_vs_off ?(cert = false) ~depth rand (d : Rtl.design) =
+    let vars = all_vars d in
+    let invariant = Gen.expr rand ~vars ~width:1 ~depth:2 in
+    let certified = ref 0 in
+    let run_conf name ~certify simplify =
+      match Bmc.check_safety ~certify ~simplify ~design:d ~invariant ~depth () with
+      | exception Bmc.Certification_failed msg ->
+          Error (Printf.sprintf "simplify(%s): rejected DRAT certificate: %s" name msg)
+      | outcome, _ -> Ok outcome
+    in
+    let agree name a b =
+      match (a, b) with
+      | Bmc.Holds x, Bmc.Holds y when x = y -> Ok ()
+      | Bmc.Violated wa, Bmc.Violated wb when wa.Bmc.w_length = wb.Bmc.w_length -> Ok ()
+      | _ ->
+          Error
+            (Printf.sprintf "simplify(%s): baseline %s but pipeline %s" name
+               (outcome_to_string a) (outcome_to_string b))
+    in
+    match run_conf "off" ~certify:false Bmc.no_simplify with
+    | Error _ as e -> e
+    | Ok base -> (
+        match run_conf "all" ~certify:cert Bmc.default_simplify with
+        | Error _ as e -> e
+        | Ok full -> (
+            (if cert then
+               match full with
+               | Bmc.Holds bound -> certified := bound
+               | Bmc.Violated w -> certified := w.Bmc.w_length - 1);
+            match agree "all" base full with
+            | Error _ as e -> e
+            | Ok () ->
+                let stages =
+                  [
+                    ("coi", { Bmc.no_simplify with Bmc.sc_coi = true });
+                    ("rewrite", { Bmc.no_simplify with Bmc.sc_rewrite = true });
+                    ("pg", { Bmc.no_simplify with Bmc.sc_pg = true });
+                    ("cnf", { Bmc.no_simplify with Bmc.sc_cnf = true });
+                  ]
+                in
+                let rec check_stages = function
+                  | [] -> Ok !certified
+                  | (name, conf) :: rest -> (
+                      match run_conf name ~certify:false conf with
+                      | Error _ as e -> e
+                      | Ok outcome -> (
+                          match agree name base outcome with
+                          | Error _ as e -> e
+                          | Ok () ->
+                              if name <> "coi" then check_stages rest
+                              else
+                                (* COI alone: bit-identical witnesses. *)
+                                let identical =
+                                  match (base, outcome) with
+                                  | Bmc.Holds _, Bmc.Holds _ -> true
+                                  | Bmc.Violated wa, Bmc.Violated wb ->
+                                      Rtl.Smap.equal Bitvec.equal wa.Bmc.w_initial
+                                        wb.Bmc.w_initial
+                                      && Array.for_all2 (Rtl.Smap.equal Bitvec.equal)
+                                           wa.Bmc.w_inputs wb.Bmc.w_inputs
+                                  | _ -> false
+                                in
+                                if identical then check_stages rest
+                                else Error "simplify(coi): witness differs from baseline"))
+                in
+                check_stages stages))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -675,6 +752,8 @@ let oracles ~config ~cert =
     ( "jobs",
       fun rand d ->
         Result.map (fun () -> 0) (Oracle.jobs_vs_serial ~depth:config.bmc_depth rand d) );
+    ( "simplify",
+      fun rand d -> Oracle.simplify_on_vs_off ~cert ~depth:config.bmc_depth rand d );
   ]
 
 let run_oracle oracle_fn ~seed ~case ~idx d =

@@ -78,6 +78,16 @@ module Oracle : sig
       (0 when [cert] is false). *)
 
   val jobs_vs_serial : depth:int -> Random.State.t -> Rtl.design -> (unit, string) result
+
+  val simplify_on_vs_off :
+    ?cert:bool -> depth:int -> Random.State.t -> Rtl.design -> (int, string) result
+  (** The formula-shrinking pipeline is verdict-invisible: the same safety
+      check with all stages on, all off, and each of COI / rewriting /
+      Plaisted-Greenbaum / CNF preprocessing individually must agree on the
+      outcome (same proved bound or same counterexample length); the
+      COI-only run must reproduce the baseline witness bit for bit. With
+      [cert], the fully-simplified run is DRAT-certified at every UNSAT
+      bound; on success, returns the number of certified bounds. *)
 end
 
 (** {1 Shrinking} *)

@@ -1,0 +1,325 @@
+(* SatELite-style preprocessing over a clause-database snapshot.
+
+   The data structure is the classic one: per-variable occurrence lists
+   (both polarities mixed, as in MiniSat's SimpSolver, so a backward check
+   from clause C finds both the clauses C subsumes and the clauses C
+   strengthens — including strengthenings that flip C's probe literal
+   itself) plus a 62-bit signature per clause for cheap non-subsumption
+   rejection. Occurrence lists are append-only with lazy invalidation:
+   entries for dead or since-strengthened clauses are filtered out by the
+   membership test of the subsumption check itself. *)
+
+type config = {
+  subsume : bool;
+  self_subsume : bool;
+  bve : bool;
+  bve_max_occ : int;
+  bve_max_resolvent : int;
+}
+
+let default_config =
+  { subsume = true; self_subsume = true; bve = true; bve_max_occ = 20; bve_max_resolvent = 30 }
+
+type action =
+  | Remove of int
+  | Strengthen of int * Lit.t array
+  | Add of int * Lit.t array
+  | Unit of Lit.t
+  | Empty
+  | Eliminate of int * Lit.t array array
+
+type stats = {
+  s_subsumed : int;
+  s_strengthened : int;
+  s_eliminated : int;
+  s_resolvents : int;
+  s_units : int;
+}
+
+(* Internal clause record. [cid] = -1 for derived unit pseudo-clauses that
+   exist only inside this run (their solver counterpart is a level-0
+   assignment, not a clause object, so no action may reference them). *)
+type cls = {
+  cid : int;
+  mutable lits : Lit.t array;
+  mutable csig : int;
+  mutable dead : bool;
+  mutable queued : bool;
+  prot : bool;
+}
+
+let sig_of lits =
+  Array.fold_left (fun s l -> s lor (1 lsl (Lit.var l mod 62))) 0 lits
+
+let mem l c =
+  let lits = c.lits in
+  let n = Array.length lits in
+  let rec go i = i < n && (lits.(i) = l || go (i + 1)) in
+  go 0
+
+type sub = No | Sub | Str of Lit.t
+
+(* Does [c] subsume [d], or strengthen it by removing one literal?
+   [Str p] means: every literal of [c] except one is in [d], and that one
+   appears negated in [d] as [p] — the resolvent of [c] and [d] on [p]
+   subsumes [d], so [p] can be removed from [d]. *)
+let subsume_check c d =
+  if Array.length c.lits > Array.length d.lits then No
+  else if c.csig land lnot d.csig <> 0 then No
+  else begin
+    let flip = ref (-1) in
+    let bad = ref false in
+    let lits = c.lits in
+    let n = Array.length lits in
+    let i = ref 0 in
+    while (not !bad) && !i < n do
+      let l = lits.(!i) in
+      if mem l d then ()
+      else if !flip < 0 && mem (Lit.negate l) d then flip := l
+      else bad := true;
+      incr i
+    done;
+    if !bad then No else if !flip < 0 then Sub else Str (Lit.negate !flip)
+  end
+
+let run ?(config = default_config) ?seeds ~nvars ~frozen ~protected clauses =
+  let nvars = max nvars 1 in
+  let frozen =
+    let a = Array.make nvars false in
+    Array.blit frozen 0 a 0 (min (Array.length frozen) nvars);
+    a
+  in
+  let occ : cls list array = Array.make nvars [] in
+  let occ_n = Array.make nvars 0 in
+  let actions = ref [] in
+  let emit a = actions := a :: !actions in
+  let n_sub = ref 0 and n_str = ref 0 and n_elim = ref 0 in
+  let n_res = ref 0 and n_unit = ref 0 in
+  let next_id = ref (Array.length clauses) in
+  let contradiction = ref false in
+  let queue = Queue.create () in
+  let enqueue c =
+    if (not c.queued) && not c.dead then begin
+      c.queued <- true;
+      Queue.add c queue
+    end
+  in
+  let add_occ c =
+    Array.iter
+      (fun l ->
+        let v = Lit.var l in
+        occ.(v) <- c :: occ.(v);
+        occ_n.(v) <- occ_n.(v) + 1)
+      c.lits
+  in
+  let dec_occ lits =
+    Array.iter (fun l -> occ_n.(Lit.var l) <- occ_n.(Lit.var l) - 1) lits
+  in
+  let db =
+    Array.mapi
+      (fun i lits ->
+        {
+          cid = i;
+          lits = Array.copy lits;
+          csig = sig_of lits;
+          dead = false;
+          queued = false;
+          prot = i < Array.length protected && protected.(i);
+        })
+      clauses
+  in
+  Array.iter add_occ db;
+  (* Variables constrained by a protected clause (the trail) must never be
+     eliminated; derived units freeze theirs as they appear. *)
+  Array.iter
+    (fun c -> if c.prot then Array.iter (fun l -> frozen.(Lit.var l) <- true) c.lits)
+    db;
+  let new_unit l =
+    emit (Unit l);
+    incr n_unit;
+    frozen.(Lit.var l) <- true;
+    let u =
+      { cid = -1; lits = [| l |]; csig = sig_of [| l |]; dead = false; queued = false; prot = false }
+    in
+    add_occ u;
+    enqueue u
+  in
+  let kill c =
+    if not c.dead then begin
+      c.dead <- true;
+      dec_occ c.lits;
+      if c.cid >= 0 then emit (Remove c.cid)
+    end
+  in
+  let strengthen d p =
+    let lits = Array.of_list (List.filter (fun l -> l <> p) (Array.to_list d.lits)) in
+    incr n_str;
+    match Array.length lits with
+    | 0 ->
+        (* [d] was the unit [p] and is contradicted: the set is UNSAT. *)
+        emit Empty;
+        contradiction := true;
+        d.dead <- true
+    | 1 ->
+        new_unit lits.(0);
+        d.dead <- true;
+        dec_occ d.lits;
+        if d.cid >= 0 then emit (Remove d.cid)
+    | _ ->
+        occ_n.(Lit.var p) <- occ_n.(Lit.var p) - 1;
+        d.lits <- lits;
+        d.csig <- sig_of lits;
+        emit (Strengthen (d.cid, Array.copy lits));
+        enqueue d
+  in
+  (* Backward subsumption + strengthening from [c]: probe the occurrence
+     list of c's least-occurring variable; every clause c subsumes or
+     strengthens must contain (a polarity of) each of c's variables. *)
+  let process c =
+    if not c.dead then begin
+      let best = ref (Lit.var c.lits.(0)) in
+      Array.iter
+        (fun l -> if occ_n.(Lit.var l) < occ_n.(!best) then best := Lit.var l)
+        c.lits;
+      let candidates = occ.(!best) in
+      List.iter
+        (fun d ->
+          if (not !contradiction) && (not (d == c)) && (not d.dead) && (not d.prot)
+             && not c.dead
+          then
+            match subsume_check c d with
+            | Sub ->
+                if config.subsume then begin
+                  incr n_sub;
+                  kill d
+                end
+            | Str p -> if config.self_subsume then strengthen d p
+            | No -> ())
+        candidates
+    end
+  in
+  let drain () =
+    while (not !contradiction) && not (Queue.is_empty queue) do
+      let c = Queue.pop queue in
+      c.queued <- false;
+      process c
+    done
+  in
+  (match seeds with
+  | None -> Array.iter enqueue db
+  | Some ids ->
+      List.iter (fun i -> if i >= 0 && i < Array.length db then enqueue db.(i)) ids);
+  drain ();
+  (* Bounded variable elimination, cheapest variables first. *)
+  if config.bve && not !contradiction then begin
+    let resolve p n v =
+      let ls =
+        List.filter (fun l -> Lit.var l <> v) (Array.to_list p.lits)
+        @ List.filter (fun l -> Lit.var l <> v) (Array.to_list n.lits)
+      in
+      let ls = List.sort_uniq Int.compare ls in
+      let rec taut = function
+        | a :: (b :: _ as rest) -> (Lit.var a = Lit.var b) || taut rest
+        | _ -> false
+      in
+      if taut ls then None else Some (Array.of_list ls)
+    in
+    let try_eliminate v =
+      if not frozen.(v) then begin
+        let live = List.filter (fun c -> (not c.dead) && mem (Lit.pos v) c) occ.(v)
+        and live_n = List.filter (fun c -> (not c.dead) && mem (Lit.neg v) c) occ.(v) in
+        (* Occurrence lists are append-only, so a clause can appear twice
+           transiently; dedup physically. *)
+        let dedup l =
+          List.fold_left (fun acc c -> if List.memq c acc then acc else c :: acc) [] l
+        in
+        let pos = dedup live and neg = dedup live_n in
+        let np = List.length pos and nn = List.length neg in
+        if np + nn > 0 && np + nn <= config.bve_max_occ then begin
+          let ok = ref true in
+          let resolvents = ref [] in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun n ->
+                  if !ok then
+                    match resolve p n v with
+                    | None -> ()
+                    | Some r ->
+                        if Array.length r > config.bve_max_resolvent then ok := false
+                        else resolvents := r :: !resolvents)
+                neg)
+            pos;
+          if !ok && List.length !resolvents <= np + nn then begin
+            (* Commit: add resolvents first (each is RUP from its two live
+               parents), then delete the parents, then record the variable
+               for model reconstruction. *)
+            List.iter
+              (fun r ->
+                match Array.length r with
+                | 0 ->
+                    emit Empty;
+                    contradiction := true
+                | 1 -> if not !contradiction then new_unit r.(0)
+                | _ ->
+                    if not !contradiction then begin
+                      let id = !next_id in
+                      incr next_id;
+                      emit (Add (id, Array.copy r));
+                      incr n_res;
+                      let c =
+                        {
+                          cid = id;
+                          lits = Array.copy r;
+                          csig = sig_of r;
+                          dead = false;
+                          queued = false;
+                          prot = false;
+                        }
+                      in
+                      add_occ c;
+                      enqueue c
+                    end)
+              (List.rev !resolvents);
+            if not !contradiction then begin
+              let saved = Array.of_list (List.map (fun c -> Array.copy c.lits) (pos @ neg)) in
+              List.iter kill (pos @ neg);
+              emit (Eliminate (v, saved));
+              incr n_elim;
+              frozen.(v) <- true;
+              drain ()
+            end
+          end
+        end
+      end
+    in
+    let order = Array.init nvars (fun v -> v) in
+    Array.sort (fun a b -> Int.compare occ_n.(a) occ_n.(b)) order;
+    Array.iter (fun v -> if not !contradiction then try_eliminate v) order
+  end;
+  ( List.rev !actions,
+    {
+      s_subsumed = !n_sub;
+      s_strengthened = !n_str;
+      s_eliminated = !n_elim;
+      s_resolvents = !n_res;
+      s_units = !n_unit;
+    } )
+
+(* Model extension for eliminated variables (reverse elimination order):
+   a variable is forced true exactly when leaving it false would falsify
+   one of its saved clauses — such a clause necessarily contains the
+   positive literal, since all resolvents are satisfied by the model. *)
+let extend_model stack model =
+  List.iter
+    (fun (v, saved) ->
+      model.(v) <- false;
+      let sat_clause c =
+        Array.exists
+          (fun l ->
+            let value = model.(Lit.var l) in
+            if Lit.is_neg l then not value else value)
+          c
+      in
+      if not (Array.for_all sat_clause saved) then model.(v) <- true)
+    stack

@@ -1,0 +1,83 @@
+(** CNF preprocessing: subsumption, self-subsuming resolution and bounded
+    variable elimination (SatELite, Eén & Biere 2005).
+
+    This module is deliberately solver-free: it works on a snapshot of the
+    clause database (arrays of literals) and returns an ordered {!action}
+    log describing what it did. The solver replays the log against its own
+    clause records, mirroring every step into the DRAT stream — each
+    derived clause is added {e before} the clauses it came from are
+    deleted, so every addition is RUP against the live set at that point
+    and the existing certificate checker accepts the whole stream.
+
+    Three kinds of reasoning, all bounded:
+
+    - {b subsumption}: a clause implied by a (sub)clause already in the
+      database is deleted;
+    - {b self-subsuming resolution}: when resolving [C ∨ l] with [D ∨ ¬l]
+      yields a clause subsuming [C ∨ l], the literal [l] is removed from
+      it ("strengthening") — equivalence-preserving, hence safe even for
+      incremental solving where more clauses arrive later;
+    - {b bounded variable elimination}: a variable whose resolvent set is
+      no larger than the clauses it replaces is resolved away. Only
+      satisfiability-preserving, so the caller enables it solely for
+      one-shot (monolithic) queries and freezes assumption variables; the
+      eliminated clauses are saved for {!extend_model}. *)
+
+type config = {
+  subsume : bool;
+  self_subsume : bool;
+  bve : bool;  (** bounded variable elimination (needs [frozen] discipline) *)
+  bve_max_occ : int;
+      (** do not try to eliminate a variable occurring in more clauses *)
+  bve_max_resolvent : int;  (** abort an elimination producing a longer clause *)
+}
+
+val default_config : config
+
+(** One step of the replayable log, in derivation order. Clause ids index
+    the input array; {!Add} introduces fresh ids continuing past it. *)
+type action =
+  | Remove of int  (** clause id: subsumed (or replaced by elimination) *)
+  | Strengthen of int * Lit.t array
+      (** clause id now has these (fewer) literals; the solver adds the new
+          clause, then deletes the old one under the same id *)
+  | Add of int * Lit.t array  (** fresh resolvent from variable elimination *)
+  | Unit of Lit.t  (** derived unit: enqueue at level 0 (and log as Add) *)
+  | Empty  (** the empty clause was derived: the formula is UNSAT *)
+  | Eliminate of int * Lit.t array array
+      (** variable eliminated; its clauses, saved for model extension *)
+
+type stats = {
+  s_subsumed : int;
+  s_strengthened : int;
+  s_eliminated : int;  (** variables eliminated *)
+  s_resolvents : int;  (** non-unit resolvents added by elimination *)
+  s_units : int;  (** unit clauses derived *)
+}
+
+val run :
+  ?config:config ->
+  ?seeds:int list ->
+  nvars:int ->
+  frozen:bool array ->
+  protected:bool array ->
+  Lit.t array array ->
+  action list * stats
+(** [run ~nvars ~frozen ~protected clauses] computes a simplification of
+    the clause set to fixpoint and returns the action log (chronological)
+    plus counters.
+
+    [frozen.(v)] excludes variable [v] from elimination (assumption
+    variables, level-0 assigned variables, previously eliminated ones).
+    [protected.(i)] marks clause [i] as immutable — it may subsume or
+    strengthen others but is never itself removed or strengthened; the
+    solver passes its level-0 trail as protected unit clauses this way.
+    [seeds], when given, restricts the initial worklist to those clause
+    ids (incremental use: only clauses added since the last run need to be
+    reconsidered); omitted, every clause is processed. *)
+
+val extend_model : (int * Lit.t array array) list -> bool array -> unit
+(** [extend_model stack model] fixes the values of eliminated variables in
+    a model of the reduced formula so it satisfies the original clauses.
+    [stack] must be in reverse elimination order (most recently eliminated
+    first), exactly as the solver accumulates it. *)

@@ -35,6 +35,39 @@ type stats = {
   vars : int;
 }
 
+(* Counters from one (or, accumulated, all) [preprocess] call(s). *)
+type presult = {
+  pre_clauses_before : int;
+  pre_clauses_after : int;
+  pre_subsumed : int;
+  pre_strengthened : int;
+  pre_eliminated : int;
+  pre_resolvents : int;
+  pre_units : int;
+}
+
+let empty_presult =
+  {
+    pre_clauses_before = 0;
+    pre_clauses_after = 0;
+    pre_subsumed = 0;
+    pre_strengthened = 0;
+    pre_eliminated = 0;
+    pre_resolvents = 0;
+    pre_units = 0;
+  }
+
+let presult_add a b =
+  {
+    pre_clauses_before = a.pre_clauses_before + b.pre_clauses_before;
+    pre_clauses_after = a.pre_clauses_after + b.pre_clauses_after;
+    pre_subsumed = a.pre_subsumed + b.pre_subsumed;
+    pre_strengthened = a.pre_strengthened + b.pre_strengthened;
+    pre_eliminated = a.pre_eliminated + b.pre_eliminated;
+    pre_resolvents = a.pre_resolvents + b.pre_resolvents;
+    pre_units = a.pre_units + b.pre_units;
+  }
+
 type answer = A_none | A_sat | A_unsat
 
 type t = {
@@ -75,6 +108,16 @@ type t = {
      is kept reversed; [proof] re-chronologizes it. *)
   mutable proof_logging : bool;
   mutable proof_rev : Drat.event list;
+  (* Preprocessing (Simplify) state: variables resolved away by bounded
+     variable elimination, their saved clauses for model reconstruction
+     (most recent first), and watermarks so an incremental [preprocess]
+     call only reconsiders clauses and trail literals added since the
+     last one. *)
+  mutable eliminated : bool array;
+  mutable elim_stack : (int * int array array) list;
+  mutable pre_watermark : int;
+  mutable pre_trail_mark : int;
+  mutable pre_acc : presult;
   (* Status. *)
   mutable ok : bool;
   mutable answer : answer;
@@ -118,6 +161,11 @@ let create () =
     lbd_stamp = 0;
     proof_logging = false;
     proof_rev = [];
+    eliminated = Array.make 16 false;
+    elim_stack = [];
+    pre_watermark = 0;
+    pre_trail_mark = 0;
+    pre_acc = empty_presult;
     ok = true;
     answer = A_none;
     model = [||];
@@ -237,6 +285,8 @@ let new_var s =
   s.seen <- grow_array s.seen s.nvars false;
   s.heap_index <- grow_array s.heap_index s.nvars (-1);
   s.lbd_seen <- grow_array s.lbd_seen (s.nvars + 1) 0;
+  s.eliminated <- grow_array s.eliminated s.nvars false;
+  s.eliminated.(v) <- false;
   if 2 * s.nvars > Array.length s.watches then begin
     let grow_watchlists old =
       let a =
@@ -596,6 +646,11 @@ let analyze_final s p =
 let add_clause s lits =
   if decision_level s <> 0 then
     invalid_arg "Solver.add_clause: only allowed at decision level 0";
+  List.iter
+    (fun l ->
+      if s.eliminated.(Lit.var l) then
+        invalid_arg "Solver.add_clause: literal over an eliminated variable")
+    lits;
   log_input s lits;
   if s.ok then begin
     (* Sort + dedup; detect tautologies and level-0 entailment. *)
@@ -668,18 +723,25 @@ let clause_satisfied s c =
 let simplify s =
   assert (decision_level s = 0);
   if s.ok && propagate s = None then begin
-    let compact vec =
+    let compact ?(track_watermark = false) vec =
       let keep = Vec.create dummy_clause in
-      Vec.iter
-        (fun c ->
-          if clause_satisfied s c && not (locked s c) then remove_clause s c
-          else Vec.push keep c)
-        vec;
+      let removed_below = ref 0 in
+      for i = 0 to Vec.size vec - 1 do
+        let c = Vec.get vec i in
+        if c.removed || (clause_satisfied s c && not (locked s c)) then begin
+          if not c.removed then remove_clause s c;
+          if track_watermark && i < s.pre_watermark then incr removed_below
+        end
+        else Vec.push keep c
+      done;
       Vec.clear vec;
-      Vec.iter (fun c -> Vec.push vec c) keep
+      Vec.iter (fun c -> Vec.push vec c) keep;
+      (* Keep the preprocessing watermark pointing at the first clause not
+         yet seen by [preprocess], across the index shifts of compaction. *)
+      if track_watermark then s.pre_watermark <- max 0 (s.pre_watermark - !removed_below)
     in
     compact s.learnts;
-    compact s.clauses
+    compact ~track_watermark:true s.clauses
   end
   else if s.ok && decision_level s = 0 then begin
     s.ok <- false;
@@ -810,6 +872,9 @@ let solve ?(assumptions = []) s =
        with
       | Found_sat ->
           s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+          (* Extend the model over variables resolved away by elimination
+             so callers can read any variable they ever allocated. *)
+          if s.elim_stack <> [] then Simplify.extend_model s.elim_stack s.model;
           s.answer <- A_sat;
           result := Some Sat
       | Found_unsat ->
@@ -839,6 +904,166 @@ let unsat_assumptions s =
   if s.answer <> A_unsat then
     failwith "Solver.unsat_assumptions: last answer was not Unsat";
   List.map Lit.negate (Vec.to_list s.conflict)
+
+(* ------------------------------------------------------------------ *)
+(* CNF preprocessing (see Simplify).                                   *)
+
+(* Install a preprocessed clause (length >= 2). Watches must sit on
+   non-false literals w.r.t. the level-0 assignment, or propagation would
+   miss the clause entirely: preprocessing enqueues derived units without
+   propagating between actions, so a clause may arrive with literals that
+   are already false. *)
+let install_clause s lits =
+  let c = { lits = Array.copy lits; learnt = false; act = 0.; lbd = 0; removed = false } in
+  let l = c.lits in
+  let len = Array.length l in
+  let k = ref 0 in
+  (try
+     for i = 0 to len - 1 do
+       if value_lit s l.(i) <> -1 then begin
+         let tmp = l.(!k) in
+         l.(!k) <- l.(i);
+         l.(i) <- tmp;
+         incr k;
+         if !k >= 2 then raise Exit
+       end
+     done
+   with Exit -> ());
+  Vec.push s.clauses c;
+  attach_clause s c;
+  if !k = 0 then begin
+    s.ok <- false;
+    log_empty s
+  end
+  else if !k = 1 && value_lit s l.(0) = 0 then unchecked_enqueue s l.(0) dummy_clause;
+  c
+
+let preprocess ?(elim = false) ?(frozen = []) s =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.preprocess: only allowed at decision level 0";
+  let before = Vec.size s.clauses in
+  let finish st =
+    let r =
+      {
+        pre_clauses_before = before;
+        pre_clauses_after = Vec.size s.clauses;
+        pre_subsumed = st.Simplify.s_subsumed;
+        pre_strengthened = st.Simplify.s_strengthened;
+        pre_eliminated = st.Simplify.s_eliminated;
+        pre_resolvents = st.Simplify.s_resolvents;
+        pre_units = st.Simplify.s_units;
+      }
+    in
+    s.pre_acc <- presult_add s.pre_acc r;
+    r
+  in
+  let nothing =
+    {
+      Simplify.s_subsumed = 0;
+      s_strengthened = 0;
+      s_eliminated = 0;
+      s_resolvents = 0;
+      s_units = 0;
+    }
+  in
+  simplify s;
+  if not s.ok then finish nothing
+  else begin
+    (* Level-0 implied literals never need their reason clause again
+       (conflict analysis stops above level 0), so clear the pointers and
+       let preprocessing strengthen or delete former reasons freely. *)
+    Vec.iter (fun l -> s.reason.(Lit.var l) <- dummy_clause) s.trail;
+    let n = Vec.size s.clauses in
+    let ntrail = Vec.size s.trail in
+    let db = Array.make (n + ntrail) [||] in
+    let protected = Array.make (n + ntrail) false in
+    let tbl : (int, clause) Hashtbl.t = Hashtbl.create (2 * (n + ntrail) + 16) in
+    for i = 0 to n - 1 do
+      let c = Vec.get s.clauses i in
+      (* Snapshot: the solver permutes clause arrays in place. *)
+      db.(i) <- Array.copy c.lits;
+      Hashtbl.replace tbl i c
+    done;
+    (* The level-0 trail enters the database as protected unit clauses: it
+       subsumes and strengthens but is itself immutable (those literals are
+       assignments, not clause objects, and their DRAT events must stay). *)
+    for i = 0 to ntrail - 1 do
+      db.(n + i) <- [| Vec.get s.trail i |];
+      protected.(n + i) <- true
+    done;
+    let fr = Array.make (max 1 s.nvars) false in
+    List.iter (fun l -> fr.(Lit.var l) <- true) frozen;
+    for v = 0 to s.nvars - 1 do
+      if s.eliminated.(v) then fr.(v) <- true
+    done;
+    let config = { Simplify.default_config with bve = elim } in
+    let seeds =
+      if s.pre_watermark <= 0 && s.pre_trail_mark <= 0 then None
+      else begin
+        let ids = ref [] in
+        for i = n - 1 downto min s.pre_watermark n do
+          ids := i :: !ids
+        done;
+        for i = ntrail - 1 downto min s.pre_trail_mark ntrail do
+          ids := (n + i) :: !ids
+        done;
+        Some !ids
+      end
+    in
+    let actions, st = Simplify.run ~config ?seeds ~nvars:s.nvars ~frozen:fr ~protected db in
+    let stopped = ref false in
+    let apply = function
+      | Simplify.Remove id -> (
+          match Hashtbl.find_opt tbl id with
+          | Some c -> if not c.removed then remove_clause s c
+          | None -> ())
+      | Simplify.Strengthen (id, lits) -> (
+          match Hashtbl.find_opt tbl id with
+          | Some old ->
+              log_add_arr s lits;
+              let c = install_clause s lits in
+              Hashtbl.replace tbl id c;
+              if not old.removed then remove_clause s old
+          | None -> ())
+      | Simplify.Add (id, lits) ->
+          log_add_arr s lits;
+          let c = install_clause s lits in
+          Hashtbl.replace tbl id c
+      | Simplify.Unit l ->
+          log_add_list s [ l ];
+          (match value_lit s l with
+          | 0 -> unchecked_enqueue s l dummy_clause
+          | 1 -> ()
+          | _ ->
+              s.ok <- false;
+              log_empty s;
+              stopped := true)
+      | Simplify.Empty ->
+          if s.ok then begin
+            s.ok <- false;
+            log_empty s
+          end;
+          stopped := true
+      | Simplify.Eliminate (v, saved) ->
+          s.eliminated.(v) <- true;
+          s.elim_stack <- (v, saved) :: s.elim_stack
+    in
+    List.iter (fun a -> if not !stopped then apply a) actions;
+    if s.ok && propagate s <> None then begin
+      s.ok <- false;
+      log_empty s
+    end;
+    (* Compact the problem database and advance the watermarks. *)
+    let keep = Vec.create dummy_clause in
+    Vec.iter (fun c -> if not c.removed then Vec.push keep c) s.clauses;
+    Vec.clear s.clauses;
+    Vec.iter (fun c -> Vec.push s.clauses c) keep;
+    s.pre_watermark <- Vec.size s.clauses;
+    s.pre_trail_mark <- Vec.size s.trail;
+    finish st
+  end
+
+let preprocess_totals s = s.pre_acc
 
 let stats s =
   {

@@ -126,6 +126,129 @@ let test_cnf_matches_eval () =
     done
   done
 
+(* ---- rewriting ---- *)
+
+(* Each rewrite rule family fires on its textbook instance and the hit
+   counter records it. *)
+let test_rewrite_rules () =
+  let g = Aig.create ~rewrite:true () in
+  let x = Aig.fresh_input g and y = Aig.fresh_input g in
+  let xy = Aig.and_ g x y in
+  Alcotest.(check int) "absorption: x & (x & y) = x & y" xy (Aig.and_ g x xy);
+  Alcotest.(check int) "annihilation: ~x & (x & y) = 0" Aig.false_
+    (Aig.and_ g (Aig.not_ x) xy);
+  Alcotest.(check int) "substitution: x & ~(x & y) = x & ~y" (Aig.and_ g x (Aig.not_ y))
+    (Aig.and_ g x (Aig.not_ xy));
+  Alcotest.(check int) "subsumption: x & ~(~x & y) = x" x
+    (Aig.and_ g x (Aig.not_ (Aig.and_ g (Aig.not_ x) y)));
+  let n1 = Aig.not_ (Aig.and_ g x y) and n2 = Aig.not_ (Aig.and_ g x (Aig.not_ y)) in
+  Alcotest.(check int) "resolution: ~(x & y) & ~(x & ~y) = ~x" (Aig.not_ x)
+    (Aig.and_ g n1 n2);
+  Alcotest.(check bool) "rewrites counted" true (Aig.num_rewrites g > 0)
+
+(* The same random structure built with rewriting on and off evaluates
+   identically on every assignment, and rewriting never grows the graph. *)
+let test_rewrite_eval_equiv () =
+  let rand = Random.State.make [| 77 |] in
+  for _trial = 1 to 50 do
+    let n_inputs = 1 + Random.State.int rand 4 in
+    let g0 = Aig.create () and g1 = Aig.create ~rewrite:true () in
+    let inputs = Array.init n_inputs (fun _ -> (Aig.fresh_input g0, Aig.fresh_input g1)) in
+    let pool =
+      ref (Array.to_list inputs @ [ (Aig.true_, Aig.true_); (Aig.false_, Aig.false_) ])
+    in
+    let pick () =
+      let l0, l1 = List.nth !pool (Random.State.int rand (List.length !pool)) in
+      if Random.State.bool rand then (Aig.not_ l0, Aig.not_ l1) else (l0, l1)
+    in
+    for _ = 1 to 10 + Random.State.int rand 20 do
+      let a0, a1 = pick () and b0, b1 = pick () in
+      pool := (Aig.and_ g0 a0 b0, Aig.and_ g1 a1 b1) :: !pool
+    done;
+    let r0, r1 = List.hd !pool in
+    for assignment = 0 to (1 lsl n_inputs) - 1 do
+      let values = Array.init n_inputs (fun i -> assignment land (1 lsl i) <> 0) in
+      Alcotest.(check bool)
+        "rewrite preserves semantics" (Aig.eval g0 values r0) (Aig.eval g1 values r1)
+    done;
+    if Aig.num_ands g1 > Aig.num_ands g0 then Alcotest.fail "rewriting grew the graph"
+  done
+
+(* Compaction keeps the cone of the roots (semantics preserved through the
+   returned literal map), drops dangling logic, and leaves the input
+   numbering intact. *)
+let test_compact () =
+  let g = Aig.create () in
+  let x = Aig.fresh_input g and y = Aig.fresh_input g and z = Aig.fresh_input g in
+  let root = Aig.or_ g (Aig.and_ g x y) (Aig.and_ g x (Aig.not_ y)) in
+  let dangling = Aig.and_ g y z in
+  let h, map = Aig.compact g ~roots:[ root ] in
+  Alcotest.(check int) "inputs preserved" (Aig.num_inputs g) (Aig.num_inputs h);
+  let root' =
+    match map root with Some l -> l | None -> Alcotest.fail "root not mapped"
+  in
+  for assignment = 0 to 7 do
+    let values = Array.init 3 (fun i -> assignment land (1 lsl i) <> 0) in
+    Alcotest.(check bool)
+      "compact preserves semantics" (Aig.eval g values root) (Aig.eval h values root')
+  done;
+  Alcotest.(check (option int)) "dangling node unmapped" None (map dangling);
+  (* The re-rewrite recognises (x & y) | (x & ~y) = x, so the compacted
+     graph is strictly smaller here. *)
+  Alcotest.(check bool) "compacted graph smaller" true (Aig.num_ands h < Aig.num_ands g)
+
+(* ---- Plaisted-Greenbaum emission ---- *)
+
+(* The PG emitter agrees with evaluation in both polarities (on-demand
+   polarity upgrades included) and never emits more clauses than plain
+   Tseitin would. *)
+let test_pg_cnf_matches_eval () =
+  let rand = Random.State.make [| 43 |] in
+  for _trial = 1 to 50 do
+    let n_inputs = 1 + Random.State.int rand 5 in
+    let g, inputs, root = random_circuit rand n_inputs (5 + Random.State.int rand 20) in
+    let solver = Sat.Solver.create () in
+    let emitter = Aig.Cnf.make ~pg:true g solver in
+    let input_sats = Array.map (Aig.Cnf.sat_lit emitter) inputs in
+    for assignment = 0 to (1 lsl n_inputs) - 1 do
+      let values = Array.init n_inputs (fun i -> assignment land (1 lsl i) <> 0) in
+      let expected = Aig.eval g values root in
+      let assumptions =
+        Array.to_list
+          (Array.mapi (fun i l -> if values.(i) then l else Sat.Lit.negate l) input_sats)
+      in
+      (* Ask for each direction through the emitter so the polarity the
+         assumption needs is emitted before solving. *)
+      let same =
+        Aig.Cnf.sat_lit emitter (if expected then root else Aig.not_ root)
+      in
+      let flipped =
+        Aig.Cnf.sat_lit emitter (if expected then Aig.not_ root else root)
+      in
+      if Sat.Solver.solve ~assumptions:(same :: assumptions) solver <> Sat.Solver.Sat
+      then Alcotest.fail "PG CNF disagrees with eval (expected value unsat)";
+      if Sat.Solver.solve ~assumptions:(flipped :: assumptions) solver <> Sat.Solver.Unsat
+      then Alcotest.fail "PG CNF disagrees with eval (wrong value sat)"
+    done;
+    let st = Aig.Cnf.stats emitter in
+    if st.Aig.Cnf.cnf_clauses > st.Aig.Cnf.cnf_clauses_plain then
+      Alcotest.fail "PG emitted more clauses than plain Tseitin"
+  done
+
+(* A root used in one polarity only stays single-polarity: strictly fewer
+   clauses than the plain encoding of the same cone. *)
+let test_pg_single_polarity_savings () =
+  let g = Aig.create () in
+  let xs = List.init 6 (fun _ -> Aig.fresh_input g) in
+  let root = Aig.and_list g (List.mapi (fun i x -> if i mod 2 = 0 then x else Aig.not_ x) xs) in
+  let solver = Sat.Solver.create () in
+  let emitter = Aig.Cnf.make ~pg:true g solver in
+  ignore (Aig.Cnf.sat_lit emitter root);
+  let st = Aig.Cnf.stats emitter in
+  Alcotest.(check bool) "fewer clauses than plain" true
+    (st.Aig.Cnf.cnf_clauses < st.Aig.Cnf.cnf_clauses_plain);
+  Alcotest.(check bool) "single-polarity nodes counted" true (st.Aig.Cnf.cnf_single_pol > 0)
+
 let test_eval_many_consistent () =
   let g = Aig.create () in
   let x = Aig.fresh_input g and y = Aig.fresh_input g in
@@ -145,5 +268,10 @@ let suite =
     ("aig.input_index", `Quick, test_input_index);
     ("aig.lists", `Quick, test_and_or_lists);
     ("aig.cnf_matches_eval", `Quick, test_cnf_matches_eval);
+    ("aig.rewrite_rules", `Quick, test_rewrite_rules);
+    ("aig.rewrite_eval_equiv", `Quick, test_rewrite_eval_equiv);
+    ("aig.compact", `Quick, test_compact);
+    ("aig.pg_cnf_matches_eval", `Quick, test_pg_cnf_matches_eval);
+    ("aig.pg_single_polarity", `Quick, test_pg_single_polarity_savings);
     ("aig.eval_many", `Quick, test_eval_many_consistent);
   ]

@@ -195,6 +195,144 @@ let test_witness_many_inputs_many_frames () =
       Alcotest.(check int) "cnt is 74 at the failure cycle" 74
         (Bv.to_int (Rtl.Smap.find "cnt" last.Rtl.t_state))
 
+(* ---- formula-shrinking pipeline ---- *)
+
+(* Counter plus logic that is irrelevant to the invariant: a register fed
+   by its own input, and an output over it. COI must drop both. *)
+let counter_with_noise () =
+  let count = Expr.var "count" 4 and enable = Expr.var "enable" 1 in
+  let junk = Expr.var "junk" 4 and noise = Expr.var "noise" 4 in
+  Rtl.make ~name:"noisy-counter"
+    ~inputs:[ { Expr.name = "enable"; width = 1 }; { Expr.name = "noise"; width = 4 } ]
+    ~registers:
+      [
+        {
+          Rtl.reg = { Expr.name = "count"; width = 4 };
+          init = Bv.zero 4;
+          next = Expr.ite enable (Expr.add count (Expr.const_int ~width:4 1)) count;
+        };
+        {
+          Rtl.reg = { Expr.name = "junk"; width = 4 };
+          init = Bv.zero 4;
+          next = Expr.add junk noise;
+        };
+      ]
+    ~outputs:[ ("value", count); ("junk_out", junk) ]
+
+let stage_configs =
+  [
+    ("off", Bmc.no_simplify);
+    ("coi", { Bmc.no_simplify with Bmc.sc_coi = true });
+    ("rewrite", { Bmc.no_simplify with Bmc.sc_rewrite = true });
+    ("pg", { Bmc.no_simplify with Bmc.sc_pg = true });
+    ("cnf", { Bmc.no_simplify with Bmc.sc_cnf = true });
+    ("all", Bmc.default_simplify);
+  ]
+
+(* Every pipeline stage preserves the verdict (and the counterexample
+   length), on both a violated and a held instance. *)
+let test_pipeline_stages_agree () =
+  List.iter
+    (fun (name, simplify) ->
+      (match
+         Bmc.check_safety ~simplify ~design:(counter_with_noise ())
+           ~invariant:(count_ne 5) ~depth:10 ()
+       with
+      | Bmc.Violated w, _ -> Alcotest.(check int) (name ^ ": cex length") 6 w.Bmc.w_length
+      | Bmc.Holds n, _ -> Alcotest.failf "%s: holds up to %d but should fail" name n);
+      match
+        Bmc.check_safety ~simplify ~design:(counter_with_noise ())
+          ~invariant:(count_ne 12) ~depth:8 ()
+      with
+      | Bmc.Holds 8, _ -> ()
+      | Bmc.Holds n, _ -> Alcotest.failf "%s: wrong bound %d" name n
+      | Bmc.Violated w, _ ->
+          Alcotest.failf "%s: unexpected counterexample of length %d" name w.Bmc.w_length)
+    stage_configs
+
+(* COI reduction drops the irrelevant register and output, and the
+   reconstructed witness still speaks about the original design. *)
+let test_coi_reduce () =
+  let design = counter_with_noise () in
+  let reduced, stats = Bmc.Coi.reduce design ~props:[ count_ne 5 ] in
+  Alcotest.(check int) "regs before" 2 stats.Bmc.Coi.coi_regs_before;
+  Alcotest.(check int) "regs after" 1 stats.Bmc.Coi.coi_regs_after;
+  Alcotest.(check int) "outputs after" 0 stats.Bmc.Coi.coi_outputs_after;
+  Alcotest.(check int) "inputs all kept" 2 (List.length reduced.Rtl.inputs);
+  match
+    Bmc.check_safety ~simplify:Bmc.default_simplify ~design ~invariant:(count_ne 5)
+      ~depth:10 ()
+  with
+  | Bmc.Violated w, _ ->
+      let last = List.nth w.Bmc.w_trace (w.Bmc.w_length - 1) in
+      Alcotest.(check bool) "witness trace covers the dropped register" true
+        (Rtl.Smap.mem "junk" last.Rtl.t_state)
+  | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+
+(* The COI-reduced run is the same CNF lazily: witnesses must be
+   bit-identical to the unsimplified baseline, not just verdict-equal. *)
+let test_coi_witness_bit_identical () =
+  let run simplify =
+    match
+      Bmc.check_safety ~simplify ~design:(counter_with_noise ()) ~invariant:(count_ne 5)
+        ~depth:10 ()
+    with
+    | Bmc.Violated w, _ -> w
+    | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+  in
+  let base = run Bmc.no_simplify in
+  let coi = run { Bmc.no_simplify with Bmc.sc_coi = true } in
+  Alcotest.(check int) "same length" base.Bmc.w_length coi.Bmc.w_length;
+  Alcotest.(check bool) "same initial state" true
+    (Rtl.Smap.equal Bitvec.equal base.Bmc.w_initial coi.Bmc.w_initial);
+  Alcotest.(check bool) "same inputs, every frame" true
+    (Array.for_all2
+       (Rtl.Smap.equal Bitvec.equal)
+       base.Bmc.w_inputs coi.Bmc.w_inputs)
+
+(* Monolithic mode with the full pipeline (compaction + BVE live) agrees
+   with the unsimplified incremental engine. *)
+let test_mono_pipeline_agrees () =
+  List.iter
+    (fun depth ->
+      let inv = count_ne 6 in
+      let r1, _ =
+        Bmc.check_safety ~simplify:Bmc.no_simplify ~design:(counter_with_noise ())
+          ~invariant:inv ~depth ()
+      in
+      let r2, _ =
+        Bmc.check_safety_mono ~simplify:Bmc.default_simplify
+          ~design:(counter_with_noise ()) ~invariant:inv ~depth ()
+      in
+      match (r1, r2) with
+      | Bmc.Holds a, Bmc.Holds b -> Alcotest.(check int) "same bound" a b
+      | Bmc.Violated a, Bmc.Violated b ->
+          Alcotest.(check int) "same cex length" a.Bmc.w_length b.Bmc.w_length
+      | _ -> Alcotest.fail "mono/incremental verdicts differ")
+    [ 3; 6; 9 ]
+
+(* The stats record actually measures the pipeline: PG emits fewer clauses
+   than plain Tseitin, and mono-mode preprocessing eliminates variables. *)
+let test_simp_stats_sanity () =
+  let captured = ref None in
+  (match
+     Bmc.check_safety_mono ~stats:(fun s -> captured := Some s)
+       ~design:(counter_with_noise ()) ~invariant:(count_ne 12) ~depth:6 ()
+   with
+  | Bmc.Holds 6, _ -> ()
+  | _ -> Alcotest.fail "expected Holds 6");
+  match !captured with
+  | None -> Alcotest.fail "stats callback never called"
+  | Some s ->
+      Alcotest.(check bool) "queries counted" true (s.Bmc.Engine.ss_queries > 0);
+      Alcotest.(check bool) "clauses emitted" true (s.Bmc.Engine.ss_clauses_emitted > 0);
+      Alcotest.(check bool) "PG saves clauses" true
+        (s.Bmc.Engine.ss_clauses_emitted < s.Bmc.Engine.ss_clauses_plain);
+      Alcotest.(check bool) "COI figures recorded" true
+        (s.Bmc.Engine.ss_coi_regs_before = 2 && s.Bmc.Engine.ss_coi_regs_after = 1);
+      Alcotest.(check bool) "BVE eliminated variables" true
+        (s.Bmc.Engine.ss_pre.Sat.Solver.pre_eliminated > 0)
+
 (* Property: the incremental engine reports the *shortest* counterexample.
    For the enabled counter, the shortest trace reaching value n has exactly
    n + 1 cycles (n increments plus the violating cycle). *)
@@ -222,5 +360,10 @@ let suite =
     ("bmc.relational_holds", `Quick, test_relational_invariant_holds);
     ("bmc.follower_violation", `Quick, test_follower_violation_found);
     ("bmc.witness_many_inputs", `Quick, test_witness_many_inputs_many_frames);
+    ("bmc.pipeline_stages_agree", `Quick, test_pipeline_stages_agree);
+    ("bmc.coi_reduce", `Quick, test_coi_reduce);
+    ("bmc.coi_witness_bit_identical", `Quick, test_coi_witness_bit_identical);
+    ("bmc.mono_pipeline_agrees", `Quick, test_mono_pipeline_agrees);
+    ("bmc.simp_stats", `Quick, test_simp_stats_sanity);
     QCheck_alcotest.to_alcotest prop_shortest_cex;
   ]

@@ -342,9 +342,34 @@ let test_decomposition () =
   | Some (name, _) -> Alcotest.(check string) "right sub" "bad_fn" name
   | None -> Alcotest.fail "no failure reported"
 
+(* ---- formula-shrinking pipeline / monolithic mode ---- *)
+
+(* G-QED verdicts are invariant under the simplification pipeline and under
+   monolithic (hoisted-blasting) mode, on both a passing and a failing
+   design — the checks-level counterpart of the Bmc-level ablation tests. *)
+let test_gqed_pipeline_and_mono_agree () =
+  let agree name design expect_pass =
+    List.iter
+      (fun (conf_name, simplify, mono) ->
+        let report = Checks.gqed ~simplify ~mono design accum_iface ~bound:7 in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s under %s" name conf_name)
+          expect_pass
+          (verdict_pass report.Checks.verdict))
+      [
+        ("off", Bmc.no_simplify, false);
+        ("all", Bmc.default_simplify, false);
+        ("off+mono", Bmc.no_simplify, true);
+        ("all+mono", Bmc.default_simplify, true);
+      ]
+  in
+  agree "correct accum" (accum No_bug) true;
+  agree "hidden-op accum" (accum Hidden_op) false
+
 let suite =
   [
     ("qed.gqed_correct_accum", `Quick, test_gqed_passes_on_correct_accum);
+    ("qed.pipeline_mono_agree", `Quick, test_gqed_pipeline_and_mono_agree);
     ("qed.aqed_false_alarm", `Quick, test_aqed_false_alarm_on_interfering);
     ("qed.gqed_hidden_op", `Quick, test_gqed_catches_hidden_op);
     ("qed.state_conjunct_ablation", `Quick, test_state_conjunct_is_load_bearing);

@@ -326,6 +326,148 @@ let test_lit_encoding () =
   Alcotest.(check int) "dimacs neg" (-4) (Lit.to_dimacs (Lit.neg 3));
   Alcotest.(check int) "dimacs roundtrip" (Lit.neg 9) (Lit.of_dimacs (Lit.to_dimacs (Lit.neg 9)))
 
+(* ---- CNF preprocessing (Simplify + Solver.preprocess) ---- *)
+
+module Simplify = Sat.Simplify
+
+let no_flags n = Array.make n false
+
+let test_simplify_subsumption () =
+  let x = Lit.pos 0 and y = Lit.pos 1 and z = Lit.pos 2 in
+  let clauses = [| [| x; y |]; [| x; y; z |] |] in
+  let actions, stats =
+    Simplify.run ~nvars:3 ~frozen:(no_flags 3) ~protected:(no_flags 2) clauses
+  in
+  Alcotest.(check int) "one clause subsumed" 1 stats.Simplify.s_subsumed;
+  Alcotest.(check bool) "the superset clause was removed" true
+    (List.exists (function Simplify.Remove 1 -> true | _ -> false) actions)
+
+let test_simplify_self_subsume () =
+  let a = Lit.pos 0 and b = Lit.pos 1 and c = Lit.pos 2 in
+  (* Resolving on c: (a|b|c) x (a|b|~c) -> (a|b), which strengthens both. *)
+  let clauses = [| [| a; b; c |]; [| a; b; Lit.negate c |] |] in
+  let _, stats =
+    Simplify.run ~nvars:3 ~frozen:(no_flags 3) ~protected:(no_flags 2) clauses
+  in
+  Alcotest.(check bool) "strengthening happened" true (stats.Simplify.s_strengthened >= 1)
+
+let test_simplify_bve_extend_model () =
+  (* x <-> y & z, Tseitin-style. All three variables are eliminable (in
+     some order); whatever the eliminator picked, model extension must
+     repair an arbitrary assignment into one satisfying the original
+     clauses. *)
+  let x = Lit.pos 0 and y = Lit.pos 1 and z = Lit.pos 2 in
+  let clauses =
+    [|
+      [| Lit.negate x; y |];
+      [| Lit.negate x; z |];
+      [| x; Lit.negate y; Lit.negate z |];
+    |]
+  in
+  let config = { Simplify.default_config with Simplify.bve = true } in
+  let actions, stats =
+    Simplify.run ~config ~nvars:3 ~frozen:(no_flags 3) ~protected:(no_flags 3) clauses
+  in
+  Alcotest.(check bool) "something eliminated" true (stats.Simplify.s_eliminated >= 1);
+  (* Reverse elimination order, as the solver's elim stack accumulates. *)
+  let stack =
+    List.fold_left
+      (fun acc -> function Simplify.Eliminate (v, cls) -> (v, cls) :: acc | _ -> acc)
+      [] actions
+  in
+  let lit_true model l =
+    let v = model.(Lit.var l) in
+    if Lit.is_neg l then not v else v
+  in
+  for init = 0 to 7 do
+    let model = Array.init 3 (fun i -> init land (1 lsl i) <> 0) in
+    Simplify.extend_model stack model;
+    Array.iter
+      (fun cl ->
+        if not (Array.exists (lit_true model) cl) then
+          Alcotest.failf "extended model violates a clause (init %d)" init)
+      clauses
+  done
+
+let random_instance rand nvars nclauses =
+  List.init nclauses (fun _ ->
+      let len = 1 + Random.State.int rand 3 in
+      List.init len (fun _ ->
+          Lit.make (Random.State.int rand nvars) ~neg:(Random.State.bool rand)))
+
+(* Preprocessing (with elimination) never changes the verdict, and SAT
+   models — after reconstruction of eliminated variables — still satisfy
+   every original clause. *)
+let test_preprocess_matches_plain () =
+  let rand = Random.State.make [| 2025 |] in
+  for _trial = 1 to 200 do
+    let nvars = 3 + Random.State.int rand 6 in
+    let clauses = random_instance rand nvars (2 + Random.State.int rand 20) in
+    let expected = brute_force nvars clauses in
+    let s = Solver.create () in
+    let _ = fresh_vars s nvars in
+    List.iter (Solver.add_clause s) clauses;
+    let _ = Solver.preprocess ~elim:true s in
+    match Solver.solve s with
+    | Solver.Sat ->
+        if not expected then Alcotest.fail "preprocessed solver said SAT, brute force UNSAT";
+        if not (check_model s clauses) then
+          Alcotest.fail "model does not satisfy the original clauses"
+    | Solver.Unsat ->
+        if expected then Alcotest.fail "preprocessed solver said UNSAT, brute force SAT"
+  done
+
+(* Same, but incrementally: preprocess between clause batches and solve
+   under assumptions. Only the equivalence-preserving reductions run here
+   (no elimination), so later batches are safe. *)
+let test_preprocess_incremental () =
+  let rand = Random.State.make [| 2026 |] in
+  for _trial = 1 to 200 do
+    let nvars = 3 + Random.State.int rand 5 in
+    let batch1 = random_instance rand nvars (2 + Random.State.int rand 10) in
+    let batch2 = random_instance rand nvars (2 + Random.State.int rand 10) in
+    let assumption = Lit.make (Random.State.int rand nvars) ~neg:(Random.State.bool rand) in
+    let s = Solver.create () in
+    let _ = fresh_vars s nvars in
+    List.iter (Solver.add_clause s) batch1;
+    let _ = Solver.preprocess s in
+    List.iter (Solver.add_clause s) batch2;
+    let _ = Solver.preprocess s in
+    let expected = brute_force nvars ([ assumption ] :: batch1 @ batch2) in
+    match Solver.solve ~assumptions:[ assumption ] s with
+    | Solver.Sat ->
+        if not expected then Alcotest.fail "incremental preprocess: SAT vs brute UNSAT";
+        if not (check_model s (batch1 @ batch2)) then
+          Alcotest.fail "incremental preprocess: bad model"
+    | Solver.Unsat ->
+        if expected then Alcotest.fail "incremental preprocess: UNSAT vs brute SAT"
+  done
+
+(* Every preprocessing step is DRAT-logged: UNSAT verdicts after
+   elimination still carry a certificate the independent checker accepts. *)
+let test_preprocess_drat_certified () =
+  let rand = Random.State.make [| 2027 |] in
+  let certified = ref 0 in
+  for _trial = 1 to 100 do
+    let nvars = 3 + Random.State.int rand 4 in
+    (* Dense instances so a good fraction are UNSAT. *)
+    let clauses = random_instance rand nvars (8 + Random.State.int rand 25) in
+    let s = Solver.create () in
+    Solver.start_proof s;
+    let _ = fresh_vars s nvars in
+    List.iter (Solver.add_clause s) clauses;
+    let _ = Solver.preprocess ~elim:true s in
+    match Solver.solve s with
+    | Solver.Sat ->
+        if not (check_model s clauses) then Alcotest.fail "SAT model broken under proof"
+    | Solver.Unsat -> begin
+        match Sat.Drat.check (Solver.proof s) with
+        | Ok () -> incr certified
+        | Error msg -> Alcotest.failf "DRAT certificate rejected: %s" msg
+      end
+  done;
+  Alcotest.(check bool) "some UNSAT instances were certified" true (!certified > 0)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -352,6 +494,12 @@ let suite =
     ("dimacs.solve", `Quick, test_dimacs_solve);
     ("dimacs.multiline", `Quick, test_dimacs_multiline_clause);
     ("dimacs.fuzz_20vars", `Quick, test_dimacs_fuzz_20vars);
+    ("simplify.subsumption", `Quick, test_simplify_subsumption);
+    ("simplify.self_subsume", `Quick, test_simplify_self_subsume);
+    ("simplify.bve_extend_model", `Quick, test_simplify_bve_extend_model);
+    ("simplify.preprocess_matches_plain", `Quick, test_preprocess_matches_plain);
+    ("simplify.preprocess_incremental", `Quick, test_preprocess_incremental);
+    ("simplify.preprocess_drat", `Quick, test_preprocess_drat_certified);
     q prop_matches_brute_force;
     q prop_assumptions_match_brute_force;
     q prop_incremental_consistency;
