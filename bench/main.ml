@@ -8,11 +8,19 @@
      dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
      dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 micro.
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob micro.
 
    --designs d1,d2 restricts s1 to the named designs; --no-simplify runs
    the solver-cost experiments (t3, f1, a2) with the formula-shrinking
    pipeline off. s1 exits nonzero if any pipeline stage changes a verdict.
+
+   --timeout SEC and --max-conflicts N put a per-query budget on every
+   check the harness runs; a check that exhausts it reports "unknown"
+   instead of a verdict. --no-escalate turns off the Bmc.Escalate retry
+   ladder that otherwise regrows exhausted budgets until the check
+   decides. The run exits 3 when any verdict stayed unknown (and 1, as
+   before, on any verdict mismatch — including a fault-induced flip in
+   rob, which must never happen).
 
    Parallelism never changes any verdict or table cell: every task builds
    its own engine and results are reassembled in input order (see
@@ -39,6 +47,38 @@ let jobs = ref 1
    formula-shrinking pipeline disabled, for before/after comparisons. S1
    always runs both configurations and ignores this flag. *)
 let pipeline = ref Bmc.default_simplify
+
+(* --timeout / --max-conflicts build the per-query budget every governed
+   check runs under; --no-escalate disables the retry ladder. Counters are
+   atomic because checks run on worker domains under Par fan-outs. *)
+let timeout : float option ref = ref None
+let max_conflicts : int option ref = ref None
+let escalate = ref true
+let unknown_verdicts = Atomic.make 0
+let escalation_attempts = Atomic.make 0
+
+let bench_limits () =
+  match (!timeout, !max_conflicts) with
+  | None, None -> Bmc.no_limits
+  | t, c -> Bmc.limits ~budget:(Sat.Solver.budget ?conflicts:c ?seconds:t ()) ()
+
+let record report =
+  (match report.Checks.verdict with
+  | Checks.Unknown _ -> Atomic.incr unknown_verdicts
+  | Checks.Pass _ | Checks.Fail _ -> ());
+  let extra = List.length report.Checks.attempts - 1 in
+  if extra > 0 then ignore (Atomic.fetch_and_add escalation_attempts extra);
+  report
+
+(* Every experiment's checks funnel through here so the budget flags and
+   escalation policy apply uniformly. With no budget set this is exactly
+   the direct check: run_escalating under Bmc.no_limits is one attempt. *)
+let check ?simplify ?mono technique design iface ~bound =
+  let limits = bench_limits () in
+  record
+    (if !escalate then
+       Checks.run_escalating ?simplify ?mono ~limits technique design iface ~bound
+     else Checks.run ?simplify ?mono ~limits technique design iface ~bound)
 
 (* Sum of per-task wall-clock seconds spent in Par fan-outs by the current
    experiment. task_sum / experiment_wall estimates the speedup over a
@@ -90,11 +130,28 @@ type json_stage_row = {
   jg_time_s : float;
 }
 
+(* One R-ROB1 matrix cell: a design under a given fault rate, plus the
+   escalation-recovery column (did a 1-conflict starved budget escalate back
+   to the fault-free verdict?). *)
+type json_rob_row = {
+  jr_design : string;
+  jr_rate : float;
+  jr_trials : int;
+  jr_unknown : int;
+  jr_flips : int;
+  jr_recovered : bool;
+}
+
 let json_experiments : json_experiment list ref = ref []
 let json_solver_rows : json_solver_row list ref = ref []
 let json_simplify_rows : json_simplify_row list ref = ref []
 let json_stage_rows : json_stage_row list ref = ref []
+let json_rob_rows : json_rob_row list ref = ref []
 let json_simplify_geomean = ref nan
+
+(* Fault-induced verdict flips detected by rob; like pipeline verdict
+   mismatches, a nonzero count fails the whole bench run. *)
+let rob_flips = ref 0
 
 (* Verdict mismatches between pipeline configurations detected by S1; a
    nonzero count fails the whole bench run (CI perf-smoke trips on it). *)
@@ -104,13 +161,17 @@ let write_json path =
   let buf = Buffer.create 4096 in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gqed-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"gqed-bench/2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Par.default_jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"unknown_verdicts\": %d,\n" (Atomic.get unknown_verdicts));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"escalation_attempts\": %d,\n" (Atomic.get escalation_attempts));
   Buffer.add_string buf "  \"experiments\": [\n";
   List.iteri
     (fun i e ->
@@ -189,6 +250,20 @@ let write_json path =
            r.jg_design r.jg_stage r.jg_vars r.jg_clauses r.jg_time_s
            (if i = List.length grows - 1 then "" else ",")))
     grows;
+  Buffer.add_string buf "    ]\n  },\n";
+  Buffer.add_string buf "  \"robustness\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"verdict_flips\": %d,\n" !rob_flips);
+  Buffer.add_string buf "    \"matrix\": [\n";
+  let rrows = !json_rob_rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"design\": %S, \"rate\": %.3f, \"trials\": %d, \"unknown\": %d, \
+            \"flips\": %d, \"escalation_recovered\": %b}%s\n"
+           r.jr_design r.jr_rate r.jr_trials r.jr_unknown r.jr_flips r.jr_recovered
+           (if i = List.length rrows - 1 then "" else ",")))
+    rrows;
   Buffer.add_string buf "    ]\n  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -199,12 +274,39 @@ let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
 
 let passed report =
-  match report.Checks.verdict with Checks.Pass _ -> true | Checks.Fail _ -> false
+  match report.Checks.verdict with
+  | Checks.Pass _ -> true
+  | Checks.Fail _ | Checks.Unknown _ -> false
+
+(* Detection means a concrete counterexample: an Unknown is neither a pass
+   nor a detection, so tables never credit a bug to an exhausted budget. *)
+let failed report =
+  match report.Checks.verdict with
+  | Checks.Fail _ -> true
+  | Checks.Pass _ | Checks.Unknown _ -> false
 
 let cex_length report =
   match report.Checks.verdict with
   | Checks.Fail f -> Some f.Checks.witness.Bmc.w_length
-  | Checks.Pass _ -> None
+  | Checks.Pass _ | Checks.Unknown _ -> None
+
+let verdict_key report =
+  match report.Checks.verdict with
+  | Checks.Pass n -> Printf.sprintf "pass@%d" n
+  | Checks.Fail f ->
+      Printf.sprintf "fail:%s@%d"
+        (Checks.failure_kind_to_string f.Checks.kind)
+        f.Checks.witness.Bmc.w_length
+  | Checks.Unknown u ->
+      Printf.sprintf "unknown:%s@%d"
+        (Sat.Solver.reason_to_string u.Checks.u_reason)
+        u.Checks.u_bound
+
+let short_verdict report =
+  match report.Checks.verdict with
+  | Checks.Pass _ -> "pass"
+  | Checks.Fail _ -> "FAIL"
+  | Checks.Unknown _ -> "unknown"
 
 let class_name e = if e.Entry.interfering then "interfering" else "non-interf."
 
@@ -271,10 +373,9 @@ let t2_compute () =
                every interfering design — the paper's motivation.) *)
             `Alarm_r
               (e.Entry.interfering
-              && not
-                   (passed
-                      (Checks.aqed_fc e.Entry.design e.Entry.iface
-                         ~bound:e.Entry.rec_bound)))
+              && failed
+                   (check Checks.Aqed e.Entry.design e.Entry.iface
+                      ~bound:e.Entry.rec_bound))
         | `Cell (e, mutant) ->
             let bound = e.Entry.rec_bound in
             let crv =
@@ -285,16 +386,16 @@ let t2_compute () =
                ones it already rejects the bug-free design. *)
             let aqed_hit =
               (not e.Entry.interfering)
-              && not (passed (Checks.aqed_fc mutant e.Entry.iface ~bound))
+              && failed (check Checks.Aqed mutant e.Entry.iface ~bound)
             in
-            let g = Checks.flow mutant e.Entry.iface ~bound in
+            let g = check Checks.Gqed_flow mutant e.Entry.iface ~bound in
             `Cell_r
               {
                 cc_crv_detected = crv.Crv.detected;
                 cc_crv_cycles = crv.Crv.cycles_run;
                 cc_aqed_hit = aqed_hit;
-                cc_gqed_hit = not (passed g);
-                cc_gqed_cex = (if passed g then None else cex_length g);
+                cc_gqed_hit = failed g;
+                cc_gqed_cex = cex_length g;
               })
       tasks
   in
@@ -378,7 +479,8 @@ let t3 () =
   let rows =
     Par.map_timed ~jobs:!jobs
       (fun e ->
-        (e, Checks.gqed ~simplify:!pipeline e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound))
+        (e, check ~simplify:!pipeline Checks.Gqed e.Entry.design e.Entry.iface
+              ~bound:e.Entry.rec_bound))
       Registry.all
   in
   par_task_seconds :=
@@ -387,16 +489,14 @@ let t3 () =
     (fun ((e, report), dt) ->
       Printf.printf "%-12s %6d %9d %9d %10d %9s %8.2f\n%!" e.Entry.name e.Entry.rec_bound
         report.Checks.cnf_vars report.Checks.cnf_clauses
-        report.Checks.sat_stats.Sat.Solver.conflicts
-        (if passed report then "pass" else "FAIL")
-        dt;
+        report.Checks.sat_stats.Sat.Solver.conflicts (short_verdict report) dt;
       json_solver_rows :=
         !json_solver_rows
         @ [
             {
               js_design = e.Entry.name;
               js_bound = e.Entry.rec_bound;
-              js_verdict = (if passed report then "pass" else "fail");
+              js_verdict = verdict_key report;
               js_time_s = dt;
               js_stats = report.Checks.sat_stats;
               js_cnf_vars = report.Checks.cnf_vars;
@@ -445,7 +545,7 @@ let t5 () =
       let table =
         Theory.transaction_table e.Entry.design e.Entry.iface ~alphabet ~depth:4
       in
-      let report = Checks.gqed e.Entry.design e.Entry.iface ~bound:6 in
+      let report = check Checks.Gqed e.Entry.design e.Entry.iface ~bound:6 in
       (name, table, passed report))
     small
   |> List.iter (fun (name, table, pass) ->
@@ -478,11 +578,11 @@ let t5 () =
             Theory.default_alphabet ~operand_values:[ 0; 1; 3 ] mutant e.Entry.iface
           in
           let table = Theory.transaction_table mutant e.Entry.iface ~alphabet ~depth:4 in
-          let report = Checks.gqed mutant e.Entry.iface ~bound:6 in
+          let report = check Checks.Gqed mutant e.Entry.iface ~bound:6 in
           let genuine =
             match report.Checks.verdict with
             | Checks.Fail f -> Theory.witness_is_genuine mutant e.Entry.iface f
-            | Checks.Pass _ -> false
+            | Checks.Pass _ | Checks.Unknown _ -> false
           in
           Some (name, table, passed report, genuine))
     small
@@ -505,10 +605,10 @@ let t5 () =
   let verdicts =
     par_map
       (fun (e, mutant) ->
-        let report = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
+        let report = check Checks.Gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
         match report.Checks.verdict with
         | Checks.Fail f -> Some (Theory.witness_is_genuine mutant e.Entry.iface f)
-        | Checks.Pass _ -> None)
+        | Checks.Pass _ | Checks.Unknown _ -> None)
       pairs
   in
   let total = List.length (List.filter Option.is_some verdicts) in
@@ -540,9 +640,9 @@ let a1 () =
         with
         | None -> None
         | Some mutant ->
-            let full = Checks.gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
+            let full = check Checks.Gqed mutant e.Entry.iface ~bound:e.Entry.rec_bound in
             let out_only =
-              Checks.gqed_output_only mutant e.Entry.iface ~bound:e.Entry.rec_bound
+              check Checks.Gqed_output_only mutant e.Entry.iface ~bound:e.Entry.rec_bound
             in
             Some (e.Entry.name, full, out_only))
     Registry.all
@@ -553,6 +653,7 @@ let a1 () =
              match r.Checks.verdict with
              | Checks.Pass _ -> "missed"
              | Checks.Fail f -> "caught:" ^ Checks.failure_kind_to_string f.Checks.kind
+             | Checks.Unknown _ -> "unknown"
            in
            Printf.printf "%-12s %22s %22s\n%!" name (show full) (show out_only))
 
@@ -574,19 +675,23 @@ let a2 () =
     (fun depth ->
       let (r1, _), t_inc =
         time (fun () ->
-            Bmc.check_safety ~assumes ~simplify:!pipeline ~design:e.Entry.design ~invariant
-              ~depth ())
+            Bmc.check_safety ~assumes ~simplify:!pipeline ~limits:(bench_limits ())
+              ~design:e.Entry.design ~invariant ~depth ())
       in
       let (r2, _), t_mono =
         time (fun () ->
-            Bmc.check_safety_mono ~assumes ~simplify:!pipeline ~design:e.Entry.design
-              ~invariant ~depth ())
+            Bmc.check_safety_mono ~assumes ~simplify:!pipeline ~limits:(bench_limits ())
+              ~design:e.Entry.design ~invariant ~depth ())
       in
       let result, same =
         match (r1, r2) with
         | Bmc.Holds a, Bmc.Holds b -> (Printf.sprintf "holds<=%d" a, a = b)
         | Bmc.Violated a, Bmc.Violated b ->
             (Printf.sprintf "cex@%d" a.Bmc.w_length, a.Bmc.w_length = b.Bmc.w_length)
+        | (Bmc.Unknown u, _ | _, Bmc.Unknown u) ->
+            (* Not a mismatch: one side gave up under the --timeout or
+               --max-conflicts budget, so there is nothing to compare. *)
+            (Printf.sprintf "unknown:%s" (Sat.Solver.reason_to_string u.Bmc.un_reason), true)
         | _ -> ("DISAGREE", false)
       in
       Printf.printf "%-8d %14.3f %14.3f %10s%s\n%!" depth t_inc t_mono result
@@ -600,15 +705,14 @@ let a3 () =
   header "A3  Ablation: monolithic vs decomposed verification (peak_accum)";
   let e = Registry.find "peak_accum" in
   let mono, t_mono =
-    time (fun () -> Checks.gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound)
+    time (fun () -> check Checks.Gqed e.Entry.design e.Entry.iface ~bound:e.Entry.rec_bound)
   in
   let dec, t_dec =
     time (fun () ->
         Qed.Decompose.check_all Designs.Peak_accum.decomposition ~bound:e.Entry.rec_bound)
   in
   Printf.printf "monolithic G-QED:   %-10s %6.2fs  (%d vars, %d clauses)\n"
-    (if passed mono then "pass" else "FAIL")
-    t_mono mono.Checks.cnf_vars mono.Checks.cnf_clauses;
+    (short_verdict mono) t_mono mono.Checks.cnf_vars mono.Checks.cnf_clauses;
   Printf.printf "decomposed (A-QED^2): %-8s %6.2fs  (%d sub-accelerators)\n"
     (if dec.Qed.Decompose.all_pass then "pass" else "FAIL")
     t_dec
@@ -658,14 +762,6 @@ let s1_entries () =
         names;
       List.filter (fun e -> List.mem e.Entry.name names) Registry.all
 
-let verdict_key report =
-  match report.Checks.verdict with
-  | Checks.Pass n -> Printf.sprintf "pass@%d" n
-  | Checks.Fail f ->
-      Printf.sprintf "fail:%s@%d"
-        (Checks.failure_kind_to_string f.Checks.kind)
-        f.Checks.witness.Bmc.w_length
-
 let s1 () =
   header "S1  Formula-shrinking pipeline: stage ablation + off-vs-on matrix";
   let entries = s1_entries () in
@@ -694,7 +790,7 @@ let s1 () =
       (fun (e, (stage, conf)) ->
         let report, dt =
           time (fun () ->
-              Checks.gqed ~simplify:conf ~mono:true e.Entry.design e.Entry.iface
+              check ~simplify:conf ~mono:true Checks.Gqed e.Entry.design e.Entry.iface
                 ~bound:e.Entry.rec_bound)
         in
         (e.Entry.name, stage, report, dt))
@@ -748,12 +844,12 @@ let s1 () =
       (fun (label, e, design) ->
         let off, t_off =
           time (fun () ->
-              Checks.gqed ~simplify:Bmc.no_simplify ~mono:true design e.Entry.iface
+              check ~simplify:Bmc.no_simplify ~mono:true Checks.Gqed design e.Entry.iface
                 ~bound:e.Entry.rec_bound)
         in
         let on, t_on =
           time (fun () ->
-              Checks.gqed ~mono:true design e.Entry.iface ~bound:e.Entry.rec_bound)
+              check ~mono:true Checks.Gqed design e.Entry.iface ~bound:e.Entry.rec_bound)
         in
         {
           jp_design = e.Entry.name;
@@ -820,7 +916,7 @@ let f1 () =
     Par.map_timed ~jobs:!jobs
       (fun (bound, name) ->
         let e = Registry.find name in
-        ignore (Checks.gqed ~simplify:!pipeline e.Entry.design e.Entry.iface ~bound))
+        ignore (check ~simplify:!pipeline Checks.Gqed e.Entry.design e.Entry.iface ~bound))
       cells
   in
   par_task_seconds :=
@@ -871,16 +967,22 @@ let f2 () =
       | Some mutant ->
           let curve = Crv.detection_curve ~design_override:mutant e ~budgets ~seeds in
           let report, dt =
-            time (fun () -> Checks.flow mutant e.Entry.iface ~bound:e.Entry.rec_bound)
+            time (fun () -> check Checks.Gqed_flow mutant e.Entry.iface ~bound:e.Entry.rec_bound)
           in
-          Some (label, curve, passed report, dt))
+          let one_shot =
+            match report.Checks.verdict with
+            | Checks.Pass _ -> "missed"
+            | Checks.Fail _ -> "found"
+            | Checks.Unknown _ -> "unknown"
+          in
+          Some (label, curve, one_shot, dt))
     cases
   |> List.iter (function
        | None -> ()
-       | Some (label, curve, missed, dt) ->
+       | Some (label, curve, one_shot, dt) ->
            Printf.printf "%-20s" label;
            List.iter (fun (_, rate) -> Printf.printf " %6.0f%%" (100.0 *. rate)) curve;
-           Printf.printf " %9s %5.1fs\n%!" (if missed then "missed" else "found") dt);
+           Printf.printf " %9s %5.1fs\n%!" one_shot dt);
   Printf.printf
     "\n(rare-trigger rows: the corruption needs a coincidence of hidden phase,\n\
      operand and state values; symbolic search constructs it in one query)\n"
@@ -913,6 +1015,145 @@ let f3 () =
   let g = geomean !all_g and c = geomean !all_c in
   Printf.printf "%-12s %18.1f %18.1f %7.1fx  (A-QED DAC'20 reports ~37x)\n" "OVERALL" g c
     (c /. g)
+
+(* ------------------------------------------------------------------ *)
+(* R-ROB1: robustness — fault injection, starved budgets, escalation     *)
+(* recovery and the Par watchdog. See EXPERIMENTS.md.                    *)
+
+(* A seeded stochastic solver fault hook: with probability [rate] per
+   solver poll it fires resource exhaustion, external cancellation or
+   allocation pressure. Deterministic in [seed]. *)
+let rob_hook seed rate =
+  let st = Random.State.make [| 0xb0b; seed |] in
+  fun (_ : Sat.Solver.stats) ->
+    if Random.State.float st 1.0 >= rate then None
+    else
+      match Random.State.int st 4 with
+      | 0 -> Some (Sat.Solver.Fault_exhaust Sat.Solver.Out_of_conflicts)
+      | 1 -> Some (Sat.Solver.Fault_exhaust Sat.Solver.Out_of_memory_budget)
+      | 2 -> Some Sat.Solver.Fault_cancel
+      | _ -> Some (Sat.Solver.Fault_alloc 4096)
+
+let rob () =
+  header "R-ROB1  Robustness: faults, starved budgets, escalation, watchdog";
+  Printf.printf
+    "Faults fire mid-solve (exhaustion / cancellation / allocation\n\
+     pressure). A fault may only turn a verdict into unknown; a flip\n\
+     between pass and fail fails the whole bench run.\n\n";
+  let designs = [ "accum"; "maxtrack"; "seqdet" ] in
+  let rates = [ 0.005; 0.02; 0.1 ] in
+  let trials = 3 in
+  Printf.printf "%-12s %6s %8s %9s %7s %12s\n" "design" "rate" "trials" "unknown" "flips"
+    "escalation";
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      let bound = e.Entry.rec_bound in
+      let reference = Checks.gqed e.Entry.design e.Entry.iface ~bound in
+      let ref_key = verdict_key reference in
+      (* Escalation recovery: starve every query to a single conflict; the
+         retry ladder must regrow the budget until the fault-free verdict
+         comes back. *)
+      let starved = Bmc.limits ~budget:(Sat.Solver.budget ~conflicts:1 ()) () in
+      let recovered_report =
+        Checks.run_escalating
+          ~policy:{ Bmc.Escalate.default_policy with max_attempts = 8; growth = 8.0 }
+          ~limits:starved Checks.Gqed e.Entry.design e.Entry.iface ~bound
+      in
+      let recovered = verdict_key recovered_report = ref_key in
+      (match recovered_report.Checks.verdict with
+      | Checks.Unknown _ -> () (* stayed undecided: not a flip, just reported *)
+      | Checks.Pass _ | Checks.Fail _ -> if not recovered then incr rob_flips);
+      List.iter
+        (fun rate ->
+          let outcomes =
+            par_map
+              (fun trial ->
+                let limits =
+                  Bmc.limits ~fault:(rob_hook (Hashtbl.hash (name, rate, trial)) rate) ()
+                in
+                Checks.run ~limits Checks.Gqed e.Entry.design e.Entry.iface ~bound)
+              (List.init trials (fun i -> i))
+          in
+          let unknown =
+            List.length
+              (List.filter
+                 (fun r ->
+                   match r.Checks.verdict with
+                   | Checks.Unknown _ -> true
+                   | Checks.Pass _ | Checks.Fail _ -> false)
+                 outcomes)
+          in
+          let flips =
+            List.length
+              (List.filter
+                 (fun r ->
+                   match r.Checks.verdict with
+                   | Checks.Unknown _ -> false
+                   | Checks.Pass _ | Checks.Fail _ -> verdict_key r <> ref_key)
+                 outcomes)
+          in
+          rob_flips := !rob_flips + flips;
+          Printf.printf "%-12s %6.3f %8d %9d %7d %12s%s\n%!" name rate trials unknown flips
+            (if recovered then "recovered"
+             else "gave-up (" ^ short_verdict recovered_report ^ ")")
+            (if flips > 0 then "  VERDICT FLIP" else "");
+          json_rob_rows :=
+            !json_rob_rows
+            @ [
+                {
+                  jr_design = name;
+                  jr_rate = rate;
+                  jr_trials = trials;
+                  jr_unknown = unknown;
+                  jr_flips = flips;
+                  jr_recovered = recovered;
+                };
+              ])
+        rates)
+    designs;
+  (* Watchdog: a deliberately oversized query runs next to a small one under
+     a per-task deadline. The fan-out must not block on the big query — the
+     watchdog cancels it, its row comes back cancelled, and the sibling's
+     verdict is unaffected. *)
+  Printf.printf "\nwatchdog (per-task deadline 0.3s, 2 tasks):\n";
+  let big = Registry.find "mmio_engine" in
+  let small = Registry.find "hamming74" in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Par.map_governed ~jobs:2 ~deadline:0.3
+      (fun token (e, bound) ->
+        Checks.gqed ~limits:(Bmc.limits ~cancel:token ()) e.Entry.design e.Entry.iface
+          ~bound)
+      [ (big, 3 * big.Entry.rec_bound); (small, small.Entry.rec_bound) ]
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  List.iter2
+    (fun (e, bound) (result, dt) ->
+      match result with
+      | Ok report ->
+          Printf.printf "  %-12s bound %-3d -> %-28s %6.2fs\n" e.Entry.name bound
+            (verdict_key report) dt
+      | Error exn ->
+          Printf.printf "  %-12s bound %-3d -> raised %s\n" e.Entry.name bound
+            (Printexc.to_string exn))
+    [ (big, 3 * big.Entry.rec_bound); (small, small.Entry.rec_bound) ]
+    results;
+  (match results with
+  | [ (Ok r_big, _); (Ok r_small, _) ] ->
+      (match r_big.Checks.verdict with
+      | Checks.Unknown _ -> ()
+      | Checks.Pass _ | Checks.Fail _ ->
+          (* Finishing before the deadline is legal; it just means the
+             machine is fast enough that the demo did not demonstrate. *)
+          Printf.printf "  (oversized query finished before the deadline)\n");
+      (match r_small.Checks.verdict with
+      | Checks.Pass _ -> ()
+      | Checks.Fail _ | Checks.Unknown _ ->
+          incr rob_flips;
+          Printf.printf "  SIBLING AFFECTED: small query did not pass\n")
+  | _ -> ());
+  Printf.printf "  fan-out wall clock: %.2fs (a hung query no longer blocks the run)\n" wall
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.    *)
@@ -1005,7 +1246,7 @@ let experiments =
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("a1", a1); ("a2", a2); ("a3", a3); ("s1", s1);
     ("f1", f1); ("f2", f2); ("f3", f3);
-    ("micro", micro);
+    ("rob", rob); ("micro", micro);
   ]
 
 let () =
@@ -1026,6 +1267,33 @@ let () =
         exit 2
     | "--no-simplify" :: rest ->
         pipeline := Bmc.no_simplify;
+        parse_args acc rest
+    | "--timeout" :: s :: rest -> begin
+        match float_of_string_opt s with
+        | Some t when t > 0.0 ->
+            timeout := Some t;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --timeout expects a positive number of seconds";
+            exit 2
+      end
+    | [ "--timeout" ] ->
+        prerr_endline "bench: --timeout expects a positive number of seconds";
+        exit 2
+    | "--max-conflicts" :: s :: rest -> begin
+        match int_of_string_opt s with
+        | Some n when n >= 1 ->
+            max_conflicts := Some n;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --max-conflicts expects a positive integer";
+            exit 2
+      end
+    | [ "--max-conflicts" ] ->
+        prerr_endline "bench: --max-conflicts expects a positive integer";
+        exit 2
+    | "--no-escalate" :: rest ->
+        escalate := false;
         parse_args acc rest
     | "--designs" :: names :: rest ->
         design_filter := Some (String.split_on_char ',' names);
@@ -1077,4 +1345,18 @@ let () =
       "bench: FAILED — %d verdict mismatch(es) between pipeline configurations\n"
       !verdict_mismatches;
     exit 1
+  end;
+  if !rob_flips > 0 then begin
+    Printf.eprintf "bench: FAILED — %d fault-induced verdict flip(s)\n" !rob_flips;
+    exit 1
+  end;
+  (* Distinct exit code for "nothing wrong, but some verdicts stayed unknown
+     under the --timeout/--max-conflicts budget". *)
+  let unknowns = Atomic.get unknown_verdicts in
+  if unknowns > 0 then begin
+    Printf.eprintf
+      "bench: %d verdict(s) unknown under the configured budget (raise --timeout or \
+       --max-conflicts, or drop --no-escalate)\n"
+      unknowns;
+    exit 3
   end

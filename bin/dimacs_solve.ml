@@ -32,6 +32,11 @@ let () =
   | Error msg ->
       Printf.eprintf "c parse error: %s\n" msg;
       exit 1
+  | Ok (Sat.Solver.Unknown reason, _) ->
+      (* Unreachable today (no budget is passed), but keep the competition
+         convention: 0 = no verdict. *)
+      Printf.printf "c %s\ns UNKNOWN\n" (Sat.Solver.reason_to_string reason);
+      exit 0
   | Ok (Sat.Solver.Unsat, _) ->
       print_endline "s UNSATISFIABLE";
       exit 20

@@ -173,6 +173,60 @@ let simp_stats_flag =
     & info [ "simp-stats" ]
         ~doc:"Print the formula-shrinking pipeline statistics after the verdict.")
 
+(* Resource-governance knobs. A budget that runs out yields an Unknown
+   verdict (exit code 3) instead of hanging; escalation retries undecided
+   checks with exponentially grown budgets and perturbed configurations. *)
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Per-query wall-clock budget in seconds. An exhausted budget turns the \
+           verdict into $(b,unknown) (exit code 3) rather than hanging; with \
+           $(b,--all-mutants) it also bounds each mutant's task via a watchdog.")
+
+let max_conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N"
+        ~doc:"Per-query conflict budget; exhausted budgets yield $(b,unknown).")
+
+let no_escalate_flag =
+  Arg.(
+    value & flag
+    & info [ "no-escalate" ]
+        ~doc:
+          "Give up after the first undecided attempt instead of retrying with \
+           exponentially grown budgets and perturbed configurations.")
+
+let limits_of ?cancel ~timeout ~max_conflicts () =
+  match (timeout, max_conflicts, cancel) with
+  | None, None, None -> Bmc.no_limits
+  | _ ->
+      Bmc.limits
+        ~budget:(Sat.Solver.budget ?conflicts:max_conflicts ?seconds:timeout ())
+        ?cancel ()
+
+(* Wrap any check in the escalation policy; with unbounded limits the first
+   attempt decides and this is exactly the plain call. *)
+let with_escalation ~escalate ~limits ~simplify ~mono run1 =
+  if not escalate then run1 ~simplify ~mono ~limits
+  else begin
+    let unknown_of (r : Checks.report) =
+      match r.Checks.verdict with
+      | Checks.Unknown u -> Some (Sat.Solver.reason_to_string u.Checks.u_reason)
+      | Checks.Pass _ | Checks.Fail _ -> None
+    in
+    let report, attempts =
+      Bmc.Escalate.run ~limits ~simplify ~mono ~unknown_of (fun cfg ->
+          run1 ~simplify:cfg.Bmc.Escalate.ec_simplify ~mono:cfg.Bmc.Escalate.ec_mono
+            ~limits:cfg.Bmc.Escalate.ec_limits)
+    in
+    { report with Checks.attempts }
+  end
+
 let trace_flag =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print the full counterexample waveform.")
 
@@ -191,8 +245,18 @@ let verify_cmd =
       dt;
     if simp_stats then
       Format.printf "simplify: %a@." Bmc.Engine.pp_simp_stats report.Checks.simp;
+    (match report.Checks.attempts with
+    | [] | [ _ ] -> ()
+    | attempts ->
+        Printf.printf "escalation (%d attempts):\n" (List.length attempts);
+        List.iter (fun a -> Format.printf "  %a@." Bmc.Escalate.pp_attempt a) attempts);
     match report.Checks.verdict with
     | Checks.Pass _ -> exit 0
+    | Checks.Unknown u ->
+        Printf.printf "gave up: %s at cycle %d (raise --timeout/--max-conflicts)\n"
+          (Sat.Solver.reason_to_string u.Checks.u_reason)
+          u.Checks.u_bound;
+        exit 3
     | Checks.Fail f ->
         if trace then Format.printf "%a" Bmc.pp_witness f.Checks.witness;
         (match vcd with
@@ -203,21 +267,28 @@ let verify_cmd =
         exit 1
   in
   let run name technique bound mutant all_mutants jobs trace vcd simplify mono simp_stats
-      =
+      timeout max_conflicts no_escalate =
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
       exit 2
     end;
     let e = or_die (find_design name) in
     let bound = Option.value bound ~default:e.Entry.rec_bound in
-    let check technique design =
-      match technique with
-      | `Gqed -> Checks.gqed ~simplify ~mono design e.Entry.iface ~bound
-      | `Flow -> Checks.flow ~simplify ~mono design e.Entry.iface ~bound
-      | `Aqed -> Checks.aqed_fc ~simplify ~mono design e.Entry.iface ~bound
-      | `Gqed_out -> Checks.gqed_output_only ~simplify ~mono design e.Entry.iface ~bound
-      | `Sa -> Checks.sa_check ~simplify ~mono design e.Entry.iface ~bound
-      | `Stability -> Checks.stability_check ~simplify ~mono design e.Entry.iface ~bound
+    let escalate = not no_escalate in
+    let check ?cancel technique design =
+      let limits = limits_of ?cancel ~timeout ~max_conflicts () in
+      let run1 ~simplify ~mono ~limits =
+        match technique with
+        | `Gqed -> Checks.gqed ~simplify ~mono ~limits design e.Entry.iface ~bound
+        | `Flow -> Checks.flow ~simplify ~mono ~limits design e.Entry.iface ~bound
+        | `Aqed -> Checks.aqed_fc ~simplify ~mono ~limits design e.Entry.iface ~bound
+        | `Gqed_out ->
+            Checks.gqed_output_only ~simplify ~mono ~limits design e.Entry.iface ~bound
+        | `Sa -> Checks.sa_check ~simplify ~mono ~limits design e.Entry.iface ~bound
+        | `Stability ->
+            Checks.stability_check ~simplify ~mono ~limits design e.Entry.iface ~bound
+      in
+      with_escalation ~escalate ~limits ~simplify ~mono run1
     in
     if all_mutants then begin
       (match mutant with
@@ -234,25 +305,39 @@ let verify_cmd =
           (Mutation.enumerate e.Entry.design)
       in
       (* Each task builds its own engine inside the check, so mutants fan out
-         across domains with no shared solver state. *)
-      let results = Par.map_timed ~jobs (fun (_, design) -> check technique design) muts in
+         across domains with no shared solver state. Under --timeout a
+         watchdog cancels any task past its allowance, so one hung mutant
+         never blocks the whole table — it just shows up as "unknown". *)
+      let results =
+        Par.map_governed ~jobs ?deadline:timeout
+          (fun token (_, design) -> check ~cancel:token technique design)
+          muts
+      in
       Printf.printf "%-40s %-10s %9s\n" "mutant" "verdict" "time";
-      let detected = ref 0 in
+      let detected = ref 0 and unknown = ref 0 in
       List.iter2
-        (fun (m, _) (report, dt) ->
-          let det =
-            match report.Checks.verdict with
-            | Checks.Fail _ ->
-                incr detected;
-                true
-            | Checks.Pass _ -> false
+        (fun (m, _) (result, dt) ->
+          let cell =
+            match result with
+            | Ok report -> (
+                match report.Checks.verdict with
+                | Checks.Fail _ ->
+                    incr detected;
+                    "detected"
+                | Checks.Pass _ -> "ESCAPE"
+                | Checks.Unknown _ ->
+                    incr unknown;
+                    "unknown")
+            | Error e ->
+                incr unknown;
+                "error: " ^ Printexc.to_string e
           in
-          Printf.printf "%-40s %-10s %8.2fs\n" m.Mutation.id
-            (if det then "detected" else "ESCAPE")
-            dt)
+          Printf.printf "%-40s %-10s %8.2fs\n" m.Mutation.id cell dt)
         muts results;
-      Printf.printf "detected %d/%d mutants\n" !detected (List.length muts);
-      exit (if !detected = List.length muts then 0 else 1)
+      Printf.printf "detected %d/%d mutants (%d unknown)\n" !detected
+        (List.length muts) !unknown;
+      exit
+        (if !detected = List.length muts then 0 else if !unknown > 0 then 3 else 1)
     end;
     let design, m = or_die (resolve_mutant e mutant) in
     (match m with
@@ -265,32 +350,51 @@ let verify_cmd =
           (* Run the flow stages concurrently instead of sequentially.  The
              reported verdict is the first failing stage in flow order (or the
              final G-FC report when all pass), identical to Checks.flow. *)
+          let stage run1 () =
+            with_escalation ~escalate
+              ~limits:(limits_of ~timeout ~max_conflicts ())
+              ~simplify ~mono run1
+          in
           let stages =
             [
-              ("reset", fun () -> Checks.reset_check ~simplify ~mono design e.Entry.iface);
+              ( "reset",
+                stage (fun ~simplify ~mono ~limits ->
+                    Checks.reset_check ~simplify ~mono ~limits design e.Entry.iface) );
               ( "single-action",
-                fun () -> Checks.sa_check ~simplify ~mono design e.Entry.iface ~bound );
+                stage (fun ~simplify ~mono ~limits ->
+                    Checks.sa_check ~simplify ~mono ~limits design e.Entry.iface ~bound)
+              );
             ]
             @ (if Qed.Iface.is_variable_latency e.Entry.iface then []
                else
                  [
                    ( "stability",
-                     fun () ->
-                       Checks.stability_check ~simplify ~mono design e.Entry.iface ~bound
-                   );
+                     stage (fun ~simplify ~mono ~limits ->
+                         Checks.stability_check ~simplify ~mono ~limits design
+                           e.Entry.iface ~bound) );
                  ])
-            @ [ ("g-fc", fun () -> Checks.gqed ~simplify ~mono design e.Entry.iface ~bound) ]
+            @ [
+                ( "g-fc",
+                  stage (fun ~simplify ~mono ~limits ->
+                      Checks.gqed ~simplify ~mono ~limits design e.Entry.iface ~bound)
+                );
+              ]
           in
           let reports = Par.run ~jobs (List.map snd stages) in
           List.iter2
             (fun (stage, _) r ->
               Printf.printf "  stage %-13s %s\n" stage
-                (match r.Checks.verdict with Checks.Pass _ -> "pass" | Checks.Fail _ -> "FAIL"))
+                (match r.Checks.verdict with
+                | Checks.Pass _ -> "pass"
+                | Checks.Fail _ -> "FAIL"
+                | Checks.Unknown _ -> "unknown"))
             stages reports;
           let rec first_fail = function
             | [ r ] -> r
             | r :: rest -> (
-                match r.Checks.verdict with Checks.Fail _ -> r | Checks.Pass _ -> first_fail rest)
+                match r.Checks.verdict with
+                | Checks.Fail _ | Checks.Unknown _ -> r
+                | Checks.Pass _ -> first_fail rest)
             | [] -> assert false
           in
           first_fail reports
@@ -303,7 +407,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run a QED check on a design (or one of its mutants).")
     Term.(
       const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
-      $ jobs_arg $ trace_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag)
+      $ jobs_arg $ trace_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
+      $ timeout_arg $ max_conflicts_arg $ no_escalate_flag)
 
 (* ---- mutants ---- *)
 

@@ -50,6 +50,7 @@ let () =
         | Checks.Fail f ->
             Printf.sprintf "caught (%d-cycle cex)" f.Checks.witness.Bmc.w_length
         | Checks.Pass _ -> "escaped (uniform)"
+        | Checks.Unknown _ -> "unknown (budget)"
       in
       Printf.printf "  %-36s %-13s %-12s %s\n%!" m.Mutation.id
         (Mutation.class_to_string (Mutation.class_of m.Mutation.operator))

@@ -37,7 +37,7 @@ let () =
       print_endline
         "  Both responses are correct: same x, different accumulated state.\n\
         \  FC assumes the response depends on the operand alone."
-  | Checks.Pass _ -> print_endline "  (unexpected)");
+  | Checks.Pass _ | Checks.Unknown _ -> print_endline "  (unexpected)");
 
   (* 2. G-QED on the correct design: pass. *)
   print_newline ();
@@ -66,7 +66,7 @@ let () =
           Format.printf "%a" Bmc.pp_witness f.Checks.witness;
           Format.printf "witness genuine: %b@."
             (Qed.Theory.witness_is_genuine buggy iface f)
-      | Checks.Pass _ -> print_endline "  (unexpected escape)");
+      | Checks.Pass _ | Checks.Unknown _ -> print_endline "  (unexpected escape)");
       (* The single-action side condition also holds for this design. *)
       let sa = Checks.sa_check design iface ~bound:entry.Entry.rec_bound in
       show "SA (responsiveness) side condition:" sa

@@ -80,7 +80,8 @@ let () =
       (* The witness really is a genuine inconsistency (soundness). *)
       Format.printf "witness replays as genuine: %b@."
         (Qed.Theory.witness_is_genuine buggy_design iface f)
-  | Qed.Checks.Pass _ -> print_endline "unexpected: the bug escaped"
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      print_endline "unexpected: the bug escaped"
 
 (* 5. Contrast with a *uniform* bug — an accidentally signed comparison.
    That design consistently implements a (wrong) deterministic transaction

@@ -62,4 +62,4 @@ let () =
   | Checks.Fail f ->
       Format.printf "witness genuine: %b@."
         (Qed.Theory.witness_is_genuine mutant entry.Entry.iface f)
-  | Checks.Pass _ -> ()
+  | Checks.Pass _ | Checks.Unknown _ -> ()

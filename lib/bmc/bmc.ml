@@ -114,6 +114,19 @@ type simplify_config = {
 let default_simplify = { sc_coi = true; sc_rewrite = true; sc_pg = true; sc_cnf = true }
 let no_simplify = { sc_coi = false; sc_rewrite = false; sc_pg = false; sc_cnf = false }
 
+type limits = {
+  l_budget : Sat.Solver.budget;
+  l_cancel : Sat.Solver.cancel option;
+  l_seed : int option;
+  l_fault : (Sat.Solver.stats -> Sat.Solver.fault option) option;
+}
+
+let no_limits =
+  { l_budget = Sat.Solver.no_budget; l_cancel = None; l_seed = None; l_fault = None }
+
+let limits ?(budget = Sat.Solver.no_budget) ?cancel ?seed ?fault () =
+  { l_budget = budget; l_cancel = cancel; l_seed = seed; l_fault = fault }
+
 module Coi = struct
   module S = Set.Make (String)
 
@@ -234,6 +247,11 @@ module Engine = struct
         pre_units = 0;
       }
 
+  type check_result =
+    | Cex of witness
+    | Unreachable
+    | Undecided of Sat.Solver.unknown_reason
+
   type t = {
     graph : Aig.t;
     design : Rtl.design;
@@ -242,6 +260,7 @@ module Engine = struct
     mono : bool;
     symbolic_init : bool;
     certify : bool;
+    limits : limits;
     mutable solver : Sat.Solver.t;
     mutable emitter : Aig.Cnf.emitter;
     mutable map : (Aig.lit -> Aig.lit option) option;
@@ -266,11 +285,12 @@ module Engine = struct
   }
 
   let create ?(symbolic_init = false) ?(certify = false) ?(simplify = default_simplify)
-      ?(mono = false) design =
+      ?(mono = false) ?(limits = no_limits) design =
     let graph = Aig.create ~rewrite:simplify.sc_rewrite () in
     let unroller = Unroller.create ~symbolic_init graph design in
     let solver = Sat.Solver.create () in
     if certify then Sat.Solver.start_proof solver;
+    Sat.Solver.set_fault_hook solver limits.l_fault;
     let emitter = Aig.Cnf.make ~pg:simplify.sc_pg graph solver in
     {
       graph;
@@ -280,6 +300,7 @@ module Engine = struct
       mono;
       symbolic_init;
       certify;
+      limits;
       solver;
       emitter;
       map = None;
@@ -324,6 +345,9 @@ module Engine = struct
     t.pre_acc <- add_presult t.pre_acc (Sat.Solver.preprocess_totals t.solver);
     let solver = Sat.Solver.create () in
     if t.certify then Sat.Solver.start_proof solver;
+    (* Fresh solvers inherit the engine's governance: budget/cancel arrive
+       per [solve] call, the fault hook is installed on the instance. *)
+    Sat.Solver.set_fault_hook solver t.limits.l_fault;
     t.solver <- solver;
     if t.simplify.sc_rewrite then begin
       let t0 = Sys.time () in
@@ -440,15 +464,22 @@ module Engine = struct
       ignore (Sat.Solver.preprocess ~elim:t.mono ~frozen:sat_assumptions t.solver);
       t.t_cnf <- t.t_cnf +. (Sys.time () -. t0)
     end;
-    match Sat.Solver.solve ~assumptions:sat_assumptions t.solver with
-    | Sat.Solver.Sat -> Some (extract_witness t)
+    match
+      Sat.Solver.solve ~assumptions:sat_assumptions ~budget:t.limits.l_budget
+        ?cancel:t.limits.l_cancel ?seed:t.limits.l_seed t.solver
+    with
+    | Sat.Solver.Sat -> Cex (extract_witness t)
     | Sat.Solver.Unsat ->
         if t.certify then begin
           match certify_unsat_sat_lits t sat_assumptions with
           | Ok () -> t.certified_unsats <- t.certified_unsats + 1
           | Error msg -> raise (Certification_failed msg)
         end;
-        None
+        Unreachable
+    | Sat.Solver.Unknown reason ->
+        (* No verdict: nothing to certify or extract. The solver backed out
+           to level 0, so the engine stays usable for a retry. *)
+        Undecided reason
 
   let certified_unsats t = t.certified_unsats
   let stats t = Sat.Solver.stats t.solver
@@ -475,7 +506,8 @@ module Engine = struct
     }
 end
 
-type outcome = Holds of int | Violated of witness
+type unknown_info = { un_reason : Sat.Solver.unknown_reason; un_bound : int }
+type outcome = Holds of int | Violated of witness | Unknown of unknown_info
 
 (* The "bad at frame k" literal: the invariant's negation at that frame.
    Per-frame assumptions are asserted permanently by the caller. *)
@@ -514,7 +546,8 @@ let coi_setup simplify ~design ~props =
   else (design, Coi.no_reduction design)
 
 let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
-    ?(simplify = default_simplify) ?stats ~design ~invariant ~depth () =
+    ?(simplify = default_simplify) ?(limits = no_limits) ?stats ~design ~invariant
+    ~depth () =
   if Expr.width invariant <> 1 then
     invalid_arg "Bmc.check_safety: invariant must be 1 bit wide";
   List.iter
@@ -524,7 +557,7 @@ let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
     assumes;
   let original = design in
   let design, coi = coi_setup simplify ~design ~props:(invariant :: assumes) in
-  let engine = Engine.create ~symbolic_init ~certify ~simplify design in
+  let engine = Engine.create ~symbolic_init ~certify ~simplify ~limits design in
   Engine.note_coi engine ~before:coi.Coi.coi_regs_before ~after:coi.Coi.coi_regs_after;
   let finish outcome =
     Option.iter (fun f -> f (Engine.simp_stats engine)) stats;
@@ -536,10 +569,11 @@ let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
       assert_assumes engine ~assumes k;
       let bad = bad_at engine ~invariant k in
       match Engine.check engine ~assumptions:[ bad ] with
-      | Some w ->
+      | Engine.Cex w ->
           let w = if design == original then w else reconstruct_witness ~original ~symbolic_init w in
           finish (Violated w)
-      | None ->
+      | Engine.Undecided reason -> finish (Unknown { un_reason = reason; un_bound = k })
+      | Engine.Unreachable ->
           (* The invariant holds at cycle k: assert it to help deeper
              queries, then deepen. *)
           Engine.assert_lit engine (Aig.not_ bad);
@@ -549,7 +583,8 @@ let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
   deepen 0
 
 let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
-    ?(simplify = default_simplify) ?stats ~design ~invariant ~depth () =
+    ?(simplify = default_simplify) ?(limits = no_limits) ?stats ~design ~invariant
+    ~depth () =
   if Expr.width invariant <> 1 then
     invalid_arg "Bmc.check_safety_mono: invariant must be 1 bit wide";
   List.iter
@@ -565,7 +600,7 @@ let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = []
      makes this the monolithic variant). Per bound only the new frame's
      assumptions and the previous bound's property are recorded; the
      engine replays them into each fresh solver. *)
-  let engine = Engine.create ~symbolic_init ~certify ~simplify ~mono:true design in
+  let engine = Engine.create ~symbolic_init ~certify ~simplify ~mono:true ~limits design in
   Engine.note_coi engine ~before:coi.Coi.coi_regs_before ~after:coi.Coi.coi_regs_after;
   let finish outcome =
     Option.iter (fun f -> f (Engine.simp_stats engine)) stats;
@@ -577,10 +612,11 @@ let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = []
       assert_assumes engine ~assumes k;
       let bad = bad_at engine ~invariant k in
       match Engine.check engine ~assumptions:[ bad ] with
-      | Some w ->
+      | Engine.Cex w ->
           let w = if design == original then w else reconstruct_witness ~original ~symbolic_init w in
           finish (Violated w)
-      | None ->
+      | Engine.Undecided reason -> finish (Unknown { un_reason = reason; un_bound = k })
+      | Engine.Unreachable ->
           if k + 1 >= depth then finish (Holds depth)
           else begin
             (* Property holds at bound k: deeper bounds may assume it. *)
@@ -590,3 +626,121 @@ let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = []
     in
     deepen 0
   end
+
+(* ------------------------------------------------------------------ *)
+(* Retry escalation.                                                   *)
+
+module Escalate = struct
+  type policy = {
+    max_attempts : int;
+    growth : float;
+    total_seconds : float option;
+    perturb : bool;
+  }
+
+  let default_policy =
+    { max_attempts = 4; growth = 4.0; total_seconds = None; perturb = true }
+
+  type attempt = {
+    at_index : int;
+    at_budget : Sat.Solver.budget;
+    at_simplify : simplify_config;
+    at_mono : bool;
+    at_seed : int option;
+    at_seconds : float;
+    at_reason : string option;
+  }
+
+  let pp_attempt ppf a =
+    let b = a.at_budget in
+    let cap name to_s = Option.map (fun v -> name ^ "=" ^ to_s v) in
+    let caps =
+      List.filter_map Fun.id
+        [
+          cap "conflicts" string_of_int b.Sat.Solver.max_conflicts;
+          cap "propagations" string_of_int b.Sat.Solver.max_propagations;
+          cap "decisions" string_of_int b.Sat.Solver.max_decisions;
+          cap "seconds" (Printf.sprintf "%.3g") b.Sat.Solver.max_seconds;
+          cap "learnt-mb" (Printf.sprintf "%.3g") b.Sat.Solver.max_learnt_mb;
+        ]
+    in
+    Format.fprintf ppf "#%d [%s]%s%s%s %.3fs: %s" a.at_index
+      (if caps = [] then "unbounded" else String.concat " " caps)
+      (if a.at_mono then " mono" else "")
+      (if a.at_simplify = no_simplify then " no-simplify" else "")
+      (match a.at_seed with None -> "" | Some s -> Printf.sprintf " seed=%d" s)
+      a.at_seconds
+      (match a.at_reason with None -> "decided" | Some r -> r)
+
+  type config = { ec_limits : limits; ec_simplify : simplify_config; ec_mono : bool }
+
+  (* Perturbation schedule for retry [i] (i >= 1): always reseed; flip the
+     incremental/monolithic lane on odd retries; toggle the simplification
+     pipeline from the third retry on. All three are verdict-preserving. *)
+  let perturbed ~base_simplify ~base_mono i =
+    let mono = if i land 1 = 1 then not base_mono else base_mono in
+    let simplify =
+      if i >= 3 then if base_simplify = no_simplify then default_simplify else no_simplify
+      else base_simplify
+    in
+    (simplify, mono)
+
+  let run ?(policy = default_policy) ~limits ~simplify ~mono ~unknown_of f =
+    let t_start = Unix.gettimeofday () in
+    let elapsed () = Unix.gettimeofday () -. t_start in
+    let over_total () =
+      match policy.total_seconds with None -> false | Some cap -> elapsed () >= cap
+    in
+    let clamp_budget (b : Sat.Solver.budget) =
+      match policy.total_seconds with
+      | None -> b
+      | Some cap ->
+          let remaining = Float.max 0.01 (cap -. elapsed ()) in
+          let max_seconds =
+            match b.Sat.Solver.max_seconds with
+            | None -> Some remaining
+            | Some s -> Some (Float.min s remaining)
+          in
+          { b with Sat.Solver.max_seconds }
+    in
+    let cancelled () =
+      match limits.l_cancel with Some c -> Sat.Solver.cancelled c | None -> false
+    in
+    let rec attempt i budget acc =
+      let simplify', mono' =
+        if policy.perturb && i > 0 then perturbed ~base_simplify:simplify ~base_mono:mono i
+        else (simplify, mono)
+      in
+      let seed = if i = 0 then limits.l_seed else Some (i * 0x9e3779b1) in
+      let cfg =
+        {
+          ec_limits = { limits with l_budget = clamp_budget budget; l_seed = seed };
+          ec_simplify = simplify';
+          ec_mono = mono';
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = f cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      let reason = unknown_of r in
+      let a =
+        {
+          at_index = i;
+          at_budget = cfg.ec_limits.l_budget;
+          at_simplify = simplify';
+          at_mono = mono';
+          at_seed = seed;
+          at_seconds = dt;
+          at_reason = reason;
+        }
+      in
+      let acc = a :: acc in
+      match reason with
+      | None -> (r, List.rev acc)
+      | Some _ ->
+          if i + 1 >= policy.max_attempts || over_total () || cancelled () then
+            (r, List.rev acc)
+          else attempt (i + 1) (Sat.Solver.budget_scale budget policy.growth) acc
+    in
+    attempt 0 limits.l_budget []
+end

@@ -69,6 +69,31 @@ val no_simplify : simplify_config
 (** All four stages off — the pre-pipeline behaviour, kept for ablation and
     as the differential-fuzzing baseline. *)
 
+(** {1 Resource limits}
+
+    A bundle of the solver-level governance knobs (see {!Sat.Solver}):
+    per-query budget, cooperative cancellation token, phase-perturbation
+    seed and fault-injection hook. The budget applies to {e each} SAT
+    query an engine issues — whole-check caps are the business of
+    {!Escalate} policies and [Par] watchdogs. *)
+type limits = {
+  l_budget : Sat.Solver.budget;
+  l_cancel : Sat.Solver.cancel option;
+  l_seed : int option;
+  l_fault : (Sat.Solver.stats -> Sat.Solver.fault option) option;
+}
+
+val no_limits : limits
+(** Unbounded, non-cancellable, unseeded, no faults — the default. *)
+
+val limits :
+  ?budget:Sat.Solver.budget ->
+  ?cancel:Sat.Solver.cancel ->
+  ?seed:int ->
+  ?fault:(Sat.Solver.stats -> Sat.Solver.fault option) ->
+  unit ->
+  limits
+
 (** Cone-of-influence reduction at the design level. *)
 module Coi : sig
   type stats = {
@@ -126,11 +151,19 @@ module Engine : sig
 
   val pp_simp_stats : Format.formatter -> simp_stats -> unit
 
+  (** Three-valued query result: SAT with a replayed witness, certified
+      UNSAT, or gave up under the engine's {!limits}. *)
+  type check_result =
+    | Cex of witness
+    | Unreachable
+    | Undecided of Sat.Solver.unknown_reason
+
   val create :
     ?symbolic_init:bool ->
     ?certify:bool ->
     ?simplify:simplify_config ->
     ?mono:bool ->
+    ?limits:limits ->
     Rtl.design ->
     t
   (** [certify] (default [false]) turns on DRAT proof logging in the
@@ -159,9 +192,12 @@ module Engine : sig
   val assert_lit : t -> Aig.lit -> unit
   (** Permanently constrain the given AIG literal to true. *)
 
-  val check : t -> assumptions:Aig.lit list -> witness option
-  (** SAT query under assumptions; on SAT, extract and replay the witness
-      over all frames unrolled so far. [None] means UNSAT. *)
+  val check : t -> assumptions:Aig.lit list -> check_result
+  (** SAT query under assumptions and the engine's {!limits}; on SAT,
+      extract and replay the witness over all frames unrolled so far.
+      [Undecided] leaves the engine usable: a follow-up [check] (e.g.
+      after growing the budget via a fresh engine, or simply retrying an
+      incremental engine) resumes from the accumulated solver state. *)
 
   val model_lit : t -> Aig.lit -> bool
   (** Value of an AIG literal in the most recent SAT model (valid after
@@ -189,15 +225,25 @@ module Engine : sig
       engine. *)
 end
 
+(** Why (and where) a bounded check gave up. *)
+type unknown_info = {
+  un_reason : Sat.Solver.unknown_reason;
+  un_bound : int;  (** the cycle whose query was undecided *)
+}
+
 type outcome =
   | Holds of int  (** the invariant holds for all traces of up to n cycles *)
   | Violated of witness
+  | Unknown of unknown_info
+      (** a query gave up under the {!limits}; cycles below [un_bound]
+          were decided clean *)
 
 val check_safety :
   ?symbolic_init:bool ->
   ?certify:bool ->
   ?assumes:Expr.t list ->
   ?simplify:simplify_config ->
+  ?limits:limits ->
   ?stats:(Engine.simp_stats -> unit) ->
   design:Rtl.design ->
   invariant:Expr.t ->
@@ -223,6 +269,7 @@ val check_safety_mono :
   ?certify:bool ->
   ?assumes:Expr.t list ->
   ?simplify:simplify_config ->
+  ?limits:limits ->
   ?stats:(Engine.simp_stats -> unit) ->
   design:Rtl.design ->
   invariant:Expr.t ->
@@ -234,3 +281,62 @@ val check_safety_mono :
     across bounds, so each bound only lowers its new frame. Exists for the
     incremental-vs-monolithic ablation (experiment R-A2); same answers as
     {!check_safety}. *)
+
+(** {1 Retry escalation}
+
+    Generic policy for re-running an undecided check with exponentially
+    grown budgets and perturbed configurations. The perturbations —
+    simplification on/off, incremental vs monolithic lane, a fresh restart
+    seed — are all verdict-preserving, so any attempt that decides gives
+    {e the} answer; varying them merely diversifies the search in the hope
+    that one trajectory fits inside the budget. Every attempt is logged,
+    so a final verdict carries its full escalation path. *)
+module Escalate : sig
+  type policy = {
+    max_attempts : int;  (** total attempts, including the first *)
+    growth : float;  (** budget multiplier between attempts *)
+    total_seconds : float option;
+        (** cumulative wall-clock cap over all attempts; each attempt's
+            per-query [max_seconds] is clamped to the time remaining *)
+    perturb : bool;  (** vary simplify / mono lane / seed across retries *)
+  }
+
+  val default_policy : policy
+  (** 4 attempts, 4x growth, no total cap, perturbation on. *)
+
+  (** One attempt as actually run: its effective configuration, how long
+      it took, and [None] for its reason when it decided. *)
+  type attempt = {
+    at_index : int;
+    at_budget : Sat.Solver.budget;
+    at_simplify : simplify_config;
+    at_mono : bool;
+    at_seed : int option;
+    at_seconds : float;
+    at_reason : string option;
+  }
+
+  val pp_attempt : Format.formatter -> attempt -> unit
+
+  (** Configuration handed to the check runner for one attempt. *)
+  type config = {
+    ec_limits : limits;
+    ec_simplify : simplify_config;
+    ec_mono : bool;
+  }
+
+  val run :
+    ?policy:policy ->
+    limits:limits ->
+    simplify:simplify_config ->
+    mono:bool ->
+    unknown_of:('a -> string option) ->
+    (config -> 'a) ->
+    'a * attempt list
+  (** [run ~limits ~simplify ~mono ~unknown_of f] calls [f] with the base
+      configuration; while [unknown_of] reports a giving-up reason it
+      retries with the budget scaled by [growth] and (when [perturb]) a
+      perturbed configuration, until an attempt decides, [max_attempts]
+      or [total_seconds] is exhausted, or the cancellation token fires.
+      Returns the last result and the attempt log (oldest first). *)
+end

@@ -25,7 +25,8 @@ type failure = {
   witness : Bmc.witness;
 }
 
-type verdict = Pass of int | Fail of failure
+type unknown = { u_reason : Sat.Solver.unknown_reason; u_bound : int }
+type verdict = Pass of int | Fail of failure | Unknown of unknown
 
 let pp_verdict ppf = function
   | Pass n -> Format.fprintf ppf "pass (bound %d)" n
@@ -33,6 +34,9 @@ let pp_verdict ppf = function
       Format.fprintf ppf "FAIL %s at dispatch cycles (%d, %d), %d-cycle counterexample"
         (failure_kind_to_string f.kind)
         f.cycle_a f.cycle_b f.witness.Bmc.w_length
+  | Unknown u ->
+      Format.fprintf ppf "UNKNOWN at bound %d: %s" u.u_bound
+        (Sat.Solver.reason_to_string u.u_reason)
 
 type report = {
   verdict : verdict;
@@ -40,6 +44,7 @@ type report = {
   cnf_vars : int;
   cnf_clauses : int;
   simp : Bmc.Engine.simp_stats;
+  attempts : Bmc.Escalate.attempt list;
 }
 
 let copy1_prefix = "dut1__"
@@ -139,6 +144,7 @@ let report_of engine verdict =
     cnf_vars = vars;
     cnf_clauses = clauses;
     simp = Bmc.Engine.simp_stats engine;
+    attempts = [];
   }
 
 (* Solve for any of the pending conditions of one selector; on SAT identify
@@ -149,18 +155,22 @@ let report_of engine verdict =
    assert each condition's negation (strengthening future queries) and drop
    it from the pending set, which keeps every query focused on the
    conditions added since the last one. *)
-let find_failure engine pending ~kind_of =
+let find_failure engine pending ~at ~kind_of =
   let gr = Bmc.Engine.graph engine in
   match !pending with
   | [] -> None
   | conds -> begin
       let bad = Aig.or_list gr (List.map snd conds) in
       match Bmc.Engine.check engine ~assumptions:[ bad ] with
-      | None ->
+      | Bmc.Engine.Unreachable ->
           List.iter (fun (_, lit) -> Bmc.Engine.assert_lit engine (Aig.not_ lit)) conds;
           pending := [];
           None
-      | Some witness ->
+      | Bmc.Engine.Undecided reason ->
+          (* Give up without touching the pending set: the conditions were
+             neither refuted nor witnessed, so nothing may be asserted. *)
+          Some (Unknown { u_reason = reason; u_bound = at })
+      | Bmc.Engine.Cex witness ->
           let pair =
             match
               List.find_opt (fun (_, lit) -> Bmc.Engine.model_lit engine lit) conds
@@ -194,16 +204,16 @@ let drive ~engine ~bound ~pairs_at ~kinds =
       stage pending_out (fun p -> p.c_out) new_pairs;
       stage pending_resp (fun p -> p.c_resp) new_pairs;
       if kind_state <> None then stage pending_state (fun p -> p.c_state) new_pairs;
-      match find_failure engine pending_out ~kind_of:(fun _ -> kind_out) with
+      match find_failure engine pending_out ~at:k ~kind_of:(fun _ -> kind_out) with
       | Some f -> report_of engine f
       | None -> (
-          match find_failure engine pending_resp ~kind_of:(fun _ -> kind_resp) with
+          match find_failure engine pending_resp ~at:k ~kind_of:(fun _ -> kind_resp) with
           | Some f -> report_of engine f
           | None -> (
               match
                 match kind_state with
                 | None -> None
-                | Some ks -> find_failure engine pending_state ~kind_of:(fun _ -> ks)
+                | Some ks -> find_failure engine pending_state ~at:k ~kind_of:(fun _ -> ks)
               with
               | Some f -> report_of engine f
               | None -> deepen (k + 1)))
@@ -214,9 +224,9 @@ let drive ~engine ~bound ~pairs_at ~kinds =
 (* ------------------------------------------------------------------ *)
 (* A-QED functional consistency (single copy).                          *)
 
-let aqed_fc_fixed ~simplify ~mono design iface ~bound =
+let aqed_fc_fixed ~simplify ~mono ~limits design iface ~bound =
   Iface.check design iface;
-  let engine = Bmc.Engine.create ~simplify ~mono design in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
   let view = { engine; prefix = ""; iface } in
   let gr = Bmc.Engine.graph engine in
   let latency = iface.Iface.latency in
@@ -251,12 +261,12 @@ let aqed_fc_fixed ~simplify ~mono design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* G-QED (product of two copies).                                       *)
 
-let gqed_generic ~simplify ~mono ~with_state design iface ~bound =
+let gqed_generic ~simplify ~mono ~limits ~with_state design iface ~bound =
   Iface.check design iface;
   let copy1 = Rtl.rename ~prefix:copy1_prefix design in
   let copy2 = Rtl.rename ~prefix:copy2_prefix design in
   let prod = Rtl.product copy1 copy2 in
-  let engine = Bmc.Engine.create ~simplify ~mono prod in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits prod in
   let v1 = { engine; prefix = copy1_prefix; iface } in
   let v2 = { engine; prefix = copy2_prefix; iface } in
   let gr = Bmc.Engine.graph engine in
@@ -306,26 +316,26 @@ let gqed_generic ~simplify ~mono ~with_state design iface ~bound =
   drive ~engine ~bound ~pairs_at
     ~kinds:(Gfc_output, Gfc_response, if with_state then Some Gfc_state else None)
 
-let gqed_fixed ~simplify ~mono design iface ~bound =
-  gqed_generic ~simplify ~mono ~with_state:true design iface ~bound
+let gqed_fixed ~simplify ~mono ~limits design iface ~bound =
+  gqed_generic ~simplify ~mono ~limits ~with_state:true design iface ~bound
 
-let gqed_output_only_fixed ~simplify ~mono design iface ~bound =
-  gqed_generic ~simplify ~mono ~with_state:false design iface ~bound
+let gqed_output_only_fixed ~simplify ~mono ~limits design iface ~bound =
+  gqed_generic ~simplify ~mono ~limits ~with_state:false design iface ~bound
 
 (* ------------------------------------------------------------------ *)
 (* Single-action (responsiveness): with fixed latency L, out_valid at
    frame f must equal in_valid at frame f - L (false before reset).      *)
 
-let sa_check_fixed ~simplify ~mono design iface ~bound =
+let sa_check_fixed ~simplify ~mono ~limits design iface ~bound =
   Iface.check design iface;
   if iface.Iface.out_valid = None then begin
     (* No response-valid port: responses are combinational values sampled at
        dispatch + latency, so single-action holds by construction. *)
-    let engine = Bmc.Engine.create ~simplify ~mono design in
+    let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
     report_of engine (Pass bound)
   end
   else begin
-  let engine = Bmc.Engine.create ~simplify ~mono design in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
   let view = { engine; prefix = ""; iface } in
   let gr = Bmc.Engine.graph engine in
   let latency = iface.Iface.latency in
@@ -349,15 +359,16 @@ let sa_check_fixed ~simplify ~mono design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* Stability: without a dispatch, the architectural state cannot move.   *)
 
-let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
+let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false)
+    ?(limits = Bmc.no_limits) design iface ~bound =
   Iface.check design iface;
   if iface.Iface.arch_regs = [] || iface.Iface.in_valid = None then begin
     (* No architectural state, or a transaction on every cycle: vacuous. *)
-    let engine = Bmc.Engine.create ~simplify ~mono design in
+    let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
     report_of engine (Pass bound)
   end
   else begin
-    let engine = Bmc.Engine.create ~simplify ~mono design in
+    let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
     let view = { engine; prefix = ""; iface } in
     let gr = Bmc.Engine.graph engine in
     let pairs_at k =
@@ -384,12 +395,13 @@ let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false) design if
 (* ------------------------------------------------------------------ *)
 (* Reset: documented architectural reset values match the RTL.           *)
 
-let reset_check ?(simplify = Bmc.default_simplify) ?(mono = false) design iface =
+let reset_check ?(simplify = Bmc.default_simplify) ?(mono = false)
+    ?(limits = Bmc.no_limits) design iface =
   Iface.check design iface;
   (* Static check: reset values are constants in this modelling. The report
      shape is kept for uniformity; a failure carries a zero-length witness
      whose initial state shows the wrong value. *)
-  let engine = Bmc.Engine.create ~simplify ~mono design in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
   let initial = Rtl.initial_state design in
   let mismatch =
     List.find_opt
@@ -433,13 +445,13 @@ let assert_k_stable engine prefix ~frame =
    [with_arch] adds the equal-architectural-state hypothesis (dropping it
    gives the A-QED-style check, which false-alarms on interfering designs);
    [with_state] adds the post-state conjunct. *)
-let gqed_variable ~simplify ~mono ~with_arch ~with_state design iface ~bound =
+let gqed_variable ~simplify ~mono ~limits ~with_arch ~with_state design iface ~bound =
   Iface.check design iface;
   let instrumented = Instrument.with_monitor design iface in
   let copy1 = Rtl.rename ~prefix:copy1_prefix instrumented in
   let copy2 = Rtl.rename ~prefix:copy2_prefix instrumented in
   let prod = Rtl.product copy1 copy2 in
-  let engine = Bmc.Engine.create ~simplify ~mono prod in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits prod in
   let v name w prefix = Expr.var (prefix ^ name) w in
   let both f = (f copy1_prefix, f copy2_prefix) in
   let have p =
@@ -523,11 +535,11 @@ let gqed_variable ~simplify ~mono ~with_arch ~with_state design iface ~bound =
 
 (* Responsiveness for variable latency: no response when nothing is
    outstanding, and every dispatch is answered within max_latency. *)
-let sa_variable ~simplify ~mono design iface ~bound =
+let sa_variable ~simplify ~mono ~limits design iface ~bound =
   Iface.check design iface;
   let lmax = Option.get iface.Iface.max_latency in
   let instrumented = Instrument.with_monitor design iface in
-  let engine = Bmc.Engine.create ~simplify ~mono instrumented in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits instrumented in
   let u = Bmc.Engine.unroller engine in
   let gr = Bmc.Engine.graph engine in
   let dispatch_e = Instrument.dispatch_expr design iface in
@@ -571,45 +583,55 @@ let sa_variable ~simplify ~mono design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* Public checks: dispatch on the interface's latency mode.              *)
 
-let aqed_fc ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
+let aqed_fc ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
+    design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~simplify ~mono ~with_arch:false ~with_state:false design iface ~bound
-  else aqed_fc_fixed ~simplify ~mono design iface ~bound
+    gqed_variable ~simplify ~mono ~limits ~with_arch:false ~with_state:false design iface
+      ~bound
+  else aqed_fc_fixed ~simplify ~mono ~limits design iface ~bound
 
-let gqed ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
+let gqed ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
+    design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~simplify ~mono ~with_arch:true ~with_state:true design iface ~bound
-  else gqed_fixed ~simplify ~mono design iface ~bound
+    gqed_variable ~simplify ~mono ~limits ~with_arch:true ~with_state:true design iface
+      ~bound
+  else gqed_fixed ~simplify ~mono ~limits design iface ~bound
 
-let gqed_output_only ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound
-    =
+let gqed_output_only ?(simplify = Bmc.default_simplify) ?(mono = false)
+    ?(limits = Bmc.no_limits) design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~simplify ~mono ~with_arch:true ~with_state:false design iface ~bound
-  else gqed_output_only_fixed ~simplify ~mono design iface ~bound
+    gqed_variable ~simplify ~mono ~limits ~with_arch:true ~with_state:false design iface
+      ~bound
+  else gqed_output_only_fixed ~simplify ~mono ~limits design iface ~bound
 
-let sa_check ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
-  if Iface.is_variable_latency iface then sa_variable ~simplify ~mono design iface ~bound
-  else sa_check_fixed ~simplify ~mono design iface ~bound
+let sa_check ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
+    design iface ~bound =
+  if Iface.is_variable_latency iface then
+    sa_variable ~simplify ~mono ~limits design iface ~bound
+  else sa_check_fixed ~simplify ~mono ~limits design iface ~bound
 
 (* ------------------------------------------------------------------ *)
 (* The complete flow.                                                    *)
 
-let flow ?(simplify = Bmc.default_simplify) ?(mono = false) design iface ~bound =
+let flow ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
+    design iface ~bound =
   let stages =
     [
-      (fun () -> reset_check ~simplify ~mono design iface);
-      (fun () -> sa_check ~simplify ~mono design iface ~bound);
+      (fun () -> reset_check ~simplify ~mono ~limits design iface);
+      (fun () -> sa_check ~simplify ~mono ~limits design iface ~bound);
     ]
     @ (if Iface.is_variable_latency iface then []
-       else [ (fun () -> stability_check ~simplify ~mono design iface ~bound) ])
-    @ [ (fun () -> gqed ~simplify ~mono design iface ~bound) ]
+       else [ (fun () -> stability_check ~simplify ~mono ~limits design iface ~bound) ])
+    @ [ (fun () -> gqed ~simplify ~mono ~limits design iface ~bound) ]
   in
   let rec run_stages last = function
     | [] -> last
     | stage :: rest -> begin
         let report = stage () in
         match report.verdict with
-        | Fail _ -> report
+        (* An undecided stage blocks the flow just like a failing one: the
+           later stages' soundness preconditions were not discharged. *)
+        | Fail _ | Unknown _ -> report
         | Pass _ -> run_stages report rest
       end
   in
@@ -625,9 +647,24 @@ let technique_to_string = function
   | Gqed_output_only -> "G-QED(out-only)"
   | Gqed_flow -> "G-QED(flow)"
 
-let run ?(simplify = Bmc.default_simplify) ?(mono = false) technique design iface ~bound =
+let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
+    technique design iface ~bound =
   match technique with
-  | Aqed -> aqed_fc ~simplify ~mono design iface ~bound
-  | Gqed -> gqed ~simplify ~mono design iface ~bound
-  | Gqed_output_only -> gqed_output_only ~simplify ~mono design iface ~bound
-  | Gqed_flow -> flow ~simplify ~mono design iface ~bound
+  | Aqed -> aqed_fc ~simplify ~mono ~limits design iface ~bound
+  | Gqed -> gqed ~simplify ~mono ~limits design iface ~bound
+  | Gqed_output_only -> gqed_output_only ~simplify ~mono ~limits design iface ~bound
+  | Gqed_flow -> flow ~simplify ~mono ~limits design iface ~bound
+
+let run_escalating ?policy ?(simplify = Bmc.default_simplify) ?(mono = false)
+    ?(limits = Bmc.no_limits) technique design iface ~bound =
+  let unknown_of (r : report) =
+    match r.verdict with
+    | Unknown u -> Some (Sat.Solver.reason_to_string u.u_reason)
+    | Pass _ | Fail _ -> None
+  in
+  let report, attempts =
+    Bmc.Escalate.run ?policy ~limits ~simplify ~mono ~unknown_of (fun cfg ->
+        run ~simplify:cfg.Bmc.Escalate.ec_simplify ~mono:cfg.Bmc.Escalate.ec_mono
+          ~limits:cfg.Bmc.Escalate.ec_limits technique design iface ~bound)
+  in
+  { report with attempts }

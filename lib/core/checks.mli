@@ -49,9 +49,15 @@ type failure = {
   witness : Bmc.witness;
 }
 
+(** Why (and where) a check gave up: the solver-level reason and the
+    deepening cycle whose query was undecided. *)
+type unknown = { u_reason : Sat.Solver.unknown_reason; u_bound : int }
+
 type verdict =
   | Pass of int  (** no violation within this many cycles *)
   | Fail of failure
+  | Unknown of unknown
+      (** gave up under resource {!Bmc.limits}; neither a pass nor a fail *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
@@ -62,6 +68,9 @@ type report = {
   cnf_clauses : int;
   simp : Bmc.Engine.simp_stats;
       (** formula-shrinking pipeline totals for this check's engine *)
+  attempts : Bmc.Escalate.attempt list;
+      (** escalation path that produced this verdict; empty unless the
+          check ran under {!run_escalating} *)
 }
 
 (** Every check takes [?simplify] (default {!Bmc.default_simplify})
@@ -70,39 +79,84 @@ type report = {
     (default [false]) runs the engine in monolithic mode — the design is
     blasted once and every SAT query gets a fresh solver, which unlocks the
     per-query compaction sweep and bounded variable elimination stages of
-    the pipeline (see {!Bmc.Engine.create}). The verdict is independent of
-    both knobs — the bench harness and the fuzz oracle enforce this. *)
+    the pipeline (see {!Bmc.Engine.create}). [?limits] (default
+    {!Bmc.no_limits}) governs the engine's resources: per-query budget,
+    cancellation token, restart seed and fault hook; an exhausted budget
+    or fired token yields an [Unknown] verdict. The decided verdict is
+    independent of every knob — the bench harness and the fuzz oracle
+    enforce this. *)
 
 val aqed_fc :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 
 val gqed :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 
 val gqed_output_only :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 
 val sa_check :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 
 val stability_check :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 (** Architectural state may change only through a dispatched transaction:
     on any cycle without a dispatch, the architectural registers must keep
     their values. Together with {!sa_check} this discharges the
     transactional-machine abstraction the G-FC soundness argument uses. *)
 
 val reset_check :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  report
 (** The RTL reset values of the architectural registers match the
     documented ones from {!Iface.t.arch_reset}. Static (no BMC): reset
     values are constants in this modelling. *)
 
 val flow :
-  ?simplify:Bmc.simplify_config -> ?mono:bool -> Rtl.design -> Iface.t -> bound:int -> report
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
 (** The complete G-QED flow as run in the evaluation: {!reset_check}, then
     {!sa_check}, then {!stability_check}, then {!gqed}; the first failing
-    stage is reported. *)
+    — or first undecided — stage is reported. *)
 
 (** {2 Technique selection (used by the experiment harness)} *)
 
@@ -113,11 +167,28 @@ val technique_to_string : technique -> string
 val run :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
+  ?limits:Bmc.limits ->
   technique ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
   report
+
+val run_escalating :
+  ?policy:Bmc.Escalate.policy ->
+  ?simplify:Bmc.simplify_config ->
+  ?mono:bool ->
+  ?limits:Bmc.limits ->
+  technique ->
+  Rtl.design ->
+  Iface.t ->
+  bound:int ->
+  report
+(** {!run} wrapped in the {!Bmc.Escalate} retry policy: an [Unknown]
+    verdict is retried with exponentially grown budgets and perturbed
+    configurations until it decides or the policy is exhausted. The
+    report's [attempts] field records the full escalation path. With
+    unbounded limits this is exactly {!run} (one attempt, no overhead). *)
 
 (** {2 Copy prefixes}
 

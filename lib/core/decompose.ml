@@ -12,7 +12,9 @@ let check_all ?(technique = Checks.Gqed_flow) subs ~bound =
   let all_pass =
     List.for_all
       (fun (_, report) ->
-        match report.Checks.verdict with Checks.Pass _ -> true | Checks.Fail _ -> false)
+        match report.Checks.verdict with
+        | Checks.Pass _ -> true
+        | Checks.Fail _ | Checks.Unknown _ -> false)
       results
   in
   { results; all_pass }
@@ -21,7 +23,7 @@ let first_failure r =
   List.find_map
     (fun (name, report) ->
       match report.Checks.verdict with
-      | Checks.Pass _ -> None
+      | Checks.Pass _ | Checks.Unknown _ -> None
       | Checks.Fail f -> Some (name, f))
     r.results
 

@@ -307,7 +307,7 @@ let soundness_holds design iface ~alphabet ~depth ~bound =
   | `Deterministic _ -> (
       match (Checks.gqed design iface ~bound).Checks.verdict with
       | Checks.Pass _ -> true
-      | Checks.Fail _ -> false)
+      | Checks.Fail _ | Checks.Unknown _ -> false)
 
 let completeness_holds design iface ~alphabet ~depth ~bound =
   match transaction_table design iface ~alphabet ~depth with
@@ -315,4 +315,4 @@ let completeness_holds design iface ~alphabet ~depth ~bound =
   | `Conflict _ -> (
       match (Checks.gqed design iface ~bound).Checks.verdict with
       | Checks.Fail _ -> true
-      | Checks.Pass _ -> false)
+      | Checks.Pass _ | Checks.Unknown _ -> false)

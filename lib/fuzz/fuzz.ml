@@ -381,6 +381,10 @@ module Oracle = struct
   let outcome_to_string = function
     | Bmc.Holds d -> Printf.sprintf "holds@%d" d
     | Bmc.Violated w -> Printf.sprintf "violated@%d" w.Bmc.w_length
+    | Bmc.Unknown u ->
+        Printf.sprintf "unknown(%s@%d)"
+          (Sat.Solver.reason_to_string u.Bmc.un_reason)
+          u.Bmc.un_bound
 
   (* BMC verdicts against simulator ground truth:
      - a by-construction-true invariant must come back [Holds];
@@ -404,7 +408,8 @@ module Oracle = struct
       | outcome, _stats -> (
           (match outcome with
           | Bmc.Holds bound -> if cert then certified := !certified + bound
-          | Bmc.Violated w -> if cert then certified := !certified + (w.Bmc.w_length - 1));
+          | Bmc.Violated w -> if cert then certified := !certified + (w.Bmc.w_length - 1)
+          | Bmc.Unknown _ -> ());
           let mono, _ = Bmc.check_safety_mono ~design:d ~invariant ~depth () in
           let agree =
             match (outcome, mono) with
@@ -418,6 +423,12 @@ module Oracle = struct
                  (outcome_to_string outcome) (outcome_to_string mono))
           else
             match outcome with
+            | Bmc.Unknown u ->
+                (* No limits were passed, so giving up is itself a bug. *)
+                Error
+                  (Printf.sprintf "bmc: unlimited run gave up: %s @ bound %d"
+                     (Sat.Solver.reason_to_string u.Bmc.un_reason)
+                     u.Bmc.un_bound)
             | Bmc.Holds _ when expect_holds -> Ok ()
             | Bmc.Violated _ when expect_holds ->
                 Error "bmc: true-by-algebra invariant reported violated"
@@ -536,7 +547,8 @@ module Oracle = struct
             (if cert then
                match full with
                | Bmc.Holds bound -> certified := bound
-               | Bmc.Violated w -> certified := w.Bmc.w_length - 1);
+               | Bmc.Violated w -> certified := w.Bmc.w_length - 1
+               | Bmc.Unknown _ -> ());
             match agree "all" base full with
             | Error _ as e -> e
             | Ok () ->
@@ -574,6 +586,101 @@ module Oracle = struct
                                 else Error "simplify(coi): witness differs from baseline"))
                 in
                 check_stages stages))
+
+  (* Fault injection: a solver hook that randomly fires budget exhaustion,
+     cancellation and allocation-pressure faults mid-solve. The invariance
+     property under test: a fault may only degrade a verdict to [Unknown] —
+     it must never flip [Holds] <-> [Violated] against the fault-free
+     reference — and every query that does complete still DRAT-certifies
+     (certification stays on, so a rejected certificate surfaces through
+     [Certification_failed]). Finally, escalation from a starved budget
+     with the faults removed must recover the reference verdict exactly. *)
+  let fault_injection ?(cert = false) ?(rate = 0.02) ~depth rand (d : Rtl.design) =
+    let vars = all_vars d in
+    let invariant = Gen.expr rand ~vars ~width:1 ~depth:2 in
+    match Bmc.check_safety ~certify:cert ~design:d ~invariant ~depth () with
+    | exception Bmc.Certification_failed msg ->
+        Error ("faults: fault-free run rejected a DRAT certificate: " ^ msg)
+    | reference, _ -> (
+        let certified =
+          if not cert then 0
+          else
+            match reference with
+            | Bmc.Holds bound -> bound
+            | Bmc.Violated w -> w.Bmc.w_length - 1
+            | Bmc.Unknown _ -> 0
+        in
+        let agree what faulty =
+          match (reference, faulty) with
+          | Bmc.Holds a, Bmc.Holds b when a = b -> Ok ()
+          | Bmc.Violated wa, Bmc.Violated wb when wa.Bmc.w_length = wb.Bmc.w_length ->
+              Ok ()
+          | _, Bmc.Unknown _ -> Ok ()
+          | _ ->
+              Error
+                (Printf.sprintf "faults: %s: fault-free %s but faulty %s" what
+                   (outcome_to_string reference) (outcome_to_string faulty))
+        in
+        let hook_of fseed =
+          let frand = Random.State.make [| fseed |] in
+          fun (_ : Sat.Solver.stats) ->
+            if Random.State.float frand 1.0 >= rate then None
+            else
+              match Random.State.int frand 4 with
+              | 0 -> Some (Sat.Solver.Fault_exhaust Sat.Solver.Out_of_conflicts)
+              | 1 -> Some (Sat.Solver.Fault_exhaust Sat.Solver.Out_of_memory_budget)
+              | 2 -> Some Sat.Solver.Fault_cancel
+              | _ -> Some (Sat.Solver.Fault_alloc 4096)
+        in
+        let rec trial k =
+          if k >= 3 then Ok ()
+          else
+            let limits = Bmc.limits ~fault:(hook_of (Random.State.bits rand)) () in
+            match Bmc.check_safety ~certify:cert ~limits ~design:d ~invariant ~depth () with
+            | exception Bmc.Certification_failed msg ->
+                Error
+                  ("faults: completed query under faults rejected its DRAT \
+                    certificate: " ^ msg)
+            | faulty, _ -> (
+                match agree (Printf.sprintf "trial %d" k) faulty with
+                | Error _ as e -> e
+                | Ok () -> trial (k + 1))
+        in
+        match trial 0 with
+        | Error _ as e -> e
+        | Ok () -> (
+            (* A starved initial budget forces [Unknown]; escalation (no
+               faults) must then converge back to the reference verdict. *)
+            let limits = Bmc.limits ~budget:(Sat.Solver.budget ~conflicts:1 ()) () in
+            let policy =
+              { Bmc.Escalate.default_policy with max_attempts = 6; growth = 8.0 }
+            in
+            let unknown_of (o, _) =
+              match o with
+              | Bmc.Unknown u -> Some (Sat.Solver.reason_to_string u.Bmc.un_reason)
+              | Bmc.Holds _ | Bmc.Violated _ -> None
+            in
+            let (escalated, _), _attempts =
+              Bmc.Escalate.run ~policy ~limits ~simplify:Bmc.default_simplify
+                ~mono:false ~unknown_of (fun cfg ->
+                  let check =
+                    if cfg.Bmc.Escalate.ec_mono then Bmc.check_safety_mono
+                    else Bmc.check_safety
+                  in
+                  check ~certify:cert ~simplify:cfg.Bmc.Escalate.ec_simplify
+                    ~limits:cfg.Bmc.Escalate.ec_limits ~design:d ~invariant ~depth ())
+            in
+            match (reference, escalated) with
+            | Bmc.Holds a, Bmc.Holds b when a = b -> Ok certified
+            | Bmc.Violated wa, Bmc.Violated wb when wa.Bmc.w_length = wb.Bmc.w_length
+              ->
+                Ok certified
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "faults: escalation ended at %s but fault-free verdict is %s"
+                     (outcome_to_string escalated)
+                     (outcome_to_string reference))))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -690,9 +797,15 @@ let shrink ~failing d0 =
             match cand () with
             | None -> None
             | Some d' ->
-                if design_size d' < design_size d
-                   && (try failing d' with _ -> false)
-                then Some d'
+                (* Asynchronous exceptions must escape: swallowing
+                   [Out_of_memory] here would turn resource exhaustion into
+                   a silent "shrink didn't reproduce". *)
+                let still_failing d' =
+                  try failing d' with
+                  | (Out_of_memory | Stack_overflow | Sys.Break) as e -> raise e
+                  | _ -> false
+                in
+                if design_size d' < design_size d && still_failing d' then Some d'
                 else None
           end
     in
@@ -754,6 +867,8 @@ let oracles ~config ~cert =
         Result.map (fun () -> 0) (Oracle.jobs_vs_serial ~depth:config.bmc_depth rand d) );
     ( "simplify",
       fun rand d -> Oracle.simplify_on_vs_off ~cert ~depth:config.bmc_depth rand d );
+    ( "faults",
+      fun rand d -> Oracle.fault_injection ~cert ~depth:config.bmc_depth rand d );
   ]
 
 let run_oracle oracle_fn ~seed ~case ~idx d =
@@ -762,6 +877,9 @@ let run_oracle oracle_fn ~seed ~case ~idx d =
   | Ok certs -> Ok certs
   | Error msg -> Error msg
   | exception Bmc.Certification_failed msg -> Error ("certification failed: " ^ msg)
+  (* Never swallow asynchronous exceptions: the process is out of resources
+     (or the user hit ^C) and "oracle failed" would be a lie. *)
+  | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
   | exception e -> Error ("exception: " ^ Printexc.to_string e)
 
 let write_corpus_file ~out_dir ~seed ~case ~oracle ~message d =
@@ -894,6 +1012,11 @@ let dimacs ?(max_vars = 20) ~seed ~count ~cert () =
             else if cert then (
               match Sat.Drat.check (Sat.Solver.proof solver) with
               | Ok () -> ()
-              | Error e -> flag i ("DRAT certificate rejected: " ^ e)))
+              | Error e -> flag i ("DRAT certificate rejected: " ^ e))
+        | Sat.Solver.Unknown r ->
+            (* No budget, no cancellation, no faults: the solver has no
+               business giving up here. *)
+            flag i
+              ("solver UNKNOWN without a budget: " ^ Sat.Solver.reason_to_string r))
   done;
   List.rev !bad

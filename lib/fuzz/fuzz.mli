@@ -88,6 +88,22 @@ module Oracle : sig
       COI-only run must reproduce the baseline witness bit for bit. With
       [cert], the fully-simplified run is DRAT-certified at every UNSAT
       bound; on success, returns the number of certified bounds. *)
+
+  val fault_injection :
+    ?cert:bool ->
+    ?rate:float ->
+    depth:int ->
+    Random.State.t ->
+    Rtl.design ->
+    (int, string) result
+  (** Verdict invariance under injected faults. A solver fault hook fires
+      budget-exhaustion, cancellation and allocation-pressure faults with
+      probability [rate] per poll; each faulty run's outcome must equal the
+      fault-free reference or be [Unknown] — never the opposite decided
+      verdict — with DRAT certification active throughout when [cert].
+      A final run starved to a 1-conflict budget must recover the
+      reference verdict through {!Bmc.Escalate}. On success, returns the
+      number of DRAT-certified bounds of the reference run. *)
 end
 
 (** {1 Shrinking} *)

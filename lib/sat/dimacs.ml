@@ -82,5 +82,9 @@ let solve_string text =
       let solver = Solver.create () in
       load solver cnf;
       let result = Solver.solve solver in
-      let model = match result with Solver.Sat -> Some (Solver.model solver) | Solver.Unsat -> None in
+      let model =
+        match result with
+        | Solver.Sat -> Some (Solver.model solver)
+        | Solver.Unsat | Solver.Unknown _ -> None
+      in
       Ok (result, model)

@@ -23,7 +23,71 @@ type watcher = { w_clause : clause; w_blocker : int }
 
 let dummy_watcher = { w_clause = dummy_clause; w_blocker = 0 }
 
-type result = Sat | Unsat
+type budget = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_decisions : int option;
+  max_seconds : float option;
+  max_learnt_mb : float option;
+}
+
+let no_budget =
+  {
+    max_conflicts = None;
+    max_propagations = None;
+    max_decisions = None;
+    max_seconds = None;
+    max_learnt_mb = None;
+  }
+
+let budget ?conflicts ?propagations ?decisions ?seconds ?learnt_mb () =
+  {
+    max_conflicts = conflicts;
+    max_propagations = propagations;
+    max_decisions = decisions;
+    max_seconds = seconds;
+    max_learnt_mb = learnt_mb;
+  }
+
+let budget_scale b factor =
+  let scale_int = Option.map (fun n -> int_of_float (ceil (float_of_int n *. factor))) in
+  let scale_float = Option.map (fun x -> x *. factor) in
+  {
+    max_conflicts = scale_int b.max_conflicts;
+    max_propagations = scale_int b.max_propagations;
+    max_decisions = scale_int b.max_decisions;
+    max_seconds = scale_float b.max_seconds;
+    max_learnt_mb = scale_float b.max_learnt_mb;
+  }
+
+type unknown_reason =
+  | Out_of_conflicts
+  | Out_of_propagations
+  | Out_of_decisions
+  | Out_of_time
+  | Out_of_memory_budget
+  | Cancelled
+
+let reason_to_string = function
+  | Out_of_conflicts -> "conflict budget exhausted"
+  | Out_of_propagations -> "propagation budget exhausted"
+  | Out_of_decisions -> "decision budget exhausted"
+  | Out_of_time -> "wall-clock budget exhausted"
+  | Out_of_memory_budget -> "learnt-clause memory budget exhausted"
+  | Cancelled -> "cancelled"
+
+type cancel = bool Atomic.t
+
+let cancel_token () : cancel = Atomic.make false
+let cancel (c : cancel) = Atomic.set c true
+let cancelled (c : cancel) = Atomic.get c
+
+type fault =
+  | Fault_exhaust of unknown_reason
+  | Fault_cancel
+  | Fault_alloc of int
+
+type result = Sat | Unsat | Unknown of unknown_reason
 
 type stats = {
   conflicts : int;
@@ -68,7 +132,7 @@ let presult_add a b =
     pre_units = a.pre_units + b.pre_units;
   }
 
-type answer = A_none | A_sat | A_unsat
+type answer = A_none | A_sat | A_unsat | A_unknown
 
 type t = {
   mutable nvars : int;
@@ -128,6 +192,19 @@ type t = {
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_restarts : int;
+  (* Resource governance: absolute limits for the active [solve] call
+     (max_int / infinity when uncapped), set at entry from the budget plus
+     the counters so far. [learnt_bytes] is an incremental estimate of the
+     learnt database footprint, maintained on learn/remove. *)
+  mutable lim_conflicts : int;
+  mutable lim_propagations : int;
+  mutable lim_decisions : int;
+  mutable lim_learnt_bytes : int;
+  mutable deadline : float;
+  mutable cancel_tok : cancel option;
+  mutable fault_hook : (stats -> fault option) option;
+  mutable learnt_bytes : int;
+  mutable poll_count : int;
 }
 
 let var_decay = 1. /. 0.95
@@ -174,6 +251,15 @@ let create () =
     n_decisions = 0;
     n_propagations = 0;
     n_restarts = 0;
+    lim_conflicts = max_int;
+    lim_propagations = max_int;
+    lim_decisions = max_int;
+    lim_learnt_bytes = max_int;
+    deadline = infinity;
+    cancel_tok = None;
+    fault_hook = None;
+    learnt_bytes = 0;
+    poll_count = 0;
   }
 
 let nvars s = s.nvars
@@ -387,6 +473,8 @@ let attach_clause s c =
    next traversed, which avoids O(watchlist) scans here. *)
 let remove_clause s c =
   c.removed <- true;
+  if c.learnt then
+    s.learnt_bytes <- s.learnt_bytes - (40 + (8 * Array.length c.lits));
   (* A removed clause must never remain a reason. Callers guarantee this via
      the [locked] check. *)
   log_delete s c.lits
@@ -764,6 +852,47 @@ let pick_branch_var s =
 exception Found_sat
 exception Found_unsat
 exception Restart
+exception Stop of unknown_reason
+
+let current_stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    restarts = s.n_restarts;
+    learnt_clauses = Vec.size s.learnts;
+    clauses = Vec.size s.clauses;
+    vars = s.nvars;
+  }
+
+(* Budget/cancellation poll, called on the cheap boundaries of the search
+   loop (once per propagate-or-conflict iteration, never inside a
+   propagation wave). Counter checks are plain compares against the
+   absolute limits; the wall clock is only consulted every 64 polls, and
+   only when a deadline is set. *)
+let poll_limits s =
+  if s.n_conflicts >= s.lim_conflicts then raise (Stop Out_of_conflicts);
+  if s.n_propagations >= s.lim_propagations then raise (Stop Out_of_propagations);
+  if s.n_decisions >= s.lim_decisions then raise (Stop Out_of_decisions);
+  if s.learnt_bytes >= s.lim_learnt_bytes then raise (Stop Out_of_memory_budget);
+  (match s.cancel_tok with
+  | Some c when Atomic.get c -> raise (Stop Cancelled)
+  | _ -> ());
+  (match s.fault_hook with
+  | None -> ()
+  | Some hook -> (
+      match hook (current_stats s) with
+      | None -> ()
+      | Some (Fault_exhaust r) -> raise (Stop r)
+      | Some Fault_cancel -> raise (Stop Cancelled)
+      | Some (Fault_alloc words) ->
+          (* Allocation pressure: a dead array the GC must sweep. *)
+          ignore (Sys.opaque_identity (Array.make (max 1 words) 0))));
+  s.poll_count <- s.poll_count + 1;
+  (* gettimeofday costs far less than the decision + propagation wave each
+     poll corresponds to, so no further amortization is needed. *)
+  if s.deadline < infinity && Unix.gettimeofday () > s.deadline then
+    raise (Stop Out_of_time)
 
 (* Handle assumptions and pick the next decision. *)
 let decide s =
@@ -807,6 +936,7 @@ let record_learnt s learnt blevel ~lbd =
       unchecked_enqueue s learnt.(0) dummy_clause
   | _ ->
       let c = { lits = learnt; learnt = true; act = 0.; lbd; removed = false } in
+      s.learnt_bytes <- s.learnt_bytes + 40 + (8 * Array.length learnt);
       Vec.push s.learnts c;
       attach_clause s c;
       bump_clause s c;
@@ -816,6 +946,7 @@ let search s ~max_conflicts =
   let conflict_c = ref 0 in
   let continue = ref true in
   while !continue do
+    poll_limits s;
     match propagate s with
     | Some confl ->
         s.n_conflicts <- s.n_conflicts + 1;
@@ -851,7 +982,47 @@ let rec luby i =
   let k = find_k 1 in
   if (1 lsl k) - 1 = i then 1 lsl (k - 1) else luby (i - (1 lsl (k - 1)) + 1)
 
-let solve ?(assumptions = []) s =
+(* Arm the per-call limits. Counter caps are relative to this call (the
+   counters accumulate across incremental solves); the learnt-memory cap is
+   absolute, since it bounds the footprint of the shared database. *)
+let set_limits s budget cancel =
+  let rel base = function None -> max_int | Some n -> base + max 0 n in
+  s.lim_conflicts <- rel s.n_conflicts budget.max_conflicts;
+  s.lim_propagations <- rel s.n_propagations budget.max_propagations;
+  s.lim_decisions <- rel s.n_decisions budget.max_decisions;
+  s.lim_learnt_bytes <-
+    (match budget.max_learnt_mb with
+    | None -> max_int
+    | Some mb -> int_of_float (mb *. 1024. *. 1024.));
+  s.deadline <-
+    (match budget.max_seconds with
+    | None -> infinity
+    | Some sec -> Unix.gettimeofday () +. sec);
+  s.cancel_tok <- cancel
+
+let clear_limits s =
+  s.lim_conflicts <- max_int;
+  s.lim_propagations <- max_int;
+  s.lim_decisions <- max_int;
+  s.lim_learnt_bytes <- max_int;
+  s.deadline <- infinity;
+  s.cancel_tok <- None
+
+(* Deterministic polarity perturbation (xorshift keyed on the seed): flips
+   the saved phases so a retry explores a different trajectory. Verdict-
+   preserving — phases only steer the search. *)
+let perturb_phases s seed =
+  let st = ref (if seed = 0 then 0x9e3779b9 else seed) in
+  for v = 0 to s.nvars - 1 do
+    st := !st lxor (!st lsl 13);
+    st := !st lxor (!st lsr 7);
+    st := !st lxor (!st lsl 17);
+    s.polarity.(v) <- !st land 1 = 1
+  done
+
+let set_fault_hook s hook = s.fault_hook <- hook
+
+let solve ?(assumptions = []) ?(budget = no_budget) ?cancel ?seed s =
   s.answer <- A_none;
   Vec.clear s.conflict;
   if not s.ok then begin
@@ -859,32 +1030,42 @@ let solve ?(assumptions = []) s =
     Unsat
   end
   else begin
+    set_limits s budget cancel;
+    (match seed with None -> () | Some seed -> perturb_phases s seed);
     s.assumptions <- Array.of_list assumptions;
     if s.max_learnts = 0. then
       s.max_learnts <- max 1000. (float_of_int (Vec.size s.clauses) *. 0.3);
     let result = ref None in
     let restart = ref 1 in
-    while !result = None do
-      let bound = restart_base * luby !restart in
-      (try
-         search s ~max_conflicts:bound;
-         assert false
-       with
-      | Found_sat ->
-          s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
-          (* Extend the model over variables resolved away by elimination
-             so callers can read any variable they ever allocated. *)
-          if s.elim_stack <> [] then Simplify.extend_model s.elim_stack s.model;
-          s.answer <- A_sat;
-          result := Some Sat
-      | Found_unsat ->
-          s.answer <- A_unsat;
-          result := Some Unsat
-      | Restart ->
-          s.n_restarts <- s.n_restarts + 1;
-          s.max_learnts <- s.max_learnts *. 1.05);
-      incr restart
-    done;
+    (try
+       while !result = None do
+         let bound = restart_base * luby !restart in
+         (try
+            search s ~max_conflicts:bound;
+            assert false
+          with
+         | Found_sat ->
+             s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1);
+             (* Extend the model over variables resolved away by elimination
+                so callers can read any variable they ever allocated. *)
+             if s.elim_stack <> [] then Simplify.extend_model s.elim_stack s.model;
+             s.answer <- A_sat;
+             result := Some Sat
+         | Found_unsat ->
+             s.answer <- A_unsat;
+             result := Some Unsat
+         | Restart ->
+             s.n_restarts <- s.n_restarts + 1;
+             s.max_learnts <- s.max_learnts *. 1.05);
+         incr restart
+       done
+     with Stop reason ->
+       (* Budget exhausted, cancelled, or an injected fault: back out to a
+          clean level-0 state. Learnt clauses (and their DRAT events) are
+          kept, so a follow-up [solve] resumes from the accumulated work. *)
+       s.answer <- A_unknown;
+       result := Some (Unknown reason));
+    clear_limits s;
     cancel_until s 0;
     s.assumptions <- [||];
     match !result with Some r -> r | None -> assert false
@@ -1065,16 +1246,7 @@ let preprocess ?(elim = false) ?(frozen = []) s =
 
 let preprocess_totals s = s.pre_acc
 
-let stats s =
-  {
-    conflicts = s.n_conflicts;
-    decisions = s.n_decisions;
-    propagations = s.n_propagations;
-    restarts = s.n_restarts;
-    learnt_clauses = Vec.size s.learnts;
-    clauses = Vec.size s.clauses;
-    vars = s.nvars;
-  }
+let stats = current_stats
 
 let pp_stats ppf st =
   Format.fprintf ppf

@@ -14,7 +14,81 @@
 
 type t
 
-type result = Sat | Unsat
+(** {1 Resource governance}
+
+    Every [solve] call may run under a {!budget} — optional caps on
+    conflicts, propagations, decisions, wall-clock seconds and the memory
+    footprint of the learnt-clause database — and under a cooperative
+    {!cancel} token settable from another domain. Caps are counted
+    relative to the start of the call, checked on the cheap boundaries of
+    the search loop, and exhausting any of them (or a set token) returns
+    {!Unknown} with the first reason that fired. An [Unknown] answer
+    leaves the solver fully reusable: the trail is backtracked to level 0,
+    learnt clauses are kept, and a follow-up [solve] (with a larger
+    budget, or none) resumes from the accumulated state. *)
+
+type budget = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_decisions : int option;
+  max_seconds : float option;
+  max_learnt_mb : float option;  (** estimated learnt-DB footprint *)
+}
+
+val no_budget : budget
+(** All caps absent: [solve] runs to completion. *)
+
+val budget :
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?decisions:int ->
+  ?seconds:float ->
+  ?learnt_mb:float ->
+  unit ->
+  budget
+
+val budget_scale : budget -> float -> budget
+(** Multiply every finite cap by the factor (escalation helper). Absent
+    caps stay absent. *)
+
+type unknown_reason =
+  | Out_of_conflicts
+  | Out_of_propagations
+  | Out_of_decisions
+  | Out_of_time
+  | Out_of_memory_budget
+  | Cancelled
+(** Why a [solve] call gave up. [Cancelled] covers both a set {!cancel}
+    token and an injected [Fault_cancel]. *)
+
+val reason_to_string : unknown_reason -> string
+
+type cancel = bool Atomic.t
+(** Cooperative cancellation token. Any domain may {!cancel} it; the
+    solver polls it on search-loop boundaries. The same token type is
+    shared with [Par] watchdogs — no dependency needed, it is a plain
+    [bool Atomic.t]. *)
+
+val cancel_token : unit -> cancel
+val cancel : cancel -> unit
+val cancelled : cancel -> bool
+
+(** {1 Fault injection}
+
+    A test hook: when installed, the hook is consulted at every search-loop
+    boundary (and once at [solve] entry) and may fire a fault mid-solve.
+    Faults model resource exhaustion ([Fault_exhaust]), external
+    cancellation ([Fault_cancel]) and allocation pressure ([Fault_alloc],
+    which allocates the given number of words and continues). The first
+    two turn the answer into [Unknown]; none may flip a [Sat]/[Unsat]
+    verdict — the fuzz harness asserts exactly that. *)
+
+type fault =
+  | Fault_exhaust of unknown_reason
+  | Fault_cancel
+  | Fault_alloc of int
+
+type result = Sat | Unsat | Unknown of unknown_reason
 
 type stats = {
   conflicts : int;
@@ -25,6 +99,9 @@ type stats = {
   clauses : int;  (** problem clauses currently in the database *)
   vars : int;
 }
+
+val set_fault_hook : t -> (stats -> fault option) option -> unit
+(** Install ([Some]) or clear ([None]) the fault hook. *)
 
 val create : unit -> t
 
@@ -43,7 +120,18 @@ val ok : t -> bool
 (** [false] once the clause set is known UNSAT at level 0; further [solve]
     calls return [Unsat] immediately. *)
 
-val solve : ?assumptions:Lit.t list -> t -> result
+val solve :
+  ?assumptions:Lit.t list ->
+  ?budget:budget ->
+  ?cancel:cancel ->
+  ?seed:int ->
+  t ->
+  result
+(** [budget] caps are relative to this call (see {!budget}); [cancel] is
+    polled cooperatively; [seed] perturbs the saved-phase polarities
+    before searching, diversifying the restart trajectory across retries
+    without affecting the verdict. An [Unknown] answer reports partial
+    progress through {!stats} and leaves the solver reusable. *)
 
 val value : t -> Lit.t -> bool
 (** Model value of a literal after a [Sat] answer. Raises [Failure] if the

@@ -27,6 +27,7 @@ let test_holds_within_bound () =
   | Bmc.Violated w, _ ->
       Alcotest.failf "unexpected counterexample of length %d" w.Bmc.w_length
   | Bmc.Holds n, _ -> Alcotest.failf "wrong bound %d" n
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_violated_at_exact_depth () =
   match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 10) ~depth:12 () with
@@ -37,6 +38,7 @@ let test_violated_at_exact_depth () =
       Alcotest.(check int) "count is 10 at the failure cycle" 10
         (Bv.to_int (Rtl.Smap.find "count" last.Rtl.t_state))
   | Bmc.Holds n, _ -> Alcotest.failf "holds up to %d but should fail" n
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_witness_replay_consistent () =
   match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 7) ~depth:12 () with
@@ -52,6 +54,7 @@ let test_witness_replay_consistent () =
       Alcotest.(check bool) "invariant concretely false" false
         (Bv.to_bool (Expr.eval env (count_ne 7)))
   | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_assumes_block_counterexample () =
   (* Under the assumption that enable is never asserted, the counter stays
@@ -62,6 +65,7 @@ let test_assumes_block_counterexample () =
   with
   | Bmc.Holds n, _ -> Alcotest.(check int) "full depth" 20 n
   | Bmc.Violated _, _ -> Alcotest.fail "assumption was ignored"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_invariant_over_outputs () =
   (* Properties may mention outputs by name. *)
@@ -69,6 +73,7 @@ let test_invariant_over_outputs () =
   match Bmc.check_safety ~design:(counter ()) ~invariant:inv ~depth:5 () with
   | Bmc.Violated w, _ -> Alcotest.(check int) "length" 3 w.Bmc.w_length
   | Bmc.Holds _, _ -> Alcotest.fail "expected violation via output"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_symbolic_init () =
   (* With a free initial state the invariant count <> 5 fails immediately. *)
@@ -81,6 +86,7 @@ let test_symbolic_init () =
       Alcotest.(check int) "initial state is 5" 5
         (Bv.to_int (Rtl.Smap.find "count" w.Bmc.w_initial))
   | Bmc.Holds _, _ -> Alcotest.fail "expected violation from symbolic init"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_mono_agrees_with_incremental () =
   List.iter
@@ -104,6 +110,7 @@ let test_immediate_violation () =
   match Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 0) ~depth:4 () with
   | Bmc.Violated w, _ -> Alcotest.(check int) "length 1" 1 w.Bmc.w_length
   | Bmc.Holds _, _ -> Alcotest.fail "expected immediate violation"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 (* A two-register design with cross-register invariant: a shift register
    pair where r2 follows r1 delayed by one cycle. *)
@@ -137,6 +144,7 @@ let test_relational_invariant_holds () =
   match Bmc.check_safety ~assumes ~design:(follower ()) ~invariant:inv ~depth:8 () with
   | Bmc.Holds n, _ -> Alcotest.(check int) "full depth" 8 n
   | Bmc.Violated _, _ -> Alcotest.fail "pipeline flush property must hold"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_follower_violation_found () =
   let q = Expr.var "q" 8 in
@@ -148,6 +156,7 @@ let test_follower_violation_found () =
       Alcotest.(check int) "input chosen by solver" 0x77
         (Bv.to_int (Rtl.Smap.find "d" first.Rtl.t_inputs))
   | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 (* Regression for witness extraction on designs with many input ports over
    many frames (the extraction path is per-port-per-frame; it used to rebuild
@@ -194,6 +203,7 @@ let test_witness_many_inputs_many_frames () =
       let last = List.nth w.Bmc.w_trace (w.Bmc.w_length - 1) in
       Alcotest.(check int) "cnt is 74 at the failure cycle" 74
         (Bv.to_int (Rtl.Smap.find "cnt" last.Rtl.t_state))
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 (* ---- formula-shrinking pipeline ---- *)
 
@@ -239,7 +249,8 @@ let test_pipeline_stages_agree () =
            ~invariant:(count_ne 5) ~depth:10 ()
        with
       | Bmc.Violated w, _ -> Alcotest.(check int) (name ^ ": cex length") 6 w.Bmc.w_length
-      | Bmc.Holds n, _ -> Alcotest.failf "%s: holds up to %d but should fail" name n);
+      | Bmc.Holds n, _ -> Alcotest.failf "%s: holds up to %d but should fail" name n
+      | Bmc.Unknown _, _ -> Alcotest.failf "%s: unexpected unknown" name);
       match
         Bmc.check_safety ~simplify ~design:(counter_with_noise ())
           ~invariant:(count_ne 12) ~depth:8 ()
@@ -247,7 +258,8 @@ let test_pipeline_stages_agree () =
       | Bmc.Holds 8, _ -> ()
       | Bmc.Holds n, _ -> Alcotest.failf "%s: wrong bound %d" name n
       | Bmc.Violated w, _ ->
-          Alcotest.failf "%s: unexpected counterexample of length %d" name w.Bmc.w_length)
+          Alcotest.failf "%s: unexpected counterexample of length %d" name w.Bmc.w_length
+      | Bmc.Unknown _, _ -> Alcotest.failf "%s: unexpected unknown" name)
     stage_configs
 
 (* COI reduction drops the irrelevant register and output, and the
@@ -268,6 +280,7 @@ let test_coi_reduce () =
       Alcotest.(check bool) "witness trace covers the dropped register" true
         (Rtl.Smap.mem "junk" last.Rtl.t_state)
   | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 (* The COI-reduced run is the same CNF lazily: witnesses must be
    bit-identical to the unsimplified baseline, not just verdict-equal. *)
@@ -278,7 +291,7 @@ let test_coi_witness_bit_identical () =
         ~depth:10 ()
     with
     | Bmc.Violated w, _ -> w
-    | Bmc.Holds _, _ -> Alcotest.fail "expected violation"
+    | Bmc.Holds _, _ | Bmc.Unknown _, _ -> Alcotest.fail "expected violation"
   in
   let base = run Bmc.no_simplify in
   let coi = run { Bmc.no_simplify with Bmc.sc_coi = true } in
@@ -344,7 +357,109 @@ let prop_shortest_cex =
         Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne n) ~depth:(n + 3) ()
       with
       | Bmc.Violated w, _ -> w.Bmc.w_length = n + 1
-      | Bmc.Holds _, _ -> false)
+      | Bmc.Holds _, _ | Bmc.Unknown _, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Resource governance: Unknown outcomes and the escalation ladder.     *)
+
+let test_unknown_under_permanent_fault () =
+  (* A hook that cancels every query can only ever produce Unknown. *)
+  let limits = Bmc.limits ~fault:(fun _ -> Some Sat.Solver.Fault_cancel) () in
+  match
+    Bmc.check_safety ~limits ~design:(counter ()) ~invariant:(count_ne 10) ~depth:10 ()
+  with
+  | Bmc.Unknown u, _ ->
+      Alcotest.(check string) "reason" "cancelled"
+        (Sat.Solver.reason_to_string u.Bmc.un_reason)
+  | Bmc.Holds _, _ | Bmc.Violated _, _ -> Alcotest.fail "fault hook did not fire"
+
+let test_escalate_converges () =
+  (* A runner that gives up twice and then decides: the ladder must retry
+     with grown budgets and stop at the first decided attempt. *)
+  let starve = ref 2 in
+  let result, attempts =
+    Bmc.Escalate.run
+      ~limits:(Bmc.limits ~budget:(Sat.Solver.budget ~conflicts:4 ()) ())
+      ~simplify:Bmc.default_simplify ~mono:false
+      ~unknown_of:(function `Unknown -> Some "gave up" | `Decided -> None)
+      (fun _cfg ->
+        if !starve > 0 then begin
+          decr starve;
+          `Unknown
+        end
+        else `Decided)
+  in
+  (match result with
+  | `Decided -> ()
+  | `Unknown -> Alcotest.fail "never decided");
+  Alcotest.(check int) "three attempts" 3 (List.length attempts);
+  let caps =
+    List.map
+      (fun a ->
+        match a.Bmc.Escalate.at_budget.Sat.Solver.max_conflicts with
+        | Some c -> c
+        | None -> max_int)
+      attempts
+  in
+  (match caps with
+  | [ a; b; c ] -> Alcotest.(check bool) "budgets grow" true (a < b && b < c)
+  | _ -> Alcotest.fail "expected three budgets");
+  match List.rev attempts with
+  | last :: earlier ->
+      Alcotest.(check bool) "last attempt decided" true
+        (last.Bmc.Escalate.at_reason = None);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool) "earlier attempts carry a reason" true
+            (a.Bmc.Escalate.at_reason <> None))
+        earlier
+  | [] -> Alcotest.fail "no attempts logged"
+
+let test_escalate_gives_up_at_max_attempts () =
+  let calls = ref 0 in
+  let (), attempts =
+    Bmc.Escalate.run
+      ~policy:{ Bmc.Escalate.default_policy with max_attempts = 3 }
+      ~limits:(Bmc.limits ~budget:(Sat.Solver.budget ~conflicts:1 ()) ())
+      ~simplify:Bmc.default_simplify ~mono:false
+      ~unknown_of:(fun () -> Some "still unknown")
+      (fun _ -> incr calls)
+  in
+  Alcotest.(check int) "capped attempts" 3 (List.length attempts);
+  Alcotest.(check int) "runner called exactly that often" 3 !calls
+
+let test_escalate_recovers_serial_verdict () =
+  (* check_safety starved by a transient fault (first two queries cancel)
+     converges to the unlimited run's verdict through the ladder. *)
+  let reference =
+    Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 5) ~depth:8 ()
+  in
+  let remaining = ref 2 in
+  let hook _ =
+    if !remaining > 0 then begin
+      decr remaining;
+      Some Sat.Solver.Fault_cancel
+    end
+    else None
+  in
+  let (outcome, _), attempts =
+    Bmc.Escalate.run
+      ~limits:(Bmc.limits ~fault:hook ())
+      ~simplify:Bmc.default_simplify ~mono:false
+      ~unknown_of:(fun (o, _) ->
+        match o with
+        | Bmc.Unknown u -> Some (Sat.Solver.reason_to_string u.Bmc.un_reason)
+        | Bmc.Holds _ | Bmc.Violated _ -> None)
+      (fun cfg ->
+        Bmc.check_safety ~limits:cfg.Bmc.Escalate.ec_limits
+          ~simplify:cfg.Bmc.Escalate.ec_simplify ~design:(counter ())
+          ~invariant:(count_ne 5) ~depth:8 ())
+  in
+  Alcotest.(check bool) "escalated at least once" true (List.length attempts >= 2);
+  match (reference, outcome) with
+  | (Bmc.Violated a, _), Bmc.Violated b ->
+      Alcotest.(check int) "same witness length" a.Bmc.w_length b.Bmc.w_length
+  | _ -> Alcotest.fail "escalation did not recover the serial verdict"
 
 let suite =
   [
@@ -365,5 +480,9 @@ let suite =
     ("bmc.coi_witness_bit_identical", `Quick, test_coi_witness_bit_identical);
     ("bmc.mono_pipeline_agrees", `Quick, test_mono_pipeline_agrees);
     ("bmc.simp_stats", `Quick, test_simp_stats_sanity);
+    ("bmc.unknown_under_fault", `Quick, test_unknown_under_permanent_fault);
+    ("bmc.escalate_converges", `Quick, test_escalate_converges);
+    ("bmc.escalate_max_attempts", `Quick, test_escalate_gives_up_at_max_attempts);
+    ("bmc.escalate_recovers", `Quick, test_escalate_recovers_serial_verdict);
     QCheck_alcotest.to_alcotest prop_shortest_cex;
   ]

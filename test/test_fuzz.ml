@@ -248,6 +248,7 @@ let test_bmc_certify_holds () =
   | Bmc.Holds 4, _ -> ()
   | Bmc.Violated _, _ -> Alcotest.fail "trivially true invariant violated"
   | Bmc.Holds d, _ -> Alcotest.failf "unexpected bound %d" d
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
 
 let test_bmc_certify_engine_counts () =
   let e = Designs.Registry.find "accum" in
@@ -271,6 +272,28 @@ let test_bmc_certify_engine_counts () =
       (* Reachable-state dependent; accept Holds but the run must not have
          raised Certification_failed to get here. *)
       ()
+  | Bmc.Unknown _, _ -> Alcotest.fail "unexpected unknown"
+
+(* ---- fault-injection oracle ---- *)
+
+let test_fault_injection_oracle () =
+  (* On the healthy stack the oracle must hold across seeds: faults only
+     ever yield Unknown, never a flipped verdict, and escalation recovers
+     the reference verdict from a starved budget. *)
+  for seed = 0 to 4 do
+    let rand = Random.State.make [| 0xFA; seed |] in
+    let d = Fuzz.Gen.design rand in
+    match Fuzz.Oracle.fault_injection ~rate:0.05 ~depth:3 rand d with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "seed %d: %s\n%s" seed msg (Fuzz.design_to_string d)
+  done
+
+let test_fault_injection_oracle_certified () =
+  let rand = Random.State.make [| 0xFA; 99 |] in
+  let d = Fuzz.Gen.design rand in
+  match Fuzz.Oracle.fault_injection ~cert:true ~rate:0.05 ~depth:3 rand d with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "certified run: %s" msg
 
 let suite =
   [
@@ -278,6 +301,8 @@ let suite =
     ("fuzz.gen_true_invariant", `Quick, test_gen_true_invariant_is_true);
     ("fuzz.oracles_agree", `Slow, test_oracles_agree);
     ("fuzz.oracles_agree_certified", `Slow, test_oracles_agree_certified);
+    ("fuzz.fault_injection", `Slow, test_fault_injection_oracle);
+    ("fuzz.fault_injection_certified", `Slow, test_fault_injection_oracle_certified);
     ("fuzz.dimacs_certified", `Quick, test_dimacs_fuzz_certified);
     ("fuzz.shrink_converges", `Quick, test_shrink_converges);
     ("fuzz.shrink_no_op", `Quick, test_shrink_keeps_failure);

@@ -64,6 +64,9 @@ let verdict_to_string r =
   | Qed.Checks.Fail f ->
       Printf.sprintf "detected@%d:%s" f.Qed.Checks.witness.Bmc.w_length
         (Qed.Checks.failure_kind_to_string f.Qed.Checks.kind)
+  | Qed.Checks.Unknown u ->
+      Printf.sprintf "unknown@%d:%s" u.Qed.Checks.u_bound
+        (Sat.Solver.reason_to_string u.Qed.Checks.u_reason)
 
 let well_formed v =
   let is_int s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s in

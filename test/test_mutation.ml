@@ -86,7 +86,8 @@ let test_stuck_arch_reg_is_uniform_escape () =
   let report = Qed.Checks.gqed mutant accum.Entry.iface ~bound:6 in
   (match report.Qed.Checks.verdict with
   | Qed.Checks.Pass _ -> ()
-  | Qed.Checks.Fail _ -> Alcotest.fail "uniform bug unexpectedly flagged");
+  | Qed.Checks.Fail _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "uniform bug unexpectedly flagged");
   (* Brute force confirms the mutant is transactionally deterministic, so
      the G-QED pass is the sound answer. *)
   let alphabet =
@@ -117,7 +118,8 @@ let test_stuck_valid_pipeline_caught_by_sa () =
   | Qed.Checks.Fail f ->
       Alcotest.(check string) "kind" "sa-response"
         (Qed.Checks.failure_kind_to_string f.Qed.Checks.kind)
-  | Qed.Checks.Pass _ -> Alcotest.fail "SA missed the dropped responses"
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "SA missed the dropped responses"
 
 let test_hidden_state_ablation_on_suite_design () =
   (* The hidden-state mutant of the accumulator: stored state corrupted,
@@ -135,11 +137,13 @@ let test_hidden_state_ablation_on_suite_design () =
   | Qed.Checks.Fail f ->
       Alcotest.(check string) "kind" "gfc-state"
         (Qed.Checks.failure_kind_to_string f.Qed.Checks.kind)
-  | Qed.Checks.Pass _ -> Alcotest.fail "full G-QED missed hidden-state mutant");
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "full G-QED missed hidden-state mutant");
   let ablated = Qed.Checks.gqed_output_only mutant accum.Entry.iface ~bound:6 in
   (match ablated.Qed.Checks.verdict with
   | Qed.Checks.Pass _ -> ()
-  | Qed.Checks.Fail _ -> Alcotest.fail "output-only unexpectedly caught state corruption");
+  | Qed.Checks.Fail _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "output-only unexpectedly caught state corruption");
   (* CRV with the golden model also catches it (the conventional flow can
      see it, given its full reference model). *)
   let crv =
@@ -157,7 +161,8 @@ let test_hidden_output_caught_by_gqed () =
   let report = Qed.Checks.gqed mutant accum.Entry.iface ~bound:6 in
   match report.Qed.Checks.verdict with
   | Qed.Checks.Fail _ -> ()
-  | Qed.Checks.Pass _ -> Alcotest.fail "G-QED missed hidden-output mutant"
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "G-QED missed hidden-output mutant"
 
 let test_rare_mutant_escapes_crv_but_not_gqed () =
   (* The flagship contrast: a rare-coincidence interference bug. Random
@@ -174,7 +179,8 @@ let test_rare_mutant_escapes_crv_but_not_gqed () =
   | Qed.Checks.Fail f ->
       Alcotest.(check bool) "genuine" true
         (Qed.Theory.witness_is_genuine mutant accum.Entry.iface f)
-  | Qed.Checks.Pass _ -> Alcotest.fail "G-QED missed the rare interference bug");
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "G-QED missed the rare interference bug");
   (* CRV detection is a matter of luck; across a handful of seeds at a
      modest budget, at least one seed should miss it (if every seed caught
      it instantly the bug would not be "rare"). *)
@@ -205,7 +211,8 @@ let test_rare_state_mutant_gqed () =
   | Qed.Checks.Fail f ->
       Alcotest.(check string) "state kind" "gfc-state"
         (Qed.Checks.failure_kind_to_string f.Qed.Checks.kind)
-  | Qed.Checks.Pass _ -> Alcotest.fail "G-QED missed the rare state bug"
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "G-QED missed the rare state bug"
 
 let test_flow_catches_init_corrupt () =
   (* The documented-reset stage of the flow catches corrupted arch resets. *)
@@ -220,7 +227,8 @@ let test_flow_catches_init_corrupt () =
   | Qed.Checks.Fail f ->
       Alcotest.(check string) "kind" "reset-value"
         (Qed.Checks.failure_kind_to_string f.Qed.Checks.kind)
-  | Qed.Checks.Pass _ -> Alcotest.fail "flow missed the corrupted reset"
+  | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
+      Alcotest.fail "flow missed the corrupted reset"
 
 let test_apply_unknown_target () =
   let m =
@@ -263,7 +271,8 @@ let prop_flow_failures_are_genuine =
       | Qed.Checks.Pass _ -> true
       | Qed.Checks.Fail f ->
           ignore m;
-          Qed.Theory.witness_is_genuine mutant e.Entry.iface f)
+          Qed.Theory.witness_is_genuine mutant e.Entry.iface f
+      | Qed.Checks.Unknown _ -> false)
 
 (* Subsumption: on non-interfering designs, any bug A-QED catches must
    also be caught by the G-QED flow (the paper's "G-QED subsumes A-QED"
@@ -277,11 +286,11 @@ let test_gqed_subsumes_aqed () =
           let bound = e.Entry.rec_bound in
           let aqed = Qed.Checks.aqed_fc mutant e.Entry.iface ~bound in
           match aqed.Qed.Checks.verdict with
-          | Qed.Checks.Pass _ -> ()
+          | Qed.Checks.Pass _ | Qed.Checks.Unknown _ -> ()
           | Qed.Checks.Fail _ -> (
               match (Qed.Checks.flow mutant e.Entry.iface ~bound).Qed.Checks.verdict with
               | Qed.Checks.Fail _ -> ()
-              | Qed.Checks.Pass _ ->
+              | Qed.Checks.Pass _ | Qed.Checks.Unknown _ ->
                   Alcotest.failf "%s/%s: A-QED caught it but the G-QED flow missed it"
                     name m.Mutation.id))
         (Mutation.mutants ~per_operator_limit:1 e.Entry.design))

@@ -87,6 +87,61 @@ let prop_deterministic_across_jobs =
       let serial = List.map f xs in
       Par.map ~jobs f xs = serial)
 
+(* ------------------------------------------------------------------ *)
+(* Governed fan-out: per-task cancellation tokens, watchdog deadlines,   *)
+(* and first-hit sibling cancellation.                                   *)
+
+let test_map_governed_plain () =
+  let results = Par.map_governed ~jobs:4 (fun _token i -> i * 3) [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int))
+    "values in order" [ 3; 6; 9; 12 ]
+    (List.map (fun (r, _) -> match r with Ok v -> v | Error _ -> -1) results)
+
+(* A cooperative "hung" task: spins until its token is set. The 10 s guard
+   turns a broken watchdog into a test failure instead of a CI hang. *)
+let spin_until_cancelled token =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if Par.Cancel.is_set token then `Cancelled
+    else if Unix.gettimeofday () -. t0 > 10.0 then `Timed_out
+    else go ()
+  in
+  go ()
+
+let test_watchdog_cancels_hung_task () =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Par.map_governed ~jobs:2 ~deadline:0.1
+      (fun token tag -> if tag = 0 then spin_until_cancelled token else `Quick_done)
+      [ 0; 1 ]
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (match results with
+  | [ (Ok a, _); (Ok b, _) ] ->
+      Alcotest.(check bool) "hung task cancelled by the watchdog" true (a = `Cancelled);
+      Alcotest.(check bool) "sibling unaffected" true (b = `Quick_done)
+  | _ -> Alcotest.fail "expected two Ok results");
+  Alcotest.(check bool) "fan-out returned promptly" true (wall < 10.0)
+
+let test_stop_when_cancels_siblings () =
+  let results =
+    Par.map_governed ~jobs:4
+      ~stop_when:(fun r -> r = `Found)
+      (fun token tag -> if tag = 1 then `Found else spin_until_cancelled token)
+      [ 0; 1; 2; 3 ]
+  in
+  let values =
+    List.map (fun (r, _) -> match r with Ok v -> v | Error _ -> `Timed_out) results
+  in
+  Alcotest.(check int) "all tasks reported" 4 (List.length values);
+  Alcotest.(check bool) "the hit was reported" true (List.mem `Found values);
+  List.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d released, not timed out" i)
+        true (v <> `Timed_out))
+    values
+
 let suite =
   [
     ("par.ordering", `Quick, test_ordering_preserved);
@@ -98,5 +153,8 @@ let suite =
     ("par.map_timed", `Quick, test_map_timed);
     ("par.more_jobs_than_tasks", `Quick, test_more_jobs_than_tasks);
     ("par.invalid_jobs", `Quick, test_invalid_jobs);
+    ("par.governed_plain", `Quick, test_map_governed_plain);
+    ("par.watchdog", `Quick, test_watchdog_cancels_hung_task);
+    ("par.stop_when", `Quick, test_stop_when_cancels_siblings);
     QCheck_alcotest.to_alcotest prop_deterministic_across_jobs;
   ]

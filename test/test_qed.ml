@@ -94,12 +94,14 @@ let pipe2_iface =
   Iface.make ~in_valid:"valid" ~out_valid:"ov" ~in_data:[ "x" ] ~out_data:[ "y" ]
     ~latency:2 ~arch_regs:[] ()
 
-let verdict_pass = function Checks.Pass _ -> true | Checks.Fail _ -> false
+let verdict_pass = function
+  | Checks.Pass _ -> true
+  | Checks.Fail _ | Checks.Unknown _ -> false
 
 let fail_kind report =
   match report.Checks.verdict with
   | Checks.Fail f -> Some f.Checks.kind
-  | Checks.Pass _ -> None
+  | Checks.Pass _ | Checks.Unknown _ -> None
 
 (* ---- correct accumulator ---- *)
 
@@ -123,7 +125,7 @@ let test_gqed_catches_hidden_op () =
         (Checks.failure_kind_to_string f.Checks.kind);
       Alcotest.(check bool) "witness genuine" true
         (Theory.witness_is_genuine (accum Hidden_op) accum_iface f)
-  | Checks.Pass _ -> Alcotest.fail "G-QED missed the hidden-op bug"
+  | Checks.Pass _ | Checks.Unknown _ -> Alcotest.fail "G-QED missed the hidden-op bug"
 
 (* ---- hidden-state state corruption: the ablation separator ---- *)
 
@@ -137,7 +139,8 @@ let test_state_conjunct_is_load_bearing () =
         (Checks.failure_kind_to_string f.Checks.kind);
       Alcotest.(check bool) "witness genuine" true
         (Theory.witness_is_genuine d accum_iface f)
-  | Checks.Pass _ -> Alcotest.fail "full G-QED missed the state-skew bug");
+  | Checks.Pass _ | Checks.Unknown _ ->
+      Alcotest.fail "full G-QED missed the state-skew bug");
   Alcotest.(check bool) "output-only misses it" true
     (verdict_pass out_only.Checks.verdict)
 
@@ -159,12 +162,12 @@ let test_pure_fn_buggy_both_fail () =
   | Checks.Fail f ->
       Alcotest.(check bool) "aqed witness genuine" true
         (Theory.witness_is_genuine d pure_iface f)
-  | Checks.Pass _ -> ());
+  | Checks.Pass _ | Checks.Unknown _ -> ());
   match g.Checks.verdict with
   | Checks.Fail f ->
       Alcotest.(check bool) "gqed witness genuine" true
         (Theory.witness_is_genuine d pure_iface f)
-  | Checks.Pass _ -> ()
+  | Checks.Pass _ | Checks.Unknown _ -> ()
 
 (* ---- pipeline + single-action ---- *)
 
@@ -185,7 +188,7 @@ let test_sa_catches_dropped_response () =
         (Checks.failure_kind_to_string f.Checks.kind);
       Alcotest.(check bool) "witness genuine" true
         (Theory.witness_is_genuine d pipe2_iface f)
-  | Checks.Pass _ -> Alcotest.fail "SA missed the dropped response"
+  | Checks.Pass _ | Checks.Unknown _ -> Alcotest.fail "SA missed the dropped response"
 
 (* ---- brute-force agreement (bounded soundness/completeness) ---- *)
 
@@ -258,7 +261,7 @@ let test_stability_catches_idle_drift () =
         (Checks.failure_kind_to_string f.Checks.kind);
       Alcotest.(check bool) "witness genuine" true
         (Theory.witness_is_genuine d accum_iface f)
-  | Checks.Pass _ -> Alcotest.fail "stability missed the idle drift"
+  | Checks.Pass _ | Checks.Unknown _ -> Alcotest.fail "stability missed the idle drift"
 
 let test_stability_vacuous_without_arch () =
   let report = Checks.stability_check (pure_fn ~buggy:false) pure_iface ~bound:6 in
@@ -288,7 +291,8 @@ let test_reset_check_pass_and_fail () =
         (Checks.failure_kind_to_string f.Checks.kind);
       Alcotest.(check bool) "witness genuine" true
         (Theory.witness_is_genuine bad_design accum_iface_documented f)
-  | Checks.Pass _ -> Alcotest.fail "reset check missed the corrupted reset"
+  | Checks.Pass _ | Checks.Unknown _ ->
+      Alcotest.fail "reset check missed the corrupted reset"
 
 let test_flow_first_failure_wins () =
   (* The drifting accumulator fails the stability stage of the flow (the
@@ -299,7 +303,7 @@ let test_flow_first_failure_wins () =
   | Checks.Fail f ->
       Alcotest.(check string) "kind" "stability"
         (Checks.failure_kind_to_string f.Checks.kind)
-  | Checks.Pass _ -> Alcotest.fail "flow missed the drift");
+  | Checks.Pass _ | Checks.Unknown _ -> Alcotest.fail "flow missed the drift");
   (* And the flow passes the correct design end to end. *)
   let ok = Checks.flow (accum No_bug) accum_iface_documented ~bound:6 in
   Alcotest.(check bool) "flow passes correct design" true (verdict_pass ok.Checks.verdict)
@@ -366,6 +370,59 @@ let test_gqed_pipeline_and_mono_agree () =
   agree "correct accum" (accum No_bug) true;
   agree "hidden-op accum" (accum Hidden_op) false
 
+(* ------------------------------------------------------------------ *)
+(* Resource governance at the check level: Unknown verdicts and the      *)
+(* escalating runner.                                                    *)
+
+let test_limits_produce_unknown () =
+  let limits = Bmc.limits ~fault:(fun _ -> Some Sat.Solver.Fault_cancel) () in
+  let r = Checks.gqed ~limits (accum No_bug) accum_iface ~bound:4 in
+  match r.Checks.verdict with
+  | Checks.Unknown u ->
+      Alcotest.(check string) "reason" "cancelled"
+        (Sat.Solver.reason_to_string u.Checks.u_reason);
+      Alcotest.(check bool) "no attempts without escalation" true
+        (r.Checks.attempts = [])
+  | Checks.Pass _ | Checks.Fail _ -> Alcotest.fail "fault hook did not fire"
+
+let test_run_escalating_converges () =
+  (* The first two queries are cancelled by a transient fault; the ladder
+     must retry until it reproduces the unlimited verdict — same failure
+     kind, same witness length — and log the whole path. *)
+  let reference = Checks.gqed (accum Hidden_op) accum_iface ~bound:4 in
+  let remaining = ref 2 in
+  let hook _ =
+    if !remaining > 0 then begin
+      decr remaining;
+      Some Sat.Solver.Fault_cancel
+    end
+    else None
+  in
+  let r =
+    Checks.run_escalating
+      ~limits:(Bmc.limits ~fault:hook ())
+      Checks.Gqed (accum Hidden_op) accum_iface ~bound:4
+  in
+  Alcotest.(check bool) "escalated at least once" true
+    (List.length r.Checks.attempts >= 2);
+  match (reference.Checks.verdict, r.Checks.verdict) with
+  | Checks.Fail a, Checks.Fail b ->
+      Alcotest.(check string) "same failure kind"
+        (Checks.failure_kind_to_string a.Checks.kind)
+        (Checks.failure_kind_to_string b.Checks.kind);
+      Alcotest.(check int) "same witness length" a.Checks.witness.Bmc.w_length
+        b.Checks.witness.Bmc.w_length
+  | _ -> Alcotest.fail "escalation did not recover the reference verdict"
+
+let test_run_escalating_no_limits_is_run () =
+  (* With unbounded limits the escalating runner is exactly [run]: a single
+     attempt and the same verdict. *)
+  let r = Checks.run_escalating Checks.Gqed (accum No_bug) accum_iface ~bound:4 in
+  (match r.Checks.verdict with
+  | Checks.Pass _ -> ()
+  | Checks.Fail _ | Checks.Unknown _ -> Alcotest.fail "expected a pass");
+  Alcotest.(check int) "one attempt" 1 (List.length r.Checks.attempts)
+
 let suite =
   [
     ("qed.gqed_correct_accum", `Quick, test_gqed_passes_on_correct_accum);
@@ -387,4 +444,7 @@ let suite =
     ("qed.flow", `Quick, test_flow_first_failure_wins);
     ("qed.iface_validation", `Quick, test_iface_validation);
     ("qed.decomposition", `Quick, test_decomposition);
+    ("qed.limits_unknown", `Quick, test_limits_produce_unknown);
+    ("qed.escalate_converges", `Quick, test_run_escalating_converges);
+    ("qed.escalate_no_limits", `Quick, test_run_escalating_no_limits_is_run);
   ]

@@ -182,7 +182,8 @@ let prop_matches_brute_force =
       let expected = brute_force n clauses in
       match Solver.solve s with
       | Solver.Sat -> expected && check_model s clauses
-      | Solver.Unsat -> not expected)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown _ -> false)
 
 let prop_assumptions_match_brute_force =
   QCheck.Test.make ~count:300 ~name:"solve-under-assumptions agrees with brute force"
@@ -201,7 +202,8 @@ let prop_assumptions_match_brute_force =
       | Solver.Sat ->
           expected && check_model s clauses
           && List.for_all (Solver.value s) assumptions
-      | Solver.Unsat -> not expected)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown _ -> false)
 
 let prop_incremental_consistency =
   (* Solving twice in a row gives the same answer; adding a model-blocking
@@ -415,6 +417,7 @@ let test_preprocess_matches_plain () =
           Alcotest.fail "model does not satisfy the original clauses"
     | Solver.Unsat ->
         if expected then Alcotest.fail "preprocessed solver said UNSAT, brute force SAT"
+    | Solver.Unknown _ -> Alcotest.fail "unexpected unknown without a budget"
   done
 
 (* Same, but incrementally: preprocess between clause batches and solve
@@ -441,6 +444,7 @@ let test_preprocess_incremental () =
           Alcotest.fail "incremental preprocess: bad model"
     | Solver.Unsat ->
         if expected then Alcotest.fail "incremental preprocess: UNSAT vs brute SAT"
+    | Solver.Unknown _ -> Alcotest.fail "unexpected unknown without a budget"
   done
 
 (* Every preprocessing step is DRAT-logged: UNSAT verdicts after
@@ -465,8 +469,113 @@ let test_preprocess_drat_certified () =
         | Ok () -> incr certified
         | Error msg -> Alcotest.failf "DRAT certificate rejected: %s" msg
       end
+    | Solver.Unknown _ -> Alcotest.fail "unexpected unknown without a budget"
   done;
   Alcotest.(check bool) "some UNSAT instances were certified" true (!certified > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Resource governance: budgets, cancellation, fault injection, reuse.  *)
+
+(* Pigeonhole np/nh: UNSAT for np > nh, with enough real search that every
+   budget kind gets a chance to fire before the verdict. *)
+let pigeonhole np nh =
+  let s = Solver.create () in
+  let p = Array.init np (fun _ -> Array.init nh (fun _ -> Solver.new_var s)) in
+  for i = 0 to np - 1 do
+    Solver.add_clause s (List.init nh (fun h -> Lit.pos p.(i).(h)))
+  done;
+  for h = 0 to nh - 1 do
+    for i = 0 to np - 1 do
+      for j = i + 1 to np - 1 do
+        Solver.add_clause s [ Lit.neg p.(i).(h); Lit.neg p.(j).(h) ]
+      done
+    done
+  done;
+  s
+
+let expect_unknown name expected = function
+  | Solver.Unknown r ->
+      Alcotest.(check string) name
+        (Solver.reason_to_string expected)
+        (Solver.reason_to_string r)
+  | Solver.Sat | Solver.Unsat -> Alcotest.failf "%s: budget did not fire" name
+
+let test_budget_conflicts_fires () =
+  expect_unknown "conflicts" Solver.Out_of_conflicts
+    (Solver.solve ~budget:(Solver.budget ~conflicts:1 ()) (pigeonhole 6 5))
+
+let test_budget_decisions_fires () =
+  expect_unknown "decisions" Solver.Out_of_decisions
+    (Solver.solve ~budget:(Solver.budget ~decisions:1 ()) (pigeonhole 6 5))
+
+let test_budget_propagations_fires () =
+  expect_unknown "propagations" Solver.Out_of_propagations
+    (Solver.solve ~budget:(Solver.budget ~propagations:1 ()) (pigeonhole 6 5))
+
+let test_budget_seconds_fires () =
+  expect_unknown "seconds" Solver.Out_of_time
+    (Solver.solve ~budget:(Solver.budget ~seconds:1e-9 ()) (pigeonhole 6 5))
+
+let test_budget_learnt_mb_fires () =
+  expect_unknown "learnt_mb" Solver.Out_of_memory_budget
+    (Solver.solve ~budget:(Solver.budget ~learnt_mb:1e-9 ()) (pigeonhole 6 5))
+
+let test_cancel_token_fires () =
+  let token = Solver.cancel_token () in
+  Solver.cancel token;
+  expect_unknown "cancel" Solver.Cancelled (Solver.solve ~cancel:token (pigeonhole 6 5))
+
+let test_fault_hook_fires () =
+  let s = pigeonhole 5 4 in
+  Solver.set_fault_hook s (Some (fun _ -> Some Solver.Fault_cancel));
+  expect_unknown "fault" Solver.Cancelled (Solver.solve s);
+  (* Clearing the hook restores normal operation on the same solver. *)
+  Solver.set_fault_hook s None;
+  Alcotest.(check bool) "unsat after clearing hook" true (Solver.solve s = Solver.Unsat)
+
+let test_reusable_after_unknown () =
+  (* An Unknown answer must leave the solver resumable: a follow-up call
+     with a bigger (or absent) budget reaches the real verdict. *)
+  let s = pigeonhole 6 5 in
+  (match Solver.solve ~budget:(Solver.budget ~conflicts:1 ()) s with
+  | Solver.Unknown _ -> ()
+  | Solver.Sat | Solver.Unsat -> Alcotest.fail "expected unknown on the starved call");
+  Alcotest.(check bool) "unsat on resume" true (Solver.solve s = Solver.Unsat);
+  (* And a SAT instance still produces a usable model after an Unknown.
+     An implication chain with no unit clause forces at least one decision,
+     so the cancelled search loop is guaranteed to be entered. *)
+  let s = Solver.create () in
+  let vs = Array.init 30 (fun _ -> Solver.new_var s) in
+  for i = 0 to 28 do
+    Solver.add_clause s [ Lit.neg vs.(i); Lit.pos vs.(i + 1) ]
+  done;
+  let token = Solver.cancel_token () in
+  Solver.cancel token;
+  (match Solver.solve ~cancel:token s with
+  | Solver.Unknown _ -> ()
+  | Solver.Sat | Solver.Unsat -> Alcotest.fail "expected cancellation");
+  Alcotest.(check bool) "sat on resume" true (Solver.solve s = Solver.Sat);
+  for i = 0 to 28 do
+    Alcotest.(check bool) "model respects implication" true
+      ((not (Solver.value s (Lit.pos vs.(i)))) || Solver.value s (Lit.pos vs.(i + 1)))
+  done
+
+let test_budget_scale () =
+  let b = Solver.budget_scale (Solver.budget ~conflicts:10 ~seconds:2.0 ()) 4.0 in
+  Alcotest.(check (option int)) "conflicts scaled" (Some 40) b.Solver.max_conflicts;
+  (match b.Solver.max_seconds with
+  | Some s -> Alcotest.(check bool) "seconds scaled" true (abs_float (s -. 8.0) < 1e-9)
+  | None -> Alcotest.fail "seconds dropped");
+  Alcotest.(check (option int)) "absent stays absent" None b.Solver.max_decisions
+
+let test_seed_preserves_verdict () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d" seed)
+        true
+        (Solver.solve ~seed (pigeonhole 5 4) = Solver.Unsat))
+    [ 0; 1; 42; 1337 ]
 
 let suite =
   let q = QCheck_alcotest.to_alcotest in
@@ -500,6 +609,16 @@ let suite =
     ("simplify.preprocess_matches_plain", `Quick, test_preprocess_matches_plain);
     ("simplify.preprocess_incremental", `Quick, test_preprocess_incremental);
     ("simplify.preprocess_drat", `Quick, test_preprocess_drat_certified);
+    ("govern.conflicts", `Quick, test_budget_conflicts_fires);
+    ("govern.decisions", `Quick, test_budget_decisions_fires);
+    ("govern.propagations", `Quick, test_budget_propagations_fires);
+    ("govern.seconds", `Quick, test_budget_seconds_fires);
+    ("govern.learnt_mb", `Quick, test_budget_learnt_mb_fires);
+    ("govern.cancel", `Quick, test_cancel_token_fires);
+    ("govern.fault_hook", `Quick, test_fault_hook_fires);
+    ("govern.reuse_after_unknown", `Quick, test_reusable_after_unknown);
+    ("govern.budget_scale", `Quick, test_budget_scale);
+    ("govern.seed_verdict", `Quick, test_seed_preserves_verdict);
     q prop_matches_brute_force;
     q prop_assumptions_match_brute_force;
     q prop_incremental_consistency;

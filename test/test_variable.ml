@@ -11,7 +11,9 @@ let sdiv = Registry.find "serial_div"
 let sgcd = Registry.find "gcd_unit"
 let smac = Registry.find "serial_mac"
 
-let verdict_pass = function Checks.Pass _ -> true | Checks.Fail _ -> false
+let verdict_pass = function
+  | Checks.Pass _ -> true
+  | Checks.Fail _ | Checks.Unknown _ -> false
 
 (* Drive a variable-latency design: offer each operand until accepted, then
    wait for the response; returns the list of responses. *)
@@ -117,7 +119,7 @@ let test_aqed_false_alarm_on_serial_mac () =
   | Checks.Fail f ->
       Alcotest.(check string) "kind" "fc-output"
         (Checks.failure_kind_to_string f.Checks.kind)
-  | Checks.Pass _ -> Alcotest.fail "expected the A-QED false alarm"
+  | Checks.Pass _ | Checks.Unknown _ -> Alcotest.fail "expected the A-QED false alarm"
 
 let test_gqed_catches_hidden_output_on_divider () =
   let mutant =
@@ -133,7 +135,8 @@ let test_gqed_catches_hidden_output_on_divider () =
         (Checks.failure_kind_to_string f.Checks.kind);
       Alcotest.(check bool) "witness genuine" true
         (Qed.Theory.witness_is_genuine mutant sdiv.Entry.iface f)
-  | Checks.Pass _ -> Alcotest.fail "G-QED missed the divider's hidden-output bug"
+  | Checks.Pass _ | Checks.Unknown _ ->
+      Alcotest.fail "G-QED missed the divider's hidden-output bug"
 
 let test_sa_catches_stuck_done () =
   let mutant =
@@ -147,7 +150,8 @@ let test_sa_catches_stuck_done () =
   | Checks.Fail f ->
       Alcotest.(check string) "kind" "sa-response"
         (Checks.failure_kind_to_string f.Checks.kind)
-  | Checks.Pass _ -> Alcotest.fail "SA missed the never-responding divider"
+  | Checks.Pass _ | Checks.Unknown _ ->
+      Alcotest.fail "SA missed the never-responding divider"
 
 let test_crv_detects_divider_datapath_bug () =
   let mutant =
