@@ -8,7 +8,13 @@
      dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
      dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob micro.
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 micro.
+
+   --portfolio N sets the worker count of the p1 clause-sharing portfolio
+   experiment (default 4; clamped so --jobs x --portfolio never exceeds
+   the machine's domain count); --no-share turns off learnt-clause
+   sharing between its workers. p1 exits nonzero if the portfolio lane
+   flips any verdict of the single-solver lane.
 
    --designs d1,d2 restricts s1 to the named designs; --no-simplify runs
    the solver-cost experiments (t3, f1, a2) with the formula-shrinking
@@ -56,6 +62,10 @@ let max_conflicts : int option ref = ref None
 let escalate = ref true
 let unknown_verdicts = Atomic.make 0
 let escalation_attempts = Atomic.make 0
+
+(* --portfolio / --no-share configure the p1 experiment's parallel lane. *)
+let portfolio_width = ref 4
+let portfolio_share = ref true
 
 let bench_limits () =
   match (!timeout, !max_conflicts) with
@@ -142,12 +152,28 @@ type json_rob_row = {
   jr_recovered : bool;
 }
 
+(* One P1 matrix cell: the same check on the single-solver lane and the
+   portfolio lane, with the portfolio's sharing counters. *)
+type json_portfolio_row = {
+  jpf_design : string;
+  jpf_case : string; (* "correct" or the mutant label *)
+  jpf_verdict_single : string;
+  jpf_verdict_portfolio : string;
+  jpf_time_single_s : float;
+  jpf_time_portfolio_s : float;
+  jpf_exported : int;
+  jpf_imported : int;
+}
+
 let json_experiments : json_experiment list ref = ref []
 let json_solver_rows : json_solver_row list ref = ref []
 let json_simplify_rows : json_simplify_row list ref = ref []
 let json_stage_rows : json_stage_row list ref = ref []
 let json_rob_rows : json_rob_row list ref = ref []
+let json_portfolio_rows : json_portfolio_row list ref = ref []
 let json_simplify_geomean = ref nan
+let json_portfolio_geomean = ref nan
+let json_portfolio_effective = ref 1
 
 (* Fault-induced verdict flips detected by rob; like pipeline verdict
    mismatches, a nonzero count fails the whole bench run. *)
@@ -157,11 +183,15 @@ let rob_flips = ref 0
    nonzero count fails the whole bench run (CI perf-smoke trips on it). *)
 let verdict_mismatches = ref 0
 
+(* Verdict flips between the single-solver and portfolio lanes detected by
+   P1; a nonzero count fails the whole bench run. *)
+let portfolio_flips = ref 0
+
 let write_json path =
   let buf = Buffer.create 4096 in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gqed-bench/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"gqed-bench/3\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
@@ -199,6 +229,7 @@ let write_json path =
            "    {\"design\": %S, \"bound\": %d, \"verdict\": %S, \"time_s\": %.3f, \
             \"cnf_vars\": %d, \"cnf_clauses\": %d, \"conflicts\": %d, \"decisions\": %d, \
             \"propagations\": %d, \"restarts\": %d, \"learnt_clauses\": %d, \
+            \"clauses_exported\": %d, \"clauses_imported\": %d, \
             \"simp\": {\"queries\": %d, \"coi_regs_before\": %d, \"coi_regs_after\": %d, \
             \"rewrite_hits\": %d, \"clauses_emitted\": %d, \"clauses_plain\": %d, \
             \"single_pol_nodes\": %d, \"pre_subsumed\": %d, \"pre_strengthened\": %d, \
@@ -206,7 +237,9 @@ let write_json path =
             \"t_cnf_s\": %.3f}}%s\n"
            r.js_design r.js_bound r.js_verdict r.js_time_s r.js_cnf_vars r.js_cnf_clauses
            st.Sat.Solver.conflicts st.Sat.Solver.decisions st.Sat.Solver.propagations
-           st.Sat.Solver.restarts st.Sat.Solver.learnt_clauses sp.Bmc.Engine.ss_queries
+           st.Sat.Solver.restarts st.Sat.Solver.learnt_clauses
+           st.Sat.Solver.clauses_exported st.Sat.Solver.clauses_imported
+           sp.Bmc.Engine.ss_queries
            sp.Bmc.Engine.ss_coi_regs_before sp.Bmc.Engine.ss_coi_regs_after
            sp.Bmc.Engine.ss_rewrite_hits sp.Bmc.Engine.ss_clauses_emitted
            sp.Bmc.Engine.ss_clauses_plain sp.Bmc.Engine.ss_single_pol
@@ -264,6 +297,39 @@ let write_json path =
            r.jr_design r.jr_rate r.jr_trials r.jr_unknown r.jr_flips r.jr_recovered
            (if i = List.length rrows - 1 then "" else ",")))
     rrows;
+  Buffer.add_string buf "    ]\n  },\n";
+  Buffer.add_string buf "  \"portfolio\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"requested_workers\": %d,\n" !portfolio_width);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"effective_workers\": %d,\n" !json_portfolio_effective);
+  Buffer.add_string buf (Printf.sprintf "    \"share\": %b,\n" !portfolio_share);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"verdict_flips\": %d,\n" !portfolio_flips);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_geo_mean\": %s,\n"
+       (if Float.is_nan !json_portfolio_geomean then "null"
+        else Printf.sprintf "%.4f" !json_portfolio_geomean));
+  let prows = !json_portfolio_rows in
+  let p_exp = List.fold_left (fun a r -> a + r.jpf_exported) 0 prows in
+  let p_imp = List.fold_left (fun a r -> a + r.jpf_imported) 0 prows in
+  Buffer.add_string buf (Printf.sprintf "    \"clauses_exported\": %d,\n" p_exp);
+  Buffer.add_string buf (Printf.sprintf "    \"clauses_imported\": %d,\n" p_imp);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"share_hit_rate\": %s,\n"
+       (if p_exp = 0 then "null"
+        else Printf.sprintf "%.4f" (float_of_int p_imp /. float_of_int p_exp)));
+  Buffer.add_string buf "    \"matrix\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"design\": %S, \"case\": %S, \"verdict_single\": %S, \
+            \"verdict_portfolio\": %S, \"time_single_s\": %.3f, \
+            \"time_portfolio_s\": %.3f, \"exported\": %d, \"imported\": %d}%s\n"
+           r.jpf_design r.jpf_case r.jpf_verdict_single r.jpf_verdict_portfolio
+           r.jpf_time_single_s r.jpf_time_portfolio_s r.jpf_exported r.jpf_imported
+           (if i = List.length prows - 1 then "" else ",")))
+    prows;
   Buffer.add_string buf "    ]\n  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1156,6 +1222,126 @@ let rob () =
   Printf.printf "  fan-out wall clock: %.2fs (a hung query no longer blocks the run)\n" wall
 
 (* ------------------------------------------------------------------ *)
+(* P1: clause-sharing portfolio SAT. Every cell of a design x mutant     *)
+(* matrix is checked twice — single-solver lane vs portfolio lane — and  *)
+(* the verdicts must agree exactly. Cells run sequentially so the        *)
+(* per-cell wall-clock comparison is not perturbed by sibling cells.     *)
+
+let p1 () =
+  header "P1  Clause-sharing portfolio SAT: diversified workers race per query";
+  let requested = !portfolio_width in
+  (* The portfolio is p1's only parallelism (cells run sequentially), so
+     the jobs x portfolio product reduces to the portfolio width here. *)
+  let effective, clamped = Par.clamp_inner ~jobs:1 ~inner:requested in
+  json_portfolio_effective := effective;
+  if clamped then
+    Printf.printf
+      "bench: warning: --portfolio %d exceeds %d available core(s); portfolio clamped \
+       to %d\n"
+      requested (Par.default_jobs ()) effective;
+  Printf.printf
+    "Each SAT query in the portfolio lane races %d diversified CDCL worker(s)%s.\n\
+     Verdicts are compared cell-by-cell against the single-solver lane; any\n\
+     flip fails the whole bench run (exit 1).\n\n"
+    effective
+    (if !portfolio_share && effective > 1 then ", sharing learnt clauses"
+     else ", no clause sharing");
+  let pconfig = Sat.Portfolio.config ~workers:effective ~share:!portfolio_share () in
+  let single_limits = bench_limits () in
+  let portfolio_limits = { single_limits with Bmc.l_portfolio = Some pconfig } in
+  (* Default subset: the hardest suite members (deep recommended bounds or
+     wide state), where per-query solver time dominates the check. *)
+  let default_names =
+    [ "accum"; "maxtrack"; "seqdet"; "hamming74"; "graycodec"; "movavg4" ]
+  in
+  let entries =
+    match !design_filter with
+    | Some _ -> s1_entries ()
+    | None -> List.filter (fun e -> List.mem e.Entry.name default_names) Registry.all
+  in
+  Printf.printf "%-12s %-18s %-16s %-16s %7s %7s %7s %9s %9s\n" "design" "case" "single"
+    "portfolio" "t1(s)" "tN(s)" "speedup" "exported" "imported";
+  let speedups = ref [] in
+  List.iter
+    (fun e ->
+      let bound = e.Entry.rec_bound in
+      let cells =
+        ("correct", e.Entry.design)
+        :: List.map
+             (fun (m, mutant) ->
+               ( Printf.sprintf "%s:%s"
+                   (Mutation.operator_to_string m.Mutation.operator)
+                   m.Mutation.target,
+                 mutant ))
+             (mutant_suite e)
+      in
+      List.iter
+        (fun (label, design) ->
+          let single, t_single =
+            time (fun () ->
+                record
+                  (Checks.run ~limits:single_limits Checks.Gqed design e.Entry.iface
+                     ~bound))
+          in
+          let portfolio, t_portfolio =
+            time (fun () ->
+                record
+                  (Checks.run ~limits:portfolio_limits Checks.Gqed design e.Entry.iface
+                     ~bound))
+          in
+          let vk_single = verdict_key single in
+          let vk_portfolio = verdict_key portfolio in
+          let flip = vk_single <> vk_portfolio in
+          if flip then incr portfolio_flips;
+          (* Only the correct cells feed the speedup figure: their queries
+             are the all-UNSAT deepening ladder, the hard subset. *)
+          if label = "correct" && t_portfolio > 0.0 then
+            speedups := (t_single /. t_portfolio) :: !speedups;
+          let st = portfolio.Checks.sat_stats in
+          Printf.printf "%-12s %-18s %-16s %-16s %7.2f %7.2f %7.2f %9d %9d%s\n%!"
+            e.Entry.name label vk_single vk_portfolio t_single t_portfolio
+            (if t_portfolio > 0.0 then t_single /. t_portfolio else Float.nan)
+            st.Sat.Solver.clauses_exported st.Sat.Solver.clauses_imported
+            (if flip then "  VERDICT FLIP" else "");
+          json_portfolio_rows :=
+            !json_portfolio_rows
+            @ [
+                {
+                  jpf_design = e.Entry.name;
+                  jpf_case = label;
+                  jpf_verdict_single = vk_single;
+                  jpf_verdict_portfolio = vk_portfolio;
+                  jpf_time_single_s = t_single;
+                  jpf_time_portfolio_s = t_portfolio;
+                  jpf_exported = st.Sat.Solver.clauses_exported;
+                  jpf_imported = st.Sat.Solver.clauses_imported;
+                };
+              ])
+        cells)
+    entries;
+  (match !speedups with
+  | [] -> ()
+  | ss ->
+      let geo =
+        exp (List.fold_left (fun a s -> a +. log s) 0.0 ss /. float_of_int (List.length ss))
+      in
+      json_portfolio_geomean := geo;
+      Printf.printf
+        "\nhard-query (correct-cell) wall-clock speedup, geo-mean over %d designs: %.2fx\n"
+        (List.length ss) geo;
+      if effective > 1 && geo <= 1.0 then
+        Printf.printf
+          "  note: portfolio no faster than single-solver on this machine/run\n"
+      else if effective = 1 then
+        Printf.printf
+          "  note: 1 effective worker (requested %d) — speedup comparison measures \
+           portfolio overhead only\n"
+          requested);
+  if !portfolio_flips = 0 then
+    Printf.printf "portfolio vs single verdicts: all %d cells agree\n"
+      (List.length !json_portfolio_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.    *)
 
 let micro () =
@@ -1246,7 +1432,7 @@ let experiments =
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("a1", a1); ("a2", a2); ("a3", a3); ("s1", s1);
     ("f1", f1); ("f2", f2); ("f3", f3);
-    ("rob", rob); ("micro", micro);
+    ("rob", rob); ("p1", p1); ("micro", micro);
   ]
 
 let () =
@@ -1294,6 +1480,21 @@ let () =
         exit 2
     | "--no-escalate" :: rest ->
         escalate := false;
+        parse_args acc rest
+    | "--portfolio" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some w when w >= 1 ->
+            portfolio_width := w;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --portfolio expects a positive integer";
+            exit 2
+      end
+    | [ "--portfolio" ] ->
+        prerr_endline "bench: --portfolio expects a positive integer";
+        exit 2
+    | "--no-share" :: rest ->
+        portfolio_share := false;
         parse_args acc rest
     | "--designs" :: names :: rest ->
         design_filter := Some (String.split_on_char ',' names);
@@ -1348,6 +1549,11 @@ let () =
   end;
   if !rob_flips > 0 then begin
     Printf.eprintf "bench: FAILED — %d fault-induced verdict flip(s)\n" !rob_flips;
+    exit 1
+  end;
+  if !portfolio_flips > 0 then begin
+    Printf.eprintf
+      "bench: FAILED — %d portfolio-vs-single verdict flip(s)\n" !portfolio_flips;
     exit 1
   end;
   (* Distinct exit code for "nothing wrong, but some verdicts stayed unknown

@@ -201,17 +201,53 @@ let no_escalate_flag =
           "Give up after the first undecided attempt instead of retrying with \
            exponentially grown budgets and perturbed configurations.")
 
-let limits_of ?cancel ~timeout ~max_conflicts () =
-  match (timeout, max_conflicts, cancel) with
-  | None, None, None -> Bmc.no_limits
+(* Portfolio knobs: intra-query parallelism racing diversified solvers on
+   every SAT query (see lib/sat/PORTFOLIO.md). *)
+let portfolio_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "portfolio" ] ~docv:"N"
+        ~doc:
+          "Race $(docv) diversified clause-sharing CDCL workers on every SAT \
+           query; the first decisive worker wins and its verdict is certified \
+           exactly like the single-solver lane. $(b,1) (default) keeps the \
+           plain single solver. With finite budgets and escalation on, the \
+           ladder's rungs race concurrently instead of sequentially.")
+
+let no_share_flag =
+  Arg.(
+    value & flag
+    & info [ "no-share" ]
+        ~doc:"Disable learnt-clause sharing between portfolio workers (pure race).")
+
+let deterministic_flag =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:
+          "Reproducible portfolio: no clause sharing, every worker runs to \
+           completion, lowest decided worker index wins — the same worker \
+           count and seed always give the same winner and stats.")
+
+let portfolio_config ~portfolio ~no_share ~deterministic =
+  if portfolio <= 1 then None
+  else
+    Some
+      (Sat.Portfolio.config ~workers:portfolio ~share:(not no_share)
+         ~deterministic ())
+
+let limits_of ?cancel ?portfolio ~timeout ~max_conflicts () =
+  match (timeout, max_conflicts, cancel, portfolio) with
+  | None, None, None, None -> Bmc.no_limits
   | _ ->
       Bmc.limits
         ~budget:(Sat.Solver.budget ?conflicts:max_conflicts ?seconds:timeout ())
-        ?cancel ()
+        ?cancel ?portfolio ()
 
 (* Wrap any check in the escalation policy; with unbounded limits the first
-   attempt decides and this is exactly the plain call. *)
-let with_escalation ~escalate ~limits ~simplify ~mono run1 =
+   attempt decides and this is exactly the plain call. [racing] races the
+   ladder's rungs concurrently ([jobs] wide) instead of climbing them. *)
+let with_escalation ~escalate ?(racing = false) ?jobs ~limits ~simplify ~mono run1 =
   if not escalate then run1 ~simplify ~mono ~limits
   else begin
     let unknown_of (r : Checks.report) =
@@ -219,8 +255,11 @@ let with_escalation ~escalate ~limits ~simplify ~mono run1 =
       | Checks.Unknown u -> Some (Sat.Solver.reason_to_string u.Checks.u_reason)
       | Checks.Pass _ | Checks.Fail _ -> None
     in
+    let escalate_fn =
+      if racing then Bmc.Escalate.run_racing ?jobs else Bmc.Escalate.run
+    in
     let report, attempts =
-      Bmc.Escalate.run ~limits ~simplify ~mono ~unknown_of (fun cfg ->
+      escalate_fn ~limits ~simplify ~mono ~unknown_of (fun cfg ->
           run1 ~simplify:cfg.Bmc.Escalate.ec_simplify ~mono:cfg.Bmc.Escalate.ec_mono
             ~limits:cfg.Bmc.Escalate.ec_limits)
     in
@@ -267,16 +306,38 @@ let verify_cmd =
         exit 1
   in
   let run name technique bound mutant all_mutants jobs trace vcd simplify mono simp_stats
-      timeout max_conflicts no_escalate =
+      timeout max_conflicts no_escalate portfolio no_share deterministic =
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
       exit 2
     end;
+    if portfolio < 1 then begin
+      prerr_endline "gqed: --portfolio must be a positive integer";
+      exit 2
+    end;
+    (* Never oversubscribe: the product of the outer fan-out and the
+       per-query portfolio is capped at the machine's domain count. *)
+    let portfolio =
+      let clamped, did = Par.clamp_inner ~jobs ~inner:portfolio in
+      if did then
+        Printf.eprintf
+          "gqed: warning: --jobs %d x --portfolio %d exceeds %d cores; portfolio \
+           clamped to %d\n\
+           %!"
+          jobs portfolio (Par.default_jobs ()) clamped;
+      clamped
+    in
     let e = or_die (find_design name) in
     let bound = Option.value bound ~default:e.Entry.rec_bound in
     let escalate = not no_escalate in
+    let pconfig = portfolio_config ~portfolio ~no_share ~deterministic in
+    (* With finite budgets the escalation ladder itself becomes the
+       parallelism: rungs race portfolio-wide (and drop the nested
+       per-query portfolio). With unbounded budgets the first attempt
+       decides, so the per-query clause-sharing portfolio does the work. *)
+    let racing = portfolio > 1 && (timeout <> None || max_conflicts <> None) in
     let check ?cancel technique design =
-      let limits = limits_of ?cancel ~timeout ~max_conflicts () in
+      let limits = limits_of ?cancel ?portfolio:pconfig ~timeout ~max_conflicts () in
       let run1 ~simplify ~mono ~limits =
         match technique with
         | `Gqed -> Checks.gqed ~simplify ~mono ~limits design e.Entry.iface ~bound
@@ -288,7 +349,7 @@ let verify_cmd =
         | `Stability ->
             Checks.stability_check ~simplify ~mono ~limits design e.Entry.iface ~bound
       in
-      with_escalation ~escalate ~limits ~simplify ~mono run1
+      with_escalation ~escalate ~racing ~jobs:portfolio ~limits ~simplify ~mono run1
     in
     if all_mutants then begin
       (match mutant with
@@ -351,8 +412,8 @@ let verify_cmd =
              reported verdict is the first failing stage in flow order (or the
              final G-FC report when all pass), identical to Checks.flow. *)
           let stage run1 () =
-            with_escalation ~escalate
-              ~limits:(limits_of ~timeout ~max_conflicts ())
+            with_escalation ~escalate ~racing ~jobs:portfolio
+              ~limits:(limits_of ?portfolio:pconfig ~timeout ~max_conflicts ())
               ~simplify ~mono run1
           in
           let stages =
@@ -408,7 +469,8 @@ let verify_cmd =
     Term.(
       const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
       $ jobs_arg $ trace_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
-      $ timeout_arg $ max_conflicts_arg $ no_escalate_flag)
+      $ timeout_arg $ max_conflicts_arg $ no_escalate_flag $ portfolio_arg
+      $ no_share_flag $ deterministic_flag)
 
 (* ---- mutants ---- *)
 

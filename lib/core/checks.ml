@@ -655,15 +655,16 @@ let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_lim
   | Gqed_output_only -> gqed_output_only ~simplify ~mono ~limits design iface ~bound
   | Gqed_flow -> flow ~simplify ~mono ~limits design iface ~bound
 
-let run_escalating ?policy ?(simplify = Bmc.default_simplify) ?(mono = false)
-    ?(limits = Bmc.no_limits) technique design iface ~bound =
+let run_escalating ?policy ?(racing = false) ?jobs ?(simplify = Bmc.default_simplify)
+    ?(mono = false) ?(limits = Bmc.no_limits) technique design iface ~bound =
   let unknown_of (r : report) =
     match r.verdict with
     | Unknown u -> Some (Sat.Solver.reason_to_string u.u_reason)
     | Pass _ | Fail _ -> None
   in
+  let escalate = if racing then Bmc.Escalate.run_racing ?jobs else Bmc.Escalate.run in
   let report, attempts =
-    Bmc.Escalate.run ?policy ~limits ~simplify ~mono ~unknown_of (fun cfg ->
+    escalate ?policy ~limits ~simplify ~mono ~unknown_of (fun cfg ->
         run ~simplify:cfg.Bmc.Escalate.ec_simplify ~mono:cfg.Bmc.Escalate.ec_mono
           ~limits:cfg.Bmc.Escalate.ec_limits technique design iface ~bound)
   in

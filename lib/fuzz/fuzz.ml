@@ -681,6 +681,61 @@ module Oracle = struct
                      "faults: escalation ended at %s but fault-free verdict is %s"
                      (outcome_to_string escalated)
                      (outcome_to_string reference))))
+
+  (* Portfolio invariance: the clause-sharing portfolio decides exactly the
+     single-solver verdict on every generated design, and every portfolio
+     UNSAT still replays through the DRAT checker — certification stays on,
+     so a rejected merged certificate (master proof plus imported clauses
+     in shared-clock order) surfaces through [Certification_failed]. Both
+     lanes are exercised: a sharing race and a deterministic (share-off,
+     run-to-completion) portfolio. With no budget and no cancellation the
+     portfolio must decide — [Unknown] counts as a failure here. *)
+  let portfolio_vs_single ?(cert = false) ?(workers = 2) ~depth rand
+      (d : Rtl.design) =
+    let vars = all_vars d in
+    let invariant = Gen.expr rand ~vars ~width:1 ~depth:2 in
+    match Bmc.check_safety ~certify:cert ~design:d ~invariant ~depth () with
+    | exception Bmc.Certification_failed msg ->
+        Error ("portfolio: single-solver run rejected a DRAT certificate: " ^ msg)
+    | reference, _ -> (
+        let certified =
+          if not cert then 0
+          else
+            match reference with
+            | Bmc.Holds bound -> bound
+            | Bmc.Violated w -> w.Bmc.w_length - 1
+            | Bmc.Unknown _ -> 0
+        in
+        let lane what config =
+          let seed = Random.State.bits rand in
+          let limits = Bmc.limits ~seed ~portfolio:config () in
+          match Bmc.check_safety ~certify:cert ~limits ~design:d ~invariant ~depth () with
+          | exception Bmc.Certification_failed msg ->
+              Error
+                (Printf.sprintf
+                   "portfolio: %s lane rejected its merged DRAT certificate: %s" what
+                   msg)
+          | outcome, _ -> (
+              match (reference, outcome) with
+              | Bmc.Holds a, Bmc.Holds b when a = b -> Ok ()
+              | Bmc.Violated wa, Bmc.Violated wb
+                when wa.Bmc.w_length = wb.Bmc.w_length ->
+                  Ok ()
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "portfolio: %s lane decided %s but single-solver verdict is %s"
+                       what (outcome_to_string outcome) (outcome_to_string reference)))
+        in
+        match lane "sharing" (Sat.Portfolio.config ~workers ~share:true ()) with
+        | Error _ as e -> e
+        | Ok () -> (
+            match
+              lane "deterministic"
+                (Sat.Portfolio.config ~workers ~deterministic:true ())
+            with
+            | Error _ as e -> e
+            | Ok () -> Ok certified))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -869,6 +924,8 @@ let oracles ~config ~cert =
       fun rand d -> Oracle.simplify_on_vs_off ~cert ~depth:config.bmc_depth rand d );
     ( "faults",
       fun rand d -> Oracle.fault_injection ~cert ~depth:config.bmc_depth rand d );
+    ( "portfolio",
+      fun rand d -> Oracle.portfolio_vs_single ~cert ~depth:config.bmc_depth rand d );
   ]
 
 let run_oracle oracle_fn ~seed ~case ~idx d =

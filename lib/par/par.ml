@@ -154,3 +154,12 @@ let map_governed ?jobs ?deadline ?stop_when f xs =
   let results, times = run_tasks_governed ~jobs ?deadline ?stop_when tasks in
   let results = drop_bt results in
   List.init (Array.length results) (fun i -> (results.(i), times.(i)))
+
+(* Oversubscription guard for nested parallelism (outer fan-out × inner
+   portfolio). Keeps the outer degree — design/mutant fan-out dominates
+   throughput — and shrinks the inner one. *)
+let clamp_inner ~jobs ~inner =
+  let cores = default_jobs () in
+  let jobs = max 1 jobs and inner = max 1 inner in
+  if jobs * inner <= cores then (inner, false)
+  else (max 1 (cores / jobs), true)

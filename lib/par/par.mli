@@ -61,3 +61,10 @@ val map_governed :
     order.
 
     Returns one [(outcome, wall_seconds)] pair per input. *)
+
+val clamp_inner : jobs:int -> inner:int -> int * bool
+(** [clamp_inner ~jobs ~inner] caps nested parallelism: the effective
+    product [jobs × inner] must not exceed
+    [Domain.recommended_domain_count ()]. Returns the clamped inner degree
+    (at least 1 — the outer fan-out keeps its width) and whether clamping
+    occurred, so callers can print a one-line warning. *)

@@ -1,0 +1,98 @@
+(** Clause-sharing portfolio SAT: race N diversified CDCL workers on the
+    same CNF across OCaml domains.
+
+    Each worker is a fresh {!Solver.t} loaded from the master solver's
+    {!Solver.export_cnf} snapshot, diversified with verdict-preserving
+    knobs (restart base, VSIDS decay, inverted phases, perturbation seed —
+    worker 0 always keeps the defaults, so the reference single-solver
+    trajectory is in the race). With sharing on, workers export low-LBD or
+    short learnt clauses into bounded SPSC ring buffers and import peers'
+    clauses at restart boundaries; a full ring drops (workers never block
+    on each other). The first decisive worker wins; siblings are cancelled
+    through {!Par.Cancel} tokens and report [Unknown].
+
+    When the master logs proofs, every worker logs a DRAT stream stamped
+    by one shared atomic clock, and {!outcome.o_derived} is the merged,
+    stamp-ordered list of all workers' derived clauses: appending it to
+    the master's own {!Solver.proof} yields a stream accepted by
+    {!Drat.check} whenever the portfolio answered [Unsat]. See
+    [PORTFOLIO.md] for the memory model and the merged-proof argument. *)
+
+(** Bounded single-producer single-consumer clause ring. Exposed for unit
+    tests; portfolio internals allocate one ring per ordered worker pair. *)
+module Ring : sig
+  type t
+
+  val create : int -> t
+  (** [create cap] — capacity must be >= 1. *)
+
+  val push : t -> Lit.t array -> bool
+  (** Producer side. [false] means the ring was full and the clause was
+      dropped (counted). Never blocks. *)
+
+  val pop : t -> Lit.t array option
+  (** Consumer side. [None] on empty. Never blocks. *)
+
+  val dropped : t -> int
+  (** Clauses dropped on full, producer-side counter. *)
+
+  val capacity : t -> int
+end
+
+type config = {
+  p_workers : int;  (** number of racing workers; 1 = plain solve *)
+  p_share : bool;  (** clause sharing on/off *)
+  p_max_lbd : int;  (** export clauses with LBD <= this ... *)
+  p_max_len : int;  (** ... or length <= this *)
+  p_ring_capacity : int;
+  p_deterministic : bool;
+      (** run every worker to completion, no sharing; winner = lowest
+          decided index — reproducible for a fixed worker count + seed *)
+}
+
+val config :
+  ?workers:int ->
+  ?share:bool ->
+  ?max_lbd:int ->
+  ?max_len:int ->
+  ?ring_capacity:int ->
+  ?deterministic:bool ->
+  unit ->
+  config
+(** Defaults: [workers=2], [share=true], [max_lbd=4], [max_len=8],
+    [ring_capacity=1024], [deterministic=false]. [deterministic] forces
+    sharing off. *)
+
+type outcome = {
+  o_result : Solver.result;
+  o_winner : int;  (** winning worker index; [-1] if none decided *)
+  o_model : bool array option;  (** winner's model on [Sat] *)
+  o_derived : Drat.proof;
+      (** all workers' derived clauses, stamp-ordered; append to the
+          master's {!Solver.proof} for {!Drat.check} *)
+  o_stats : Solver.stats;
+      (** winner's stats, with [clauses_exported]/[clauses_imported]
+          aggregated portfolio-wide *)
+  o_reports : (int * Solver.result * Solver.stats) list;
+      (** per-worker (index, result, stats), input order *)
+  o_exported : int;  (** total clauses exported across workers *)
+  o_imported : int;  (** total clauses imported across workers *)
+  o_dropped : int;  (** total ring drops across workers *)
+}
+
+val solve :
+  ?assumptions:Lit.t list ->
+  ?budget:Solver.budget ->
+  ?cancel:Solver.cancel ->
+  ?seed:int ->
+  config:config ->
+  Solver.t ->
+  outcome
+(** Race the portfolio on [master]'s current clause set (which must be at
+    decision level 0). Every worker receives the same [assumptions] and
+    its own copy of [budget]; [Unknown] is returned only if all workers
+    exhaust. [cancel] aborts the whole race. On a [Sat] outcome the
+    winning model is injected back into [master]
+    (see {!Solver.inject_model}), so witness extraction on the master
+    works unchanged. With [p_workers = 1] this is exactly
+    [Solver.solve master] — same solver state evolution, same stats. *)

@@ -461,6 +461,34 @@ let test_escalate_recovers_serial_verdict () =
       Alcotest.(check int) "same witness length" a.Bmc.w_length b.Bmc.w_length
   | _ -> Alcotest.fail "escalation did not recover the serial verdict"
 
+let test_escalate_racing_recovers_verdict () =
+  (* The racing ladder runs its rungs concurrently instead of one after
+     the other; the starved low rungs must not keep the grown rungs from
+     deciding, and the decided verdict matches the unlimited run. *)
+  let reference =
+    Bmc.check_safety ~design:(counter ()) ~invariant:(count_ne 5) ~depth:8 ()
+  in
+  let (outcome, _), attempts =
+    Bmc.Escalate.run_racing
+      ~policy:{ Bmc.Escalate.default_policy with max_attempts = 4; growth = 32.0 }
+      ~jobs:2
+      ~limits:(Bmc.limits ~budget:(Sat.Solver.budget ~conflicts:1 ()) ())
+      ~simplify:Bmc.default_simplify ~mono:false
+      ~unknown_of:(fun (o, _) ->
+        match o with
+        | Bmc.Unknown u -> Some (Sat.Solver.reason_to_string u.Bmc.un_reason)
+        | Bmc.Holds _ | Bmc.Violated _ -> None)
+      (fun cfg ->
+        Bmc.check_safety ~limits:cfg.Bmc.Escalate.ec_limits
+          ~simplify:cfg.Bmc.Escalate.ec_simplify ~design:(counter ())
+          ~invariant:(count_ne 5) ~depth:8 ())
+  in
+  Alcotest.(check bool) "attempt log non-empty" true (attempts <> []);
+  match (reference, outcome) with
+  | (Bmc.Violated a, _), Bmc.Violated b ->
+      Alcotest.(check int) "same witness length" a.Bmc.w_length b.Bmc.w_length
+  | _ -> Alcotest.fail "racing escalation did not recover the verdict"
+
 let suite =
   [
     ("bmc.holds_within_bound", `Quick, test_holds_within_bound);
@@ -484,5 +512,6 @@ let suite =
     ("bmc.escalate_converges", `Quick, test_escalate_converges);
     ("bmc.escalate_max_attempts", `Quick, test_escalate_gives_up_at_max_attempts);
     ("bmc.escalate_recovers", `Quick, test_escalate_recovers_serial_verdict);
+    ("bmc.escalate_racing_recovers", `Quick, test_escalate_racing_recovers_verdict);
     QCheck_alcotest.to_alcotest prop_shortest_cex;
   ]
