@@ -8,7 +8,16 @@
      dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
      dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 micro.
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 obs micro.
+
+   --trace FILE / --metrics FILE / --trace-format ndjson|chrome enable
+   the Obs layer for the whole run and write the merged span trace and
+   metrics snapshot on completion. The obs experiment cross-checks that
+   tracing never changes a verdict and that emitted traces pass the
+   well-formedness checker; any disagreement fails the run (exit 1).
+
+   --json refuses to overwrite an existing report file; pass --force to
+   replace it (the same applies to --trace/--metrics files).
 
    --portfolio N sets the worker count of the p1 clause-sharing portfolio
    experiment (default 4; clamped so --jobs x --portfolio never exceeds
@@ -66,6 +75,20 @@ let escalation_attempts = Atomic.make 0
 (* --portfolio / --no-share configure the p1 experiment's parallel lane. *)
 let portfolio_width = ref 4
 let portfolio_share = ref true
+
+(* --trace / --metrics / --trace-format enable the Obs layer for the whole
+   run; --force permits overwriting existing report and trace files. *)
+let obs_trace_path : string option ref = ref None
+let obs_metrics_path : string option ref = ref None
+let obs_format : [ `Ndjson | `Chrome ] ref = ref `Ndjson
+let force_overwrite = ref false
+
+(* State of the obs experiment: traced-vs-untraced verdict flips and
+   structurally malformed traces each fail the whole bench run. *)
+let obs_flips = ref 0
+let obs_malformed = ref 0
+let obs_trace_events = ref 0
+let obs_trace_wellformed : bool option ref = ref None
 
 let bench_limits () =
   match (!timeout, !max_conflicts) with
@@ -191,7 +214,7 @@ let write_json path =
   let buf = Buffer.create 4096 in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gqed-bench/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"gqed-bench/4\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
@@ -202,6 +225,15 @@ let write_json path =
     (Printf.sprintf "  \"unknown_verdicts\": %d,\n" (Atomic.get unknown_verdicts));
   Buffer.add_string buf
     (Printf.sprintf "  \"escalation_attempts\": %d,\n" (Atomic.get escalation_attempts));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"obs\": {\"enabled\": %b, \"trace_events\": %d, \"trace_wellformed\": %s, \
+        \"verdict_flips\": %d},\n"
+       (Obs.on ()) !obs_trace_events
+       (match !obs_trace_wellformed with
+       | None -> "null"
+       | Some b -> string_of_bool b)
+       !obs_flips);
   Buffer.add_string buf "  \"experiments\": [\n";
   List.iteri
     (fun i e ->
@@ -1342,6 +1374,62 @@ let p1 () =
       (List.length !json_portfolio_rows)
 
 (* ------------------------------------------------------------------ *)
+(* OBS: tracing is verdict-invisible and emitted traces are well-formed. *)
+
+let obs_exp () =
+  header "OBS  Observability: tracing is verdict-invisible, traces well-formed";
+  Printf.printf
+    "Each design is checked once with the Obs layer off and once with span\n\
+     tracing on. The verdicts must match exactly and the emitted trace must\n\
+     pass the structural well-formedness checker; any disagreement fails the\n\
+     whole bench run (exit 1).\n\n";
+  let was_on = Obs.on () in
+  let names = [ "alu_pipe"; "popcount"; "graycodec" ] in
+  let entries = List.filter (fun e -> List.mem e.Entry.name names) Registry.all in
+  Printf.printf "%-12s %-12s %-12s %8s %8s %10s\n" "design" "untraced" "traced"
+    "t_off(s)" "t_on(s)" "trace";
+  List.iter
+    (fun e ->
+      let bound = e.Entry.rec_bound in
+      let run1 () =
+        record
+          (Checks.run ~limits:(bench_limits ()) Checks.Gqed e.Entry.design
+             e.Entry.iface ~bound)
+      in
+      Obs.disable ();
+      let plain, t_off = time run1 in
+      Obs.Trace.reset ();
+      Obs.enable ();
+      let traced, t_on = time run1 in
+      let events = Obs.Trace.events () in
+      if not was_on then Obs.disable ();
+      let trace_cell =
+        match Obs.Trace.check events with
+        | _ when events = [] ->
+            incr obs_malformed;
+            "EMPTY"
+        | Ok () -> Printf.sprintf "%d ok" (List.length events)
+        | Error _ ->
+            incr obs_malformed;
+            "MALFORMED"
+      in
+      obs_trace_events := !obs_trace_events + List.length events;
+      obs_trace_wellformed :=
+        Some
+          (Option.value !obs_trace_wellformed ~default:true
+          && trace_cell <> "MALFORMED" && trace_cell <> "EMPTY");
+      let vk_plain = verdict_key plain and vk_traced = verdict_key traced in
+      let flip = vk_plain <> vk_traced in
+      if flip then incr obs_flips;
+      Printf.printf "%-12s %-12s %-12s %8.2f %8.2f %10s%s\n%!" e.Entry.name vk_plain
+        vk_traced t_off t_on trace_cell
+        (if flip then "  VERDICT FLIP" else ""))
+    entries;
+  if !obs_flips = 0 && !obs_malformed = 0 then
+    Printf.printf "\ntraced vs untraced verdicts: all %d designs agree, traces well-formed\n"
+      (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel.    *)
 
 let micro () =
@@ -1432,7 +1520,7 @@ let experiments =
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("a1", a1); ("a2", a2); ("a3", a3); ("s1", s1);
     ("f1", f1); ("f2", f2); ("f3", f3);
-    ("rob", rob); ("p1", p1); ("micro", micro);
+    ("rob", rob); ("p1", p1); ("obs", obs_exp); ("micro", micro);
   ]
 
 let () =
@@ -1503,16 +1591,41 @@ let () =
         prerr_endline "bench: --designs expects a comma-separated list";
         exit 2
     | "--json" :: path :: rest ->
-        (* Fail fast on an unwritable path rather than after the full run. *)
-        (try close_out (open_out path)
-         with Sys_error e ->
-           prerr_endline ("bench: cannot write --json file: " ^ e);
-           exit 2);
         json_path := Some path;
         parse_args acc rest
     | [ "--json" ] ->
         prerr_endline "bench: --json expects a file path";
         exit 2
+    | "--trace" :: path :: rest ->
+        obs_trace_path := Some path;
+        parse_args acc rest
+    | [ "--trace" ] ->
+        prerr_endline "bench: --trace expects a file path";
+        exit 2
+    | "--metrics" :: path :: rest ->
+        obs_metrics_path := Some path;
+        parse_args acc rest
+    | [ "--metrics" ] ->
+        prerr_endline "bench: --metrics expects a file path";
+        exit 2
+    | "--trace-format" :: f :: rest -> begin
+        match f with
+        | "ndjson" ->
+            obs_format := `Ndjson;
+            parse_args acc rest
+        | "chrome" ->
+            obs_format := `Chrome;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --trace-format expects ndjson or chrome";
+            exit 2
+      end
+    | [ "--trace-format" ] ->
+        prerr_endline "bench: --trace-format expects ndjson or chrome";
+        exit 2
+    | "--force" :: rest ->
+        force_overwrite := true;
+        parse_args acc rest
     | id :: rest -> parse_args (id :: acc) rest
   in
   let requested =
@@ -1520,6 +1633,30 @@ let () =
     | [] -> List.map fst experiments
     | ids -> ids
   in
+  (* Output-file guards run only after the whole command line is parsed, so
+     --force works in any position. Refusing to clobber an existing report
+     beats discovering the loss after an hour-long run. *)
+  List.iter
+    (fun (flag, path) ->
+      match path with
+      | None -> ()
+      | Some path -> (
+          match Obs.Export.guard ~force:!force_overwrite path with
+          | Error msg ->
+              prerr_endline ("bench: " ^ msg);
+              exit 2
+          | Ok () -> (
+              (* Fail fast on an unwritable path rather than after the run. *)
+              try close_out (open_out path)
+              with Sys_error e ->
+                Printf.eprintf "bench: cannot write %s file: %s\n" flag e;
+                exit 2)))
+    [
+      ("--json", !json_path);
+      ("--trace", !obs_trace_path);
+      ("--metrics", !obs_metrics_path);
+    ];
+  if !obs_trace_path <> None || !obs_metrics_path <> None then Obs.enable ();
   List.iter
     (fun id ->
       if not (List.mem_assoc id experiments) then begin
@@ -1540,6 +1677,17 @@ let () =
         @ [ { je_id = id; je_wall_s = dt; je_task_sum_s = !par_task_seconds } ];
       Printf.printf "[%s completed in %.1fs]\n%!" id dt)
     requested;
+  (match !obs_trace_path with
+  | None -> ()
+  | Some path ->
+      let evs = Obs.Trace.events () in
+      Obs.Trace.write ~format:!obs_format path evs;
+      Printf.printf "trace written to %s (%d events)\n" path (List.length evs));
+  (match !obs_metrics_path with
+  | None -> ()
+  | Some path ->
+      Obs.Metrics.write path (Obs.Metrics.snapshot ());
+      Printf.printf "metrics written to %s\n" path);
   (match !json_path with None -> () | Some path -> write_json path);
   if !verdict_mismatches > 0 then begin
     Printf.eprintf
@@ -1554,6 +1702,17 @@ let () =
   if !portfolio_flips > 0 then begin
     Printf.eprintf
       "bench: FAILED — %d portfolio-vs-single verdict flip(s)\n" !portfolio_flips;
+    exit 1
+  end;
+  if !obs_flips > 0 then begin
+    Printf.eprintf
+      "bench: FAILED — %d traced-vs-untraced verdict flip(s)\n" !obs_flips;
+    exit 1
+  end;
+  if !obs_malformed > 0 then begin
+    Printf.eprintf
+      "bench: FAILED — %d malformed or empty trace(s) in the obs experiment\n"
+      !obs_malformed;
     exit 1
   end;
   (* Distinct exit code for "nothing wrong, but some verdicts stayed unknown

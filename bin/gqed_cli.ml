@@ -266,8 +266,8 @@ let with_escalation ~escalate ?(racing = false) ?jobs ~limits ~simplify ~mono ru
     { report with Checks.attempts }
   end
 
-let trace_flag =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full counterexample waveform.")
+let waveform_flag =
+  Arg.(value & flag & info [ "waveform" ] ~doc:"Print the full counterexample waveform.")
 
 let vcd_arg =
   Arg.(
@@ -275,8 +275,58 @@ let vcd_arg =
     & opt (some string) None
     & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the waveform to $(docv) in VCD format.")
 
+(* ---- observability ---- *)
+
+(* The obs layer is disabled by default and costs one atomic load per guard
+   when off. [--trace FILE] / [--metrics FILE] enable it for the whole run
+   and flush through [at_exit], so the files are written whatever exit path
+   the verdict takes (exit 0/1/3 all funnel through Stdlib.exit). *)
+let obs_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable the observability layer and write the span trace to $(docv) \
+           on exit. The format is chosen by $(b,--trace-format); the ndjson \
+           form is checkable with $(b,gqed trace-check), the chrome form \
+           loads in Perfetto / chrome://tracing.")
+
+let obs_metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the observability layer and write a JSON metrics snapshot \
+           (counters, gauges, histograms) to $(docv) on exit.")
+
+let obs_format_arg =
+  let formats = [ ("ndjson", `Ndjson); ("chrome", `Chrome) ] in
+  Arg.(
+    value
+    & opt (enum formats) `Ndjson
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:"Trace file format: $(b,ndjson) (default) or $(b,chrome).")
+
+let setup_obs ~trace ~metrics ~format =
+  if trace <> None || metrics <> None then begin
+    Obs.enable ();
+    at_exit (fun () ->
+        (match trace with
+        | None -> ()
+        | Some path ->
+            Obs.Trace.write ~format path (Obs.Trace.events ());
+            Printf.eprintf "gqed: trace written to %s\n%!" path);
+        match metrics with
+        | None -> ()
+        | Some path ->
+            Obs.Metrics.write path (Obs.Metrics.snapshot ());
+            Printf.eprintf "gqed: metrics written to %s\n%!" path)
+  end
+
 let verify_cmd =
-  let report_and_exit ~name ~trace ~vcd ~dt ~simp_stats report =
+  let report_and_exit ~name ~waveform ~vcd ~dt ~simp_stats report =
     Format.printf "%a@." Checks.pp_verdict report.Checks.verdict;
     Printf.printf "cnf: %d vars, %d clauses; %s; %.2fs\n" report.Checks.cnf_vars
       report.Checks.cnf_clauses
@@ -297,7 +347,7 @@ let verify_cmd =
           u.Checks.u_bound;
         exit 3
     | Checks.Fail f ->
-        if trace then Format.printf "%a" Bmc.pp_witness f.Checks.witness;
+        if waveform then Format.printf "%a" Bmc.pp_witness f.Checks.witness;
         (match vcd with
         | Some path ->
             Vcd.to_file path (Vcd.of_witness ~design_name:name f.Checks.witness);
@@ -305,8 +355,10 @@ let verify_cmd =
         | None -> ());
         exit 1
   in
-  let run name technique bound mutant all_mutants jobs trace vcd simplify mono simp_stats
-      timeout max_conflicts no_escalate portfolio no_share deterministic =
+  let run name technique bound mutant all_mutants jobs waveform vcd simplify mono
+      simp_stats timeout max_conflicts no_escalate portfolio no_share deterministic
+      obs_trace obs_metrics obs_format =
+    setup_obs ~trace:obs_trace ~metrics:obs_metrics ~format:obs_format;
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
       exit 2
@@ -462,15 +514,16 @@ let verify_cmd =
       | t -> check t design
     in
     let dt = Unix.gettimeofday () -. t0 in
-    report_and_exit ~name ~trace ~vcd ~dt ~simp_stats report
+    report_and_exit ~name ~waveform ~vcd ~dt ~simp_stats report
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run a QED check on a design (or one of its mutants).")
     Term.(
       const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
-      $ jobs_arg $ trace_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
+      $ jobs_arg $ waveform_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
       $ timeout_arg $ max_conflicts_arg $ no_escalate_flag $ portfolio_arg
-      $ no_share_flag $ deterministic_flag)
+      $ no_share_flag $ deterministic_flag $ obs_trace_arg $ obs_metrics_arg
+      $ obs_format_arg)
 
 (* ---- mutants ---- *)
 
@@ -612,6 +665,32 @@ let fuzz_cmd =
           optional DRAT certification of every UNSAT verdict.")
     Term.(const run $ seed_arg $ count_arg $ cert_flag $ dimacs_arg $ out_arg)
 
+(* ---- trace-check ---- *)
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,--trace) (ndjson or chrome).")
+  in
+  let run file =
+    match Obs.Trace.validate_file file with
+    | Ok n ->
+        Printf.printf "%s: %d events, well-formed\n" file n;
+        exit 0
+    | Error msg ->
+        Printf.eprintf "gqed: %s: %s\n" file msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a trace file's structural well-formedness: strictly \
+          increasing sequence numbers, per-domain monotone timestamps, and \
+          balanced begin/end span nesting.")
+    Term.(const run $ file_arg)
+
 let () =
   let info =
     Cmd.info "gqed" ~version:"1.0.0"
@@ -620,4 +699,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; info_cmd; verify_cmd; mutants_cmd; simulate_cmd; crv_cmd; fuzz_cmd ]))
+          [
+            list_cmd; info_cmd; verify_cmd; mutants_cmd; simulate_cmd; crv_cmd; fuzz_cmd;
+            trace_check_cmd;
+          ]))

@@ -385,11 +385,16 @@ module Engine = struct
     t.solver <- solver;
     if t.simplify.sc_rewrite then begin
       let t0 = Sys.time () in
+      if Obs.on () then
+        Obs.Trace.span_begin "bmc.rewrite"
+          ~args:[ ("ands", string_of_int (Aig.num_ands t.graph)) ];
       t.compact_in <- t.compact_in + Aig.num_ands t.graph;
       let h, map = Aig.compact t.graph ~roots in
       t.compact_out <- t.compact_out + Aig.num_ands h;
       t.rewrite_acc <- t.rewrite_acc + Aig.num_rewrites h;
       t.t_rewrite <- t.t_rewrite +. (Sys.time () -. t0);
+      if Obs.on () then
+        Obs.Trace.span_end "bmc.rewrite" ~args:[ ("ands", string_of_int (Aig.num_ands h)) ];
       t.map <- Some map;
       t.emitter <- Aig.Cnf.make ~pg:t.simplify.sc_pg h solver
     end
@@ -485,6 +490,13 @@ module Engine = struct
 
   let check t ~assumptions =
     t.queries <- t.queries + 1;
+    if Obs.on () then
+      Obs.Trace.span_begin "bmc.query"
+        ~args:
+          [
+            ("query", string_of_int t.queries);
+            ("frames", string_of_int (Unroller.max_frame t.unroller + 1));
+          ];
     if t.mono then begin
       reset_query t ~roots:(assumptions @ t.pending);
       List.iter
@@ -533,18 +545,34 @@ module Engine = struct
           Sat.Solver.solve ~assumptions:sat_assumptions ~budget:t.limits.l_budget
             ?cancel:t.limits.l_cancel ?seed:t.limits.l_seed t.solver
     in
+    let finish_span verdict =
+      if Obs.on () then begin
+        Obs.Trace.span_end "bmc.query" ~args:[ ("verdict", verdict) ];
+        Obs.Metrics.add (Obs.Metrics.counter "bmc.queries") 1;
+        Obs.Metrics.add (Obs.Metrics.counter ("bmc.verdict." ^ verdict)) 1;
+        Obs.Metrics.set
+          (Obs.Metrics.gauge "bmc.frames")
+          (float_of_int (Unroller.max_frame t.unroller + 1))
+      end
+    in
     match result with
-    | Sat.Solver.Sat -> Cex (extract_witness t)
+    | Sat.Solver.Sat ->
+        finish_span "cex";
+        Cex (extract_witness t)
     | Sat.Solver.Unsat ->
         if t.certify then begin
           match certify_unsat_sat_lits t sat_assumptions with
           | Ok () -> t.certified_unsats <- t.certified_unsats + 1
-          | Error msg -> raise (Certification_failed msg)
+          | Error msg ->
+              finish_span "certification-failed";
+              raise (Certification_failed msg)
         end;
+        finish_span "unreachable";
         Unreachable
     | Sat.Solver.Unknown reason ->
         (* No verdict: nothing to certify or extract. The solver backed out
            to level 0, so the engine stays usable for a retry. *)
+        finish_span "undecided";
         Undecided reason
 
   let certified_unsats t = t.certified_unsats
@@ -648,7 +676,11 @@ let check_safety ?(symbolic_init = false) ?(certify = false) ?(assumes = [])
     else begin
       assert_assumes engine ~assumes k;
       let bad = bad_at engine ~invariant k in
-      match Engine.check engine ~assumptions:[ bad ] with
+      let r =
+        Obs.Trace.with_span "bmc.bound" ~args:[ ("k", string_of_int k) ] (fun () ->
+            Engine.check engine ~assumptions:[ bad ])
+      in
+      match r with
       | Engine.Cex w ->
           let w = if design == original then w else reconstruct_witness ~original ~symbolic_init w in
           finish (Violated w)
@@ -691,7 +723,11 @@ let check_safety_mono ?(symbolic_init = false) ?(certify = false) ?(assumes = []
     let rec deepen k =
       assert_assumes engine ~assumes k;
       let bad = bad_at engine ~invariant k in
-      match Engine.check engine ~assumptions:[ bad ] with
+      let r =
+        Obs.Trace.with_span "bmc.bound" ~args:[ ("k", string_of_int k) ] (fun () ->
+            Engine.check engine ~assumptions:[ bad ])
+      in
+      match r with
       | Engine.Cex w ->
           let w = if design == original then w else reconstruct_witness ~original ~symbolic_init w in
           finish (Violated w)
@@ -754,6 +790,19 @@ module Escalate = struct
 
   type config = { ec_limits : limits; ec_simplify : simplify_config; ec_mono : bool }
 
+  (* Budget caps as span arguments, so an attempt span in the trace shows
+     what it was allowed to spend. *)
+  let budget_args (b : Sat.Solver.budget) =
+    let cap name to_s v = Option.map (fun x -> (name, to_s x)) v in
+    List.filter_map Fun.id
+      [
+        cap "conflicts" string_of_int b.Sat.Solver.max_conflicts;
+        cap "propagations" string_of_int b.Sat.Solver.max_propagations;
+        cap "decisions" string_of_int b.Sat.Solver.max_decisions;
+        cap "seconds" (Printf.sprintf "%.3g") b.Sat.Solver.max_seconds;
+        cap "learnt-mb" (Printf.sprintf "%.3g") b.Sat.Solver.max_learnt_mb;
+      ]
+
   (* Perturbation schedule for retry [i] (i >= 1): always reseed; flip the
      incremental/monolithic lane on odd retries; toggle the simplification
      pipeline from the third retry on. All three are verdict-preserving. *)
@@ -800,7 +849,11 @@ module Escalate = struct
         }
       in
       let t0 = Unix.gettimeofday () in
-      let r = f cfg in
+      let r =
+        Obs.Trace.with_span "escalate.attempt"
+          ~args:(("attempt", string_of_int i) :: budget_args cfg.ec_limits.l_budget)
+          (fun () -> f cfg)
+      in
       let dt = Unix.gettimeofday () -. t0 in
       let reason = unknown_of r in
       let a =
@@ -894,7 +947,12 @@ module Escalate = struct
             ec_mono = mono';
           }
         in
-        (i, cfg, f cfg)
+        let r =
+          Obs.Trace.with_span "escalate.rung"
+            ~args:(("rung", string_of_int i) :: budget_args budget)
+            (fun () -> f cfg)
+        in
+        (i, cfg, r)
       in
       let rows =
         Par.map_governed ~jobs:n ?deadline:policy.total_seconds

@@ -647,13 +647,36 @@ let technique_to_string = function
   | Gqed_output_only -> "G-QED(out-only)"
   | Gqed_flow -> "G-QED(flow)"
 
+let verdict_arg = function
+  | Pass _ -> "pass"
+  | Fail _ -> "fail"
+  | Unknown _ -> "unknown"
+
 let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
     technique design iface ~bound =
-  match technique with
-  | Aqed -> aqed_fc ~simplify ~mono ~limits design iface ~bound
-  | Gqed -> gqed ~simplify ~mono ~limits design iface ~bound
-  | Gqed_output_only -> gqed_output_only ~simplify ~mono ~limits design iface ~bound
-  | Gqed_flow -> flow ~simplify ~mono ~limits design iface ~bound
+  let go () =
+    match technique with
+    | Aqed -> aqed_fc ~simplify ~mono ~limits design iface ~bound
+    | Gqed -> gqed ~simplify ~mono ~limits design iface ~bound
+    | Gqed_output_only -> gqed_output_only ~simplify ~mono ~limits design iface ~bound
+    | Gqed_flow -> flow ~simplify ~mono ~limits design iface ~bound
+  in
+  if not (Obs.on ()) then go ()
+  else begin
+    Obs.Trace.span_begin "qed.check"
+      ~args:
+        [
+          ("technique", technique_to_string technique);
+          ("design", design.Rtl.name);
+        ];
+    match go () with
+    | report ->
+        Obs.Trace.span_end "qed.check" ~args:[ ("verdict", verdict_arg report.verdict) ];
+        report
+    | exception e ->
+        Obs.Trace.span_end "qed.check" ~args:[ ("verdict", "exception") ];
+        raise e
+  end
 
 let run_escalating ?policy ?(racing = false) ?jobs ?(simplify = Bmc.default_simplify)
     ?(mono = false) ?(limits = Bmc.no_limits) technique design iface ~bound =

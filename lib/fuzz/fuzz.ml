@@ -736,6 +736,78 @@ module Oracle = struct
             with
             | Error _ as e -> e
             | Ok () -> Ok certified))
+
+  (* Observability invariance: tracing must be verdict-invisible. The same
+     safety check run with tracing enabled must decide exactly the untraced
+     verdict (spans only watch the pipeline, they never steer it), the
+     emitted trace must pass the structural well-formedness checker, and
+     the ndjson export must round-trip through the parser. Same gate style
+     as the faults/portfolio oracles: any disagreement is a failure. *)
+  let check_trace events =
+    if events = [] then Error "tracing: enabled run emitted no events"
+    else
+      match Obs.Trace.check events with
+      | Error msg -> Error ("tracing: malformed trace: " ^ msg)
+      | Ok () -> (
+          (* The ndjson export must survive a parse round-trip and still
+             satisfy the checker — this is the same path the CLI's
+             trace-check subcommand and the CI obs-smoke job rely on. *)
+          let buf = Buffer.create 4096 in
+          Obs.Trace.to_ndjson buf events;
+          match Obs.Trace.parse_ndjson (Buffer.contents buf) with
+          | Error msg -> Error ("tracing: ndjson did not round-trip: " ^ msg)
+          | Ok events' ->
+              if List.length events' <> List.length events then
+                Error
+                  (Printf.sprintf "tracing: round-trip lost events (%d -> %d)"
+                     (List.length events) (List.length events'))
+              else (
+                match Obs.Trace.check events' with
+                | Error msg -> Error ("tracing: round-tripped trace malformed: " ^ msg)
+                | Ok () -> Ok ()))
+
+  let tracing_on_vs_off ?(cert = false) ~depth rand (d : Rtl.design) =
+    let vars = all_vars d in
+    let invariant = Gen.expr rand ~vars ~width:1 ~depth:2 in
+    match Bmc.check_safety ~certify:cert ~design:d ~invariant ~depth () with
+    | exception Bmc.Certification_failed msg ->
+        Error ("tracing: untraced run rejected a DRAT certificate: " ^ msg)
+    | reference, _ -> (
+        let certified =
+          if not cert then 0
+          else
+            match reference with
+            | Bmc.Holds bound -> bound
+            | Bmc.Violated w -> w.Bmc.w_length - 1
+            | Bmc.Unknown _ -> 0
+        in
+        let was_on = Obs.on () in
+        Obs.Trace.reset ();
+        Obs.enable ();
+        let traced =
+          Fun.protect
+            ~finally:(fun () -> if not was_on then Obs.disable ())
+            (fun () ->
+              match Bmc.check_safety ~certify:cert ~design:d ~invariant ~depth () with
+              | outcome, _ -> Ok outcome
+              | exception Bmc.Certification_failed msg -> Error msg)
+        in
+        let events = Obs.Trace.events () in
+        Obs.Trace.reset ();
+        match traced with
+        | Error msg -> Error ("tracing: traced run rejected a DRAT certificate: " ^ msg)
+        | Ok traced -> (
+            match (reference, traced) with
+            | Bmc.Holds a, Bmc.Holds b when a = b -> (
+                match check_trace events with Ok () -> Ok certified | Error _ as e -> e)
+            | Bmc.Violated wa, Bmc.Violated wb when wa.Bmc.w_length = wb.Bmc.w_length
+              -> (
+                match check_trace events with Ok () -> Ok certified | Error _ as e -> e)
+            | _ ->
+                Error
+                  (Printf.sprintf "tracing: traced run decided %s but untraced is %s"
+                     (outcome_to_string traced)
+                     (outcome_to_string reference))))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -926,6 +998,8 @@ let oracles ~config ~cert =
       fun rand d -> Oracle.fault_injection ~cert ~depth:config.bmc_depth rand d );
     ( "portfolio",
       fun rand d -> Oracle.portfolio_vs_single ~cert ~depth:config.bmc_depth rand d );
+    ( "tracing",
+      fun rand d -> Oracle.tracing_on_vs_off ~cert ~depth:config.bmc_depth rand d );
   ]
 
 let run_oracle oracle_fn ~seed ~case ~idx d =

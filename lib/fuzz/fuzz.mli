@@ -122,6 +122,17 @@ module Oracle : sig
       (master proof plus imported clauses in shared-clock order). On
       success, returns the number of certified bounds of the reference
       run. *)
+
+  val tracing_on_vs_off :
+    ?cert:bool -> depth:int -> Random.State.t -> Rtl.design -> (int, string) result
+  (** Observability is verdict-invisible: the same safety check run with
+      {!Obs} tracing enabled must decide exactly the untraced verdict
+      (same proved bound or same counterexample length). The emitted trace
+      must additionally pass {!Obs.Trace.check} (balanced spans, monotone
+      per-domain timestamps, strictly increasing sequence numbers) and
+      round-trip through the ndjson exporter and parser unchanged. On
+      success, returns the number of certified bounds of the reference
+      run. *)
 end
 
 (** {1 Shrinking} *)

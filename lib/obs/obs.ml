@@ -1,0 +1,776 @@
+(* Tracing + metrics. See DESIGN.md for the multi-domain buffer ownership
+   and merge-ordering argument. *)
+
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON.                                                       *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape_to buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let num_to buf f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+  let rec to_buf buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> num_to buf f
+    | Str s -> escape_to buf s
+    | Arr xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            to_buf buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            to_buf buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    to_buf buf t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  (* Recursive-descent parser over a string; positions are plain ints. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '/' -> Buffer.add_char buf '/'
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 'r' -> Buffer.add_char buf '\r'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | 'b' -> Buffer.add_char buf '\b'
+                 | 'f' -> Buffer.add_char buf '\012'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "truncated \\u escape";
+                     let hex = String.sub s (!pos + 1) 4 in
+                     let code =
+                       try int_of_string ("0x" ^ hex)
+                       with _ -> fail "bad \\u escape"
+                     in
+                     (* Only BMP codepoints we emit ourselves (control chars):
+                        encode as UTF-8. *)
+                     if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                     else if code < 0x800 then begin
+                       Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                     end
+                     else begin
+                       Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                       Buffer.add_char buf
+                         (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                     end;
+                     pos := !pos + 4
+                 | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              advance ();
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elements [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing.                                                            *)
+
+module Trace = struct
+  type kind = Begin | End | Instant | Counter of float
+
+  type event = {
+    ev_seq : int;
+    ev_domain : int;
+    ev_ts : float;
+    ev_kind : kind;
+    ev_name : string;
+    ev_args : (string * string) list;
+  }
+
+  (* One buffer per domain, owned exclusively by that domain (it lives in
+     domain-local storage): only the owner ever writes [b_events] and
+     [b_last_ts], so emission is lock- and contention-free. The buffer is
+     published once per epoch on a Treiber-stack registry so the merge can
+     reach buffers of domains that have since exited. *)
+  type buf = {
+    b_domain : int;
+    mutable b_epoch : int;
+    mutable b_events : event list; (* newest first *)
+    mutable b_last_ts : float;
+  }
+
+  let epoch = Atomic.make 0
+  let registry : buf list Atomic.t = Atomic.make []
+  let seq = Atomic.make 0
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        {
+          b_domain = (Domain.self () :> int);
+          b_epoch = -1;
+          b_events = [];
+          b_last_ts = 0.;
+        })
+
+  let rec register b =
+    let cur = Atomic.get registry in
+    if not (Atomic.compare_and_set registry cur (b :: cur)) then register b
+
+  let buffer () =
+    let b = Domain.DLS.get key in
+    let e = Atomic.get epoch in
+    if b.b_epoch <> e then begin
+      b.b_epoch <- e;
+      b.b_events <- [];
+      b.b_last_ts <- 0.;
+      register b
+    end;
+    b
+
+  let emit kind name args =
+    let b = buffer () in
+    let s = Atomic.fetch_and_add seq 1 in
+    (* Clamp against the last timestamp this domain emitted: gettimeofday
+       is not guaranteed monotone, and the well-formedness checker demands
+       per-domain monotonicity. *)
+    let now = Unix.gettimeofday () in
+    let ts = if now > b.b_last_ts then now else b.b_last_ts in
+    b.b_last_ts <- ts;
+    b.b_events <-
+      { ev_seq = s; ev_domain = b.b_domain; ev_ts = ts; ev_kind = kind;
+        ev_name = name; ev_args = args }
+      :: b.b_events
+
+  let span_begin ?(args = []) name = if on () then emit Begin name args
+  let span_end ?(args = []) name = if on () then emit End name args
+  let instant ?(args = []) name = if on () then emit Instant name args
+  let counter name v = if on () then emit (Counter v) name []
+
+  let with_span ?(args = []) name f =
+    (* Sample the guard once: a toggle while [f] runs must not produce an
+       unmatched Begin or End. *)
+    if not (on ()) then f ()
+    else begin
+      emit Begin name args;
+      Fun.protect ~finally:(fun () -> emit End name []) f
+    end
+
+  let reset () =
+    Atomic.set registry [];
+    Atomic.incr epoch;
+    Atomic.set seq 0
+
+  let events () =
+    let bufs = Atomic.get registry in
+    let all = List.concat_map (fun b -> b.b_events) bufs in
+    List.sort (fun a b -> Int.compare a.ev_seq b.ev_seq) all
+
+  (* ---------------- well-formedness ---------------- *)
+
+  let check evs =
+    let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+    let stack dom =
+      match Hashtbl.find_opt stacks dom with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add stacks dom r;
+          r
+    in
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    let rec go prev_seq = function
+      | [] ->
+          let open_spans =
+            Hashtbl.fold
+              (fun dom r acc ->
+                List.fold_left
+                  (fun acc name -> Printf.sprintf "%s (domain %d)" name dom :: acc)
+                  acc !r)
+              stacks []
+          in
+          if open_spans = [] then Ok ()
+          else err "unclosed span(s): %s" (String.concat ", " open_spans)
+      | e :: rest -> (
+          if e.ev_seq <= prev_seq then
+            err "seq not strictly increasing: %d after %d" e.ev_seq prev_seq
+          else begin
+            match Hashtbl.find_opt last_ts e.ev_domain with
+            | Some t when e.ev_ts < t ->
+                err "timestamp regressed on domain %d at seq %d (%.9f < %.9f)"
+                  e.ev_domain e.ev_seq e.ev_ts t
+            | _ -> (
+                Hashtbl.replace last_ts e.ev_domain e.ev_ts;
+                let st = stack e.ev_domain in
+                match e.ev_kind with
+                | Begin ->
+                    st := e.ev_name :: !st;
+                    go e.ev_seq rest
+                | End -> (
+                    match !st with
+                    | top :: tl when top = e.ev_name ->
+                        st := tl;
+                        go e.ev_seq rest
+                    | top :: _ ->
+                        err "end '%s' does not match open span '%s' (domain %d, seq %d)"
+                          e.ev_name top e.ev_domain e.ev_seq
+                    | [] ->
+                        err "end '%s' with no open span (domain %d, seq %d)" e.ev_name
+                          e.ev_domain e.ev_seq)
+                | Instant | Counter _ -> go e.ev_seq rest)
+          end)
+    in
+    go (-1) evs
+
+  (* ---------------- exporters ---------------- *)
+
+  let ph_of = function
+    | Begin -> "B"
+    | End -> "E"
+    | Instant -> "i"
+    | Counter _ -> "C"
+
+  let args_json args = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)
+
+  let event_json e =
+    let base =
+      [
+        ("seq", Json.Num (float_of_int e.ev_seq));
+        ("dom", Json.Num (float_of_int e.ev_domain));
+        ("ts", Json.Num e.ev_ts);
+        ("ph", Json.Str (ph_of e.ev_kind));
+        ("name", Json.Str e.ev_name);
+      ]
+    in
+    let value = match e.ev_kind with Counter v -> [ ("value", Json.Num v) ] | _ -> [] in
+    let args = if e.ev_args = [] then [] else [ ("args", args_json e.ev_args) ] in
+    Json.Obj (base @ value @ args)
+
+  let to_ndjson buf evs =
+    List.iter
+      (fun e ->
+        Json.to_buf buf (event_json e);
+        Buffer.add_char buf '\n')
+      evs
+
+  let to_chrome buf evs =
+    let t0 = match evs with [] -> 0. | e :: _ -> e.ev_ts in
+    let us e = (e.ev_ts -. t0) *. 1e6 in
+    let entry e =
+      let base =
+        [
+          ("name", Json.Str e.ev_name);
+          ("ph", Json.Str (ph_of e.ev_kind));
+          ("ts", Json.Num (us e));
+          ("pid", Json.Num 0.);
+          ("tid", Json.Num (float_of_int e.ev_domain));
+        ]
+      in
+      let extra =
+        match e.ev_kind with
+        | Instant -> [ ("s", Json.Str "t") ]
+        | Counter v -> [ ("args", Json.Obj [ ("value", Json.Num v) ]) ]
+        | Begin | End -> if e.ev_args = [] then [] else [ ("args", args_json e.ev_args) ]
+      in
+      Json.Obj (base @ extra)
+    in
+    Json.to_buf buf
+      (Json.Obj
+         [
+           ("traceEvents", Json.Arr (List.map entry evs));
+           ("displayTimeUnit", Json.Str "ms");
+         ])
+
+  let parse_ndjson text =
+    let lines =
+      List.filteri
+        (fun _ l -> String.trim l <> "")
+        (String.split_on_char '\n' text)
+    in
+    let event_of_json lineno j =
+      let num k =
+        match Json.member k j with
+        | Some (Json.Num f) -> Ok f
+        | _ -> Error (Printf.sprintf "line %d: missing numeric field %S" lineno k)
+      in
+      let str k =
+        match Json.member k j with
+        | Some (Json.Str s) -> Ok s
+        | _ -> Error (Printf.sprintf "line %d: missing string field %S" lineno k)
+      in
+      let ( let* ) = Result.bind in
+      let* sq = num "seq" in
+      let* dom = num "dom" in
+      let* ts = num "ts" in
+      let* ph = str "ph" in
+      let* name = str "name" in
+      let* kind =
+        match ph with
+        | "B" -> Ok Begin
+        | "E" -> Ok End
+        | "i" -> Ok Instant
+        | "C" -> (
+            match Json.member "value" j with
+            | Some (Json.Num v) -> Ok (Counter v)
+            | _ -> Error (Printf.sprintf "line %d: counter without value" lineno))
+        | _ -> Error (Printf.sprintf "line %d: unknown ph %S" lineno ph)
+      in
+      let args =
+        match Json.member "args" j with
+        | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> match v with Json.Str s -> Some (k, s) | _ -> None)
+              kvs
+        | _ -> []
+      in
+      Ok
+        {
+          ev_seq = int_of_float sq;
+          ev_domain = int_of_float dom;
+          ev_ts = ts;
+          ev_kind = kind;
+          ev_name = name;
+          ev_args = args;
+        }
+    in
+    let rec go lineno acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+          match Json.parse line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok j -> (
+              match event_of_json lineno j with
+              | Error _ as e -> e
+              | Ok ev -> go (lineno + 1) (ev :: acc) rest))
+    in
+    go 1 [] lines
+
+  let write ~format path evs =
+    let buf = Buffer.create 4096 in
+    (match format with `Ndjson -> to_ndjson buf evs | `Chrome -> to_chrome buf evs);
+    let oc = open_out path in
+    Buffer.output_buffer oc buf;
+    close_out oc
+
+  (* Chrome traces come back through the generic JSON parser; the checker
+     runs on the reconstructed event list (ts in us, order = array order). *)
+  let events_of_chrome text =
+    match Json.parse text with
+    | Error msg -> Error msg
+    | Ok j -> (
+        match Json.member "traceEvents" j with
+        | Some (Json.Arr entries) ->
+            let event_of i e =
+              let num k d =
+                match Json.member k e with Some (Json.Num f) -> f | _ -> d
+              in
+              let str k =
+                match Json.member k e with Some (Json.Str s) -> Some s | _ -> None
+              in
+              match (str "name", str "ph") with
+              | Some name, Some ph ->
+                  let kind =
+                    match ph with
+                    | "B" -> Some Begin
+                    | "E" -> Some End
+                    | "i" -> Some Instant
+                    | "C" ->
+                        Some
+                          (Counter
+                             (match Json.member "args" e with
+                             | Some (Json.Obj kvs) -> (
+                                 match List.assoc_opt "value" kvs with
+                                 | Some (Json.Num v) -> v
+                                 | _ -> 0.)
+                             | _ -> 0.))
+                    | _ -> None
+                  in
+                  Option.map
+                    (fun kind ->
+                      {
+                        ev_seq = i;
+                        ev_domain = int_of_float (num "tid" 0.);
+                        ev_ts = num "ts" 0.;
+                        ev_kind = kind;
+                        ev_name = name;
+                        ev_args = [];
+                      })
+                    kind
+              | _ -> None
+            in
+            Ok (List.filter_map Fun.id (List.mapi event_of entries))
+        | _ -> Error "not a Chrome trace: no traceEvents array")
+
+  let validate_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    (* Both formats open with '{': a Chrome trace is one JSON object whose
+       first member is "traceEvents" (that is how [to_chrome] writes it),
+       while ndjson is one event object per line. *)
+    let trimmed = String.trim text in
+    let is_chrome =
+      String.length trimmed >= 15 && String.sub trimmed 0 15 = "{\"traceEvents\":"
+    in
+    let parsed = if is_chrome then events_of_chrome text else parse_ndjson text in
+    match parsed with
+    | Error msg -> Error msg
+    | Ok evs -> (
+        match check evs with Ok () -> Ok (List.length evs) | Error msg -> Error msg)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+module Metrics = struct
+  (* CAS loop for float accumulation: [compare_and_set] on a boxed float
+     compares the box physically, and we only ever CAS the exact box we
+     read, so a success means no interleaved write. *)
+  let rec atomic_add_float a x =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
+
+  let bucket_bounds =
+    [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10.; 100.; 1e3; infinity |]
+
+  type hist = {
+    h_counts : int Atomic.t array; (* per-bound, non-cumulative *)
+    h_n : int Atomic.t;
+    h_s : float Atomic.t;
+  }
+
+  type counter = int Atomic.t
+  type gauge = float Atomic.t
+  type histogram = hist
+
+  type cell = Ccell of counter | Gcell of gauge | Hcell of hist
+
+  let registry : (string, cell) Hashtbl.t = Hashtbl.create 32
+  let lock = Mutex.create ()
+
+  let counter name =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Ccell c) -> c
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
+        | None ->
+            let c = Atomic.make 0 in
+            Hashtbl.add registry name (Ccell c);
+            c)
+
+  let gauge name =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Gcell g) -> g
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
+        | None ->
+            let g = Atomic.make 0. in
+            Hashtbl.add registry name (Gcell g);
+            g)
+
+  let histogram name =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some (Hcell h) -> h
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
+        | None ->
+            let h =
+              {
+                h_counts = Array.init (Array.length bucket_bounds) (fun _ -> Atomic.make 0);
+                h_n = Atomic.make 0;
+                h_s = Atomic.make 0.;
+              }
+            in
+            Hashtbl.add registry name (Hcell h);
+            h)
+
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let incr c = add c 1
+  let set g v = Atomic.set g v
+
+  let observe h v =
+    let rec bucket i =
+      if i >= Array.length bucket_bounds - 1 || v <= bucket_bounds.(i) then i
+      else bucket (i + 1)
+    in
+    ignore (Atomic.fetch_and_add h.h_counts.(bucket 0) 1);
+    ignore (Atomic.fetch_and_add h.h_n 1);
+    atomic_add_float h.h_s v
+
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of { h_count : int; h_sum : float; h_buckets : (float * int) list }
+
+  type snapshot = (string * value) list
+
+  let snapshot () =
+    let rows =
+      Mutex.protect lock (fun () ->
+          Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) registry [])
+    in
+    List.sort (fun (a, _) (b, _) -> String.compare a b)
+      (List.map
+         (fun (name, cell) ->
+           let v =
+             match cell with
+             | Ccell c -> Counter (Atomic.get c)
+             | Gcell g -> Gauge (Atomic.get g)
+             | Hcell h ->
+                 (* Cumulative buckets for the snapshot view. *)
+                 let acc = ref 0 in
+                 let buckets =
+                   Array.to_list
+                     (Array.mapi
+                        (fun i c ->
+                          acc := !acc + Atomic.get c;
+                          (bucket_bounds.(i), !acc))
+                        h.h_counts)
+                 in
+                 Histogram
+                   { h_count = Atomic.get h.h_n; h_sum = Atomic.get h.h_s; h_buckets = buckets }
+           in
+           (name, v))
+         rows)
+
+  let diff ~before ~after =
+    List.map
+      (fun (name, v) ->
+        let prev = List.assoc_opt name before in
+        let v' =
+          match (v, prev) with
+          | Counter a, Some (Counter b) -> Counter (a - b)
+          | Counter a, _ -> Counter a
+          | Gauge a, _ -> Gauge a
+          | Histogram h, Some (Histogram p) ->
+              Histogram
+                {
+                  h_count = h.h_count - p.h_count;
+                  h_sum = h.h_sum -. p.h_sum;
+                  h_buckets =
+                    List.map2
+                      (fun (b, c) (_, pc) -> (b, c - pc))
+                      h.h_buckets p.h_buckets;
+                }
+          | Histogram _, _ -> v
+        in
+        (name, v'))
+      after
+
+  let reset () = Mutex.protect lock (fun () -> Hashtbl.reset registry)
+
+  let value_json = function
+    | Counter n -> Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
+    | Gauge v -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num v) ]
+    | Histogram h ->
+        Json.Obj
+          [
+            ("type", Json.Str "histogram");
+            ("count", Json.Num (float_of_int h.h_count));
+            ("sum", Json.Num h.h_sum);
+            ( "buckets",
+              Json.Arr
+                (List.map
+                   (fun (bound, c) ->
+                     Json.Obj
+                       [
+                         ( "le",
+                           if Float.is_integer bound || bound = infinity then
+                             Json.Str
+                               (if bound = infinity then "inf"
+                                else Printf.sprintf "%.0f" bound)
+                           else Json.Str (Printf.sprintf "%g" bound) );
+                         ("count", Json.Num (float_of_int c));
+                       ])
+                   h.h_buckets) );
+          ]
+
+  let to_json snap = Json.Obj (List.map (fun (name, v) -> (name, value_json v)) snap)
+
+  let write path snap =
+    let oc = open_out path in
+    output_string oc (Json.to_string (to_json snap));
+    output_char oc '\n';
+    close_out oc
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Export = struct
+  let guard ~force path =
+    if (not force) && Sys.file_exists path then
+      Error
+        (Printf.sprintf
+           "refusing to overwrite existing file %s (pass --force to replace it)" path)
+    else Ok ()
+end

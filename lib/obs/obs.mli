@@ -1,0 +1,170 @@
+(** Observability: structured tracing and a metrics registry for the
+    solving stack.
+
+    Zero-dependency (unix only) and disabled by default: every emission
+    point is guarded by one [Atomic.get] on a global flag, so instrumented
+    hot paths pay nothing measurable when tracing is off. When on, events
+    go to per-domain buffers (domain-local storage, registered once on a
+    lock-free list), so portfolio workers and {!Par} tasks emit without
+    taking any lock; a global atomic sequence number gives the merged
+    trace a total order. See DESIGN.md in this directory for the buffer
+    ownership and merge-ordering rules. *)
+
+val on : unit -> bool
+(** The near-zero-cost guard: one atomic load. Instrumentation sites check
+    this before building argument lists. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** {1 Minimal JSON}
+
+    Just enough JSON to emit and re-read our own exports without pulling
+    in a dependency. Numbers are floats, objects are assoc lists in
+    emission order. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_buf : Buffer.t -> t -> unit
+  val to_string : t -> string
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on missing field or non-object. *)
+end
+
+(** {1 Span-based tracing} *)
+
+module Trace : sig
+  type kind =
+    | Begin  (** span open *)
+    | End  (** span close; must match the innermost open span of its domain *)
+    | Instant  (** point event *)
+    | Counter of float  (** sampled value *)
+
+  type event = {
+    ev_seq : int;  (** global emission order (strictly increasing) *)
+    ev_domain : int;  (** id of the emitting domain *)
+    ev_ts : float;  (** seconds; non-decreasing within a domain *)
+    ev_kind : kind;
+    ev_name : string;
+    ev_args : (string * string) list;
+  }
+
+  val span_begin : ?args:(string * string) list -> string -> unit
+  val span_end : ?args:(string * string) list -> string -> unit
+
+  val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_span name f] brackets [f] in a begin/end pair (the end is
+      emitted even when [f] raises). When tracing is off this is exactly
+      [f ()]; the enabled state is sampled once at entry so a mid-flight
+      toggle cannot unbalance the trace. *)
+
+  val instant : ?args:(string * string) list -> string -> unit
+  val counter : string -> float -> unit
+
+  val reset : unit -> unit
+  (** Drop all buffered events (a new epoch: buffers of live domains are
+      lazily re-registered on their next emission). *)
+
+  val events : unit -> event list
+  (** The merged trace in sequence order. Only meaningful at quiescence —
+      after every emitting domain has been joined (or is idle); the merge
+      itself takes no lock. *)
+
+  (** {2 Well-formedness} *)
+
+  val check : event list -> (unit, string) result
+  (** Structural invariants of a merged trace: sequence numbers strictly
+      increase, timestamps are non-decreasing per domain, every [End]
+      matches the innermost open [Begin] of its domain, and no span is
+      left open. *)
+
+  (** {2 Exporters} *)
+
+  val to_ndjson : Buffer.t -> event list -> unit
+  (** One JSON object per line:
+      [{"seq":..,"dom":..,"ts":..,"ph":"B|E|i|C",...}]. *)
+
+  val to_chrome : Buffer.t -> event list -> unit
+  (** Chrome [trace_event] JSON ([{"traceEvents":[...]}]), loadable in
+      Perfetto / [about://tracing]. Timestamps are microseconds relative
+      to the first event; domains appear as threads. *)
+
+  val parse_ndjson : string -> (event list, string) result
+  (** Re-read an ndjson export (inverse of {!to_ndjson}). *)
+
+  val write : format:[ `Ndjson | `Chrome ] -> string -> event list -> unit
+  (** Write a trace file; overwrites. *)
+
+  val validate_file : string -> (int, string) result
+  (** Parse a trace file (ndjson, or Chrome JSON recognized by a leading
+      ['{']) and run {!check}; returns the number of events on success. *)
+end
+
+(** {1 Metrics registry}
+
+    Named counters, gauges and histograms with atomic updates. Handles
+    are interned by name: two [counter "x"] calls share state. Updates
+    are unconditional (callers guard with {!on} where the lookup itself
+    would be hot); reads take a consistent-enough snapshot for reporting,
+    not a linearizable one. *)
+
+module Metrics : sig
+  type counter
+  type gauge
+  type histogram
+
+  val counter : string -> counter
+  val gauge : string -> gauge
+  val histogram : string -> histogram
+  (** Intern a metric. Re-interning an existing name with a different
+      kind raises [Invalid_argument]. *)
+
+  val add : counter -> int -> unit
+  val incr : counter -> unit
+  val set : gauge -> float -> unit
+  val observe : histogram -> float -> unit
+
+  type value =
+    | Counter of int
+    | Gauge of float
+    | Histogram of {
+        h_count : int;
+        h_sum : float;
+        h_buckets : (float * int) list;
+            (** cumulative: count of observations <= bound; last bound is
+                [infinity] *)
+      }
+
+  type snapshot = (string * value) list
+  (** Sorted by name. *)
+
+  val snapshot : unit -> snapshot
+
+  val diff : before:snapshot -> after:snapshot -> snapshot
+  (** Per-interval view: counters and histogram counts/sums subtract
+      (a name missing from [before] counts as zero), gauges keep the
+      [after] value. Names only in [before] are dropped. *)
+
+  val reset : unit -> unit
+  (** Forget every registered metric (handles from before the reset keep
+      working but are no longer reachable from {!snapshot}). *)
+
+  val to_json : snapshot -> Json.t
+  val write : string -> snapshot -> unit
+end
+
+(** {1 Export guard} *)
+
+module Export : sig
+  val guard : force:bool -> string -> (unit, string) result
+  (** Refuse to clobber an existing report/trace file unless [force]:
+      [Error msg] when [path] exists and [force] is false. *)
+end

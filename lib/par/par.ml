@@ -47,12 +47,19 @@ let run_tasks_governed ~jobs ?deadline ?stop_when tasks =
   let exec i =
     let t0 = Unix.gettimeofday () in
     starts.(i) <- t0;
+    (* The span's domain id is recorded by the trace buffer itself; the
+       task index is the only argument worth carrying. *)
+    if Obs.on () then
+      Obs.Trace.span_begin "par.task" ~args:[ ("task", string_of_int i) ];
     let r =
       try Ok (tasks.(i) tokens.(i))
       with e ->
         let bt = Printexc.get_raw_backtrace () in
         Error (e, bt)
     in
+    if Obs.on () then
+      Obs.Trace.span_end "par.task"
+        ~args:[ ("ok", match r with Ok _ -> "true" | Error _ -> "false") ];
     times.(i) <- Unix.gettimeofday () -. t0;
     finished.(i) <- true;
     results.(i) <- r;

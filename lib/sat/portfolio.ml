@@ -152,6 +152,8 @@ let solve ?(assumptions = []) ?(budget = Solver.no_budget) ?cancel ?seed ~config
       Array.init n (fun _ -> Array.init n (fun _ -> Ring.create config.p_ring_capacity))
     in
     let run_worker token i =
+      if Obs.on () then
+        Obs.Trace.span_begin "portfolio.worker" ~args:[ ("worker", string_of_int i) ];
       let s = Solver.create () in
       if certify then Solver.start_proof s;
       Solver.set_proof_clock s clock;
@@ -210,6 +212,19 @@ let solve ?(assumptions = []) ?(budget = Solver.no_budget) ?cancel ?seed ~config
       for j = 0 to n - 1 do
         if j <> i then dropped := !dropped + Ring.dropped rings.(i).(j)
       done;
+      if Obs.on () then begin
+        let st = Solver.stats s in
+        Obs.Trace.span_end "portfolio.worker"
+          ~args:
+            [
+              ( "result",
+                match r with
+                | Solver.Sat -> "sat"
+                | Solver.Unsat -> "unsat"
+                | Solver.Unknown _ -> "unknown" );
+              ("conflicts", string_of_int st.Solver.conflicts);
+            ]
+      end;
       {
         w_index = i;
         w_result = r;
@@ -267,6 +282,17 @@ let solve ?(assumptions = []) ?(budget = Solver.no_budget) ?cancel ?seed ~config
           (Solver.Unknown (Option.value reason ~default:Solver.Cancelled), -1, None)
     in
     (match model with None -> () | Some m -> Solver.inject_model master m);
+    if Obs.on () then begin
+      Obs.Trace.instant "portfolio.race"
+        ~args:
+          [
+            ("workers", string_of_int n);
+            ("winner", match winner with Some w -> string_of_int w.w_index | None -> "none");
+          ];
+      Obs.Metrics.add (Obs.Metrics.counter "portfolio.exported") exported;
+      Obs.Metrics.add (Obs.Metrics.counter "portfolio.imported") imported;
+      Obs.Metrics.add (Obs.Metrics.counter "portfolio.dropped") dropped
+    end;
     let o_stats =
       match winner with
       | Some w ->

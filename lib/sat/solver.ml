@@ -824,6 +824,9 @@ let add_clause s lits =
 (* Learnt DB reduction and level-0 simplification.                     *)
 
 let reduce_db s =
+  if Obs.on () then
+    Obs.Trace.span_begin "sat.reduce"
+      ~args:[ ("learnts", string_of_int (Vec.size s.learnts)) ];
   (* Glue-based reduction (Glucose-style): sort so the clauses to drop come
      first — highest LBD first, coldest activity as tiebreak — then drop the
      first half. Binary clauses, "glue" clauses (LBD <= 2) and clauses
@@ -841,7 +844,10 @@ let reduce_db s =
     else remove_clause s c
   done;
   Vec.clear s.learnts;
-  Vec.iter (fun c -> Vec.push s.learnts c) keep
+  Vec.iter (fun c -> Vec.push s.learnts c) keep;
+  if Obs.on () then
+    Obs.Trace.span_end "sat.reduce"
+      ~args:[ ("kept", string_of_int (Vec.size s.learnts)) ]
 
 let clause_satisfied s c =
   let rec loop i = i < Array.length c.lits && (value_lit s c.lits.(i) = 1 || loop (i + 1)) in
@@ -849,6 +855,7 @@ let clause_satisfied s c =
 
 let simplify s =
   assert (decision_level s = 0);
+  if Obs.on () then Obs.Trace.span_begin "sat.simplify";
   if s.ok && propagate s = None then begin
     let compact ?(track_watermark = false) vec =
       let keep = Vec.create dummy_clause in
@@ -868,11 +875,15 @@ let simplify s =
       if track_watermark then s.pre_watermark <- max 0 (s.pre_watermark - !removed_below)
     in
     compact s.learnts;
-    compact ~track_watermark:true s.clauses
+    compact ~track_watermark:true s.clauses;
+    if Obs.on () then Obs.Trace.span_end "sat.simplify"
   end
-  else if s.ok && decision_level s = 0 then begin
-    s.ok <- false;
-    log_empty s
+  else begin
+    if s.ok && decision_level s = 0 then begin
+      s.ok <- false;
+      log_empty s
+    end;
+    if Obs.on () then Obs.Trace.span_end "sat.simplify"
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1134,6 +1145,12 @@ let solve ?(assumptions = []) ?(budget = no_budget) ?cancel ?seed s =
   end
   else begin
     set_limits s budget cancel;
+    (* Per-solve metric deltas: stats are cumulative on the solver, so
+       sample them at entry and publish the difference at exit. *)
+    let obs0 =
+      if Obs.on () then Some (s.n_conflicts, s.n_propagations, Unix.gettimeofday ())
+      else None
+    in
     (match seed with None -> () | Some seed -> perturb_phases s seed);
     drain_imports s;
     s.assumptions <- Array.of_list assumptions;
@@ -1161,6 +1178,15 @@ let solve ?(assumptions = []) ?(budget = no_budget) ?cancel ?seed s =
          | Restart ->
              s.n_restarts <- s.n_restarts + 1;
              s.max_learnts <- s.max_learnts *. 1.05;
+             if Obs.on () then begin
+               (* Restart boundaries are the natural sampling points for
+                  conflict/propagation rates: frequent enough to plot, far
+                  enough apart to stay off the propagation fast path. *)
+               Obs.Trace.instant "sat.restart"
+                 ~args:[ ("restarts", string_of_int s.n_restarts) ];
+               Obs.Trace.counter "sat.conflicts" (float_of_int s.n_conflicts);
+               Obs.Trace.counter "sat.propagations" (float_of_int s.n_propagations)
+             end;
              (* Restart boundaries are the import points: the trail is back
                 at level 0, so foreign clauses can be installed with sound
                 watch placement. *)
@@ -1176,6 +1202,15 @@ let solve ?(assumptions = []) ?(budget = no_budget) ?cancel ?seed s =
     clear_limits s;
     cancel_until s 0;
     s.assumptions <- [||];
+    (match obs0 with
+    | Some (c0, p0, t0) when Obs.on () ->
+        Obs.Metrics.add (Obs.Metrics.counter "sat.solves") 1;
+        Obs.Metrics.add (Obs.Metrics.counter "sat.conflicts") (s.n_conflicts - c0);
+        Obs.Metrics.add (Obs.Metrics.counter "sat.propagations") (s.n_propagations - p0);
+        Obs.Metrics.observe
+          (Obs.Metrics.histogram "sat.solve.seconds")
+          (Unix.gettimeofday () -. t0)
+    | _ -> ());
     match !result with Some r -> r | None -> assert false
   end
 
@@ -1231,6 +1266,9 @@ let preprocess ?(elim = false) ?(frozen = []) s =
   if decision_level s <> 0 then
     invalid_arg "Solver.preprocess: only allowed at decision level 0";
   let before = Vec.size s.clauses in
+  if Obs.on () then
+    Obs.Trace.span_begin "sat.preprocess"
+      ~args:[ ("clauses", string_of_int before); ("elim", string_of_bool elim) ];
   let finish st =
     let r =
       {
@@ -1244,6 +1282,9 @@ let preprocess ?(elim = false) ?(frozen = []) s =
       }
     in
     s.pre_acc <- presult_add s.pre_acc r;
+    if Obs.on () then
+      Obs.Trace.span_end "sat.preprocess"
+        ~args:[ ("clauses", string_of_int r.pre_clauses_after) ];
     r
   in
   let nothing =

@@ -16,5 +16,6 @@ let () =
       ("vcd", Test_vcd.suite);
       ("variable", Test_variable.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
       ("matrix", Test_matrix.suite);
     ]

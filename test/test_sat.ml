@@ -447,6 +447,53 @@ let test_preprocess_incremental () =
     | Solver.Unknown _ -> Alcotest.fail "unexpected unknown without a budget"
   done
 
+(* Assumption variables passed as [frozen] survive bounded variable
+   elimination, and the extended model of a SAT answer under those
+   assumptions honours both the assumptions and every original clause —
+   including clauses whose other variables were resolved away. *)
+let test_preprocess_elim_frozen_assumptions () =
+  let rand = Random.State.make [| 2027 |] in
+  for _trial = 1 to 200 do
+    let nvars = 3 + Random.State.int rand 6 in
+    let clauses = random_instance rand nvars (2 + Random.State.int rand 15) in
+    let a = Lit.make (Random.State.int rand nvars) ~neg:(Random.State.bool rand) in
+    let expected = brute_force nvars ([ a ] :: clauses) in
+    let s = Solver.create () in
+    let _ = fresh_vars s nvars in
+    List.iter (Solver.add_clause s) clauses;
+    let _ = Solver.preprocess ~elim:true ~frozen:[ a ] s in
+    match Solver.solve ~assumptions:[ a ] s with
+    | Solver.Sat ->
+        if not expected then
+          Alcotest.fail "elim+frozen solver said SAT, brute force UNSAT";
+        if not (Solver.value s a) then
+          Alcotest.fail "model does not honour the frozen assumption";
+        if not (check_model s clauses) then
+          Alcotest.fail "extended model violates an original clause"
+    | Solver.Unsat ->
+        if expected then Alcotest.fail "elim+frozen solver said UNSAT, brute force SAT"
+    | Solver.Unknown _ -> Alcotest.fail "unexpected unknown without a budget"
+  done
+
+(* Targeted shape: x <-> y & z with only x frozen, so the eliminator is
+   free to resolve y and z away. Assuming x afterwards must reconstruct
+   y = z = true in the extended model. *)
+let test_preprocess_elim_assumption_pulls_definition () =
+  let s = Solver.create () in
+  let x = Lit.pos (Solver.new_var s) in
+  let y = Lit.pos (Solver.new_var s) in
+  let z = Lit.pos (Solver.new_var s) in
+  Solver.add_clause s [ Lit.negate x; y ];
+  Solver.add_clause s [ Lit.negate x; z ];
+  Solver.add_clause s [ x; Lit.negate y; Lit.negate z ];
+  let _ = Solver.preprocess ~elim:true ~frozen:[ x ] s in
+  match Solver.solve ~assumptions:[ x ] s with
+  | Solver.Sat ->
+      Alcotest.(check bool) "x true" true (Solver.value s x);
+      Alcotest.(check bool) "y reconstructed true" true (Solver.value s y);
+      Alcotest.(check bool) "z reconstructed true" true (Solver.value s z)
+  | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "satisfiable instance rejected"
+
 (* Every preprocessing step is DRAT-logged: UNSAT verdicts after
    elimination still carry a certificate the independent checker accepts. *)
 let test_preprocess_drat_certified () =
@@ -756,6 +803,12 @@ let suite =
     ("simplify.preprocess_matches_plain", `Quick, test_preprocess_matches_plain);
     ("simplify.preprocess_incremental", `Quick, test_preprocess_incremental);
     ("simplify.preprocess_drat", `Quick, test_preprocess_drat_certified);
+    ( "simplify.elim_frozen_assumptions",
+      `Quick,
+      test_preprocess_elim_frozen_assumptions );
+    ( "simplify.elim_assumption_definition",
+      `Quick,
+      test_preprocess_elim_assumption_pulls_definition );
     ("govern.conflicts", `Quick, test_budget_conflicts_fires);
     ("govern.decisions", `Quick, test_budget_decisions_fires);
     ("govern.propagations", `Quick, test_budget_propagations_fires);
