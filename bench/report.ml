@@ -1,0 +1,38 @@
+(* Pure report-shaping helpers for the bench harness, split out of [main]
+   so the JSON field derivations are unit-testable (the executable itself
+   only runs whole experiments). *)
+
+(* Estimated speedup of a fan-out experiment over a 1-domain run of the
+   same tasks: task-seconds divided by wall-clock seconds. [None] (emitted
+   as JSON null) when the experiment ran no parallel section — and, since
+   gqed-bench/5, when it is [starved]: experiments that deliberately
+   starve their tasks' budgets (rob runs checks under 1-conflict budgets
+   to exercise escalation) produce task timings that say nothing about
+   1-domain cost, so a ratio over them is noise dressed up as a figure. *)
+let est_speedup_vs_1domain ~starved ~wall_s ~task_sum_s =
+  if starved || not (task_sum_s > 0.0) || not (wall_s > 0.0) then None
+  else Some (task_sum_s /. wall_s)
+
+(* Experiments whose tasks run under deliberately starved budgets. *)
+let starved_experiments = [ "rob" ]
+let is_starved id = List.mem id starved_experiments
+
+let json_float_opt = function
+  | None -> "null"
+  | Some v -> Printf.sprintf "%.3f" v
+
+(* Geometric mean of base/variant over per-design timing pairs, ignoring
+   pairs where either side is nonpositive (a design whose whole lane ran
+   in under a clock tick carries no signal). [None] when nothing usable
+   remains. *)
+let geo_mean_ratio pairs =
+  let logs =
+    List.filter_map
+      (fun (base, variant) ->
+        if base > 0.0 && variant > 0.0 then Some (log (base /. variant)) else None)
+      pairs
+  in
+  match logs with
+  | [] -> None
+  | _ ->
+      Some (exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length logs)))

@@ -229,6 +229,19 @@ let deterministic_flag =
            completion, lowest decided worker index wins — the same worker \
            count and seed always give the same winner and stats.")
 
+(* Cross-query reuse (see lib/bmc/REUSE.md): one shared context for every
+   check the command runs. Off by default — a single check has nothing to
+   share; the win is matrix workloads (--all-mutants, escalation retries). *)
+let reuse_flag =
+  Arg.(
+    value & flag
+    & info [ "reuse" ]
+        ~doc:
+          "Share work across the run's checks: learnt clauses transfer between \
+           the mutants' solvers and repeated queries are answered from a \
+           verdict cache. Most effective with $(b,--all-mutants). Verdicts are \
+           identical with and without it.")
+
 let portfolio_config ~portfolio ~no_share ~deterministic =
   if portfolio <= 1 then None
   else
@@ -357,7 +370,7 @@ let verify_cmd =
   in
   let run name technique bound mutant all_mutants jobs waveform vcd simplify mono
       simp_stats timeout max_conflicts no_escalate portfolio no_share deterministic
-      obs_trace obs_metrics obs_format =
+      reuse obs_trace obs_metrics obs_format =
     setup_obs ~trace:obs_trace ~metrics:obs_metrics ~format:obs_format;
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
@@ -388,20 +401,35 @@ let verify_cmd =
        per-query portfolio). With unbounded budgets the first attempt
        decides, so the per-query clause-sharing portfolio does the work. *)
     let racing = portfolio > 1 && (timeout <> None || max_conflicts <> None) in
+    let reuse = if reuse then Some (Bmc.Reuse.create ()) else None in
     let check ?cancel technique design =
       let limits = limits_of ?cancel ?portfolio:pconfig ~timeout ~max_conflicts () in
       let run1 ~simplify ~mono ~limits =
         match technique with
-        | `Gqed -> Checks.gqed ~simplify ~mono ~limits design e.Entry.iface ~bound
-        | `Flow -> Checks.flow ~simplify ~mono ~limits design e.Entry.iface ~bound
-        | `Aqed -> Checks.aqed_fc ~simplify ~mono ~limits design e.Entry.iface ~bound
+        | `Gqed -> Checks.gqed ~simplify ~mono ~limits ?reuse design e.Entry.iface ~bound
+        | `Flow -> Checks.flow ~simplify ~mono ~limits ?reuse design e.Entry.iface ~bound
+        | `Aqed ->
+            Checks.aqed_fc ~simplify ~mono ~limits ?reuse design e.Entry.iface ~bound
         | `Gqed_out ->
-            Checks.gqed_output_only ~simplify ~mono ~limits design e.Entry.iface ~bound
-        | `Sa -> Checks.sa_check ~simplify ~mono ~limits design e.Entry.iface ~bound
+            Checks.gqed_output_only ~simplify ~mono ~limits ?reuse design e.Entry.iface
+              ~bound
+        | `Sa -> Checks.sa_check ~simplify ~mono ~limits ?reuse design e.Entry.iface ~bound
         | `Stability ->
-            Checks.stability_check ~simplify ~mono ~limits design e.Entry.iface ~bound
+            Checks.stability_check ~simplify ~mono ~limits ?reuse design e.Entry.iface
+              ~bound
       in
       with_escalation ~escalate ~racing ~jobs:portfolio ~limits ~simplify ~mono run1
+    in
+    let print_reuse_stats () =
+      match reuse with
+      | None -> ()
+      | Some ctx ->
+          let s = Bmc.Reuse.stats ctx in
+          Printf.printf
+            "reuse: %d memo hits, %d lemmas published, %d imported, %d/%d cones shared\n"
+            s.Bmc.Reuse.r_memo_hits s.Bmc.Reuse.r_published s.Bmc.Reuse.r_imported
+            s.Bmc.Reuse.r_cone_shared
+            (s.Bmc.Reuse.r_cone_shared + s.Bmc.Reuse.r_cone_new)
     in
     if all_mutants then begin
       (match mutant with
@@ -449,6 +477,7 @@ let verify_cmd =
         muts results;
       Printf.printf "detected %d/%d mutants (%d unknown)\n" !detected
         (List.length muts) !unknown;
+      print_reuse_stats ();
       exit
         (if !detected = List.length muts then 0 else if !unknown > 0 then 3 else 1)
     end;
@@ -475,22 +504,22 @@ let verify_cmd =
                     Checks.reset_check ~simplify ~mono ~limits design e.Entry.iface) );
               ( "single-action",
                 stage (fun ~simplify ~mono ~limits ->
-                    Checks.sa_check ~simplify ~mono ~limits design e.Entry.iface ~bound)
-              );
+                    Checks.sa_check ~simplify ~mono ~limits ?reuse design e.Entry.iface
+                      ~bound) );
             ]
             @ (if Qed.Iface.is_variable_latency e.Entry.iface then []
                else
                  [
                    ( "stability",
                      stage (fun ~simplify ~mono ~limits ->
-                         Checks.stability_check ~simplify ~mono ~limits design
+                         Checks.stability_check ~simplify ~mono ~limits ?reuse design
                            e.Entry.iface ~bound) );
                  ])
             @ [
                 ( "g-fc",
                   stage (fun ~simplify ~mono ~limits ->
-                      Checks.gqed ~simplify ~mono ~limits design e.Entry.iface ~bound)
-                );
+                      Checks.gqed ~simplify ~mono ~limits ?reuse design e.Entry.iface
+                        ~bound) );
               ]
           in
           let reports = Par.run ~jobs (List.map snd stages) in
@@ -522,8 +551,8 @@ let verify_cmd =
       const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
       $ jobs_arg $ waveform_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
       $ timeout_arg $ max_conflicts_arg $ no_escalate_flag $ portfolio_arg
-      $ no_share_flag $ deterministic_flag $ obs_trace_arg $ obs_metrics_arg
-      $ obs_format_arg)
+      $ no_share_flag $ deterministic_flag $ reuse_flag $ obs_trace_arg
+      $ obs_metrics_arg $ obs_format_arg)
 
 (* ---- mutants ---- *)
 

@@ -1,0 +1,429 @@
+(* Cross-query reuse for matrix workloads (see REUSE.md).
+
+   Verifying a mutant matrix re-solves near-identical problems: every
+   mutant of a design shares almost its entire unrolled product with every
+   other mutant, yet each check used to start from a cold solver. This
+   module provides the shared state — one [ctx] per matrix run — and the
+   per-engine machinery that makes three kinds of reuse sound:
+
+   1. Shared-cone identification. Every AIG node of an engine's unrolled
+      product gets a canonical 62-bit hash computed from its structure and
+      the *origin* of its primary inputs (port name, frame, bit — not the
+      graph-local input index, which is not stable across mutants). Two
+      nodes with equal hashes in different engines compute the same
+      function of the same design signals, which is what licenses moving
+      clauses between their solvers.
+
+   2. Learnt-clause transfer. Solvers tag asserted facts as provenance
+      roots (canonical hash of the asserted literal) and track, through
+      conflict analysis, which roots every learnt clause depends on
+      ([Sat.Solver] provenance). A clause is published to the family pool
+      keyed by its canonical literal hashes; a sibling imports it only
+      when (a) every literal maps to an emitted node of its own graph via
+      the hash registry and (b) it has asserted every root itself. The
+      import is logged as a stamped [Sat.Drat.Import] axiom.
+
+   3. Query memoization. Whole check verdicts are cached under a caller-
+      supplied canonical key, so re-running the same technique on the same
+      design (across ablation lanes or re-verification sweeps) is O(1).
+      Unknown verdicts are never cached — they are budget-dependent.
+
+   The context is shared across [Par] domains behind one mutex; engines
+   batch their interactions (one lock per import/publish/extend), so
+   contention stays negligible next to solving. This module must not
+   depend on [Bmc] or [Qed] (they depend on it); engines hand it the
+   input-origin mapping as a closure. *)
+
+module Vec = Sat.Vec
+
+(* ------------------------------------------------------------------ *)
+(* Canonical hashing.                                                  *)
+
+(* splitmix64-style finalizer, truncated to OCaml's 63-bit ints. Collision
+   probability across a matrix run (~1e6 hashed nodes) is ~2^-40 —
+   documented as negligible in REUSE.md. *)
+let mix x =
+  let x = x * 0x2545f4914f6cdd1d in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1b03738712fad5c9 in
+  let x = x lxor (x lsr 32) in
+  x land max_int
+
+let combine a b = mix (a lxor mix (b + 0x165667b19e3779f9))
+
+let string_key s =
+  let h = ref 0x1505 in
+  String.iter (fun c -> h := mix ((!h * 33) lxor Char.code c)) s;
+  !h
+
+(* Tags keeping the hash domains of distinct node kinds disjoint. *)
+let tag_input = 0x11
+let tag_and = 0x22
+let tag_root = 0x33
+
+let origin_key ~kind ~name ~frame ~bit =
+  combine (combine (combine (string_key name) kind) frame) bit
+
+(* ------------------------------------------------------------------ *)
+(* Pool entries.                                                       *)
+
+type entry = {
+  e_lits : int array;
+      (* (canonical node hash lsl 1) lor sign, per clause literal *)
+  e_roots : int array; (* canonical root keys the clause depends on *)
+  e_src : int; (* publishing engine id, to skip self-import *)
+}
+
+type family = {
+  f_entries : entry Vec.t;
+  f_dedup : (string, unit) Hashtbl.t;
+  f_cones : (int, unit) Hashtbl.t; (* canonical hashes seen in this family *)
+}
+
+let dummy_entry = { e_lits = [||]; e_roots = [||]; e_src = -1 }
+let max_pool_entries = 8192
+
+(* ------------------------------------------------------------------ *)
+(* Shared context.                                                     *)
+
+type memo_value = ..
+
+type ctx = {
+  mutex : Mutex.t;
+  families : (string, family) Hashtbl.t;
+  memo : (string, memo_value) Hashtbl.t;
+  mutable next_engine : int;
+  memo_hits : int Atomic.t;
+  memo_misses : int Atomic.t;
+  published : int Atomic.t;
+  pub_dropped : int Atomic.t;
+  imported : int Atomic.t;
+  cone_shared : int Atomic.t;
+  cone_new : int Atomic.t;
+}
+
+type stats = {
+  r_memo_hits : int;
+  r_memo_misses : int;
+  r_published : int;
+  r_pub_dropped : int;
+  r_imported : int;
+  r_cone_shared : int;
+  r_cone_new : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    families = Hashtbl.create 16;
+    memo = Hashtbl.create 64;
+    next_engine = 0;
+    memo_hits = Atomic.make 0;
+    memo_misses = Atomic.make 0;
+    published = Atomic.make 0;
+    pub_dropped = Atomic.make 0;
+    imported = Atomic.make 0;
+    cone_shared = Atomic.make 0;
+    cone_new = Atomic.make 0;
+  }
+
+let stats ctx =
+  {
+    r_memo_hits = Atomic.get ctx.memo_hits;
+    r_memo_misses = Atomic.get ctx.memo_misses;
+    r_published = Atomic.get ctx.published;
+    r_pub_dropped = Atomic.get ctx.pub_dropped;
+    r_imported = Atomic.get ctx.imported;
+    r_cone_shared = Atomic.get ctx.cone_shared;
+    r_cone_new = Atomic.get ctx.cone_new;
+  }
+
+let locked ctx f =
+  Mutex.lock ctx.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ctx.mutex) f
+
+let obs_count name n =
+  if n > 0 && Obs.on () then Obs.Metrics.add (Obs.Metrics.counter name) n
+
+(* ------------------------------------------------------------------ *)
+(* Memoization.                                                        *)
+
+let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let memo_find ctx key =
+  let r = locked ctx (fun () -> Hashtbl.find_opt ctx.memo key) in
+  (match r with
+  | Some _ ->
+      Atomic.incr ctx.memo_hits;
+      obs_count "reuse.memo.hits" 1
+  | None ->
+      Atomic.incr ctx.memo_misses;
+      obs_count "reuse.memo.misses" 1);
+  r
+
+let memo_add ctx key v =
+  locked ctx (fun () ->
+      if not (Hashtbl.mem ctx.memo key) then Hashtbl.add ctx.memo key v)
+
+(* ------------------------------------------------------------------ *)
+(* Per-engine handle.                                                  *)
+
+type engine = {
+  ctx : ctx;
+  fam : family;
+  id : int;
+  graph : Aig.t;
+  input_key : int -> int; (* input index -> origin key; 0 = unknown *)
+  mutable hashes : int array; (* node -> canonical hash *)
+  mutable hashed_upto : int;
+  node_of_hash : (int, int) Hashtbl.t;
+  asserted : (int, unit) Hashtbl.t; (* root keys asserted via this engine *)
+  mutable cursor : int; (* pool entries already examined *)
+  mutable pending : entry list; (* examined but not yet importable *)
+  mutable var2node : int array; (* SAT var -> node, -1 unknown *)
+}
+
+let attach ctx ~family ~graph ~input_key =
+  locked ctx (fun () ->
+      let fam =
+        match Hashtbl.find_opt ctx.families family with
+        | Some f -> f
+        | None ->
+            let f =
+              {
+                f_entries = Vec.create dummy_entry;
+                f_dedup = Hashtbl.create 256;
+                f_cones = Hashtbl.create 4096;
+              }
+            in
+            Hashtbl.add ctx.families family f;
+            f
+      in
+      let id = ctx.next_engine in
+      ctx.next_engine <- id + 1;
+      {
+        ctx;
+        fam;
+        id;
+        graph;
+        input_key;
+        hashes = Array.make 1024 0;
+        hashed_upto = 0;
+        node_of_hash = Hashtbl.create 4096;
+        asserted = Hashtbl.create 64;
+        cursor = 0;
+        pending = [];
+        var2node = Array.make 1024 (-1);
+      })
+
+(* Extend the canonical hash table over nodes added since the last call.
+   One forward pass: fanins always precede their node. The per-family cone
+   registry is updated under the lock in one batch; it powers the
+   shared/new counters (how much of each mutant's product was already
+   blasted by a sibling). *)
+let extend h =
+  let n = Aig.num_nodes h.graph in
+  if n > h.hashed_upto then begin
+    if n > Array.length h.hashes then begin
+      let a = Array.make (max n (2 * Array.length h.hashes)) 0 in
+      Array.blit h.hashes 0 a 0 h.hashed_upto;
+      h.hashes <- a
+    end;
+    let fresh = ref [] in
+    for i = h.hashed_upto to n - 1 do
+      let hv =
+        if i = 0 then mix 0x0f0f0f0f
+        else
+          let idx = Aig.node_input_index h.graph i in
+          if idx >= 0 then begin
+            let k = h.input_key idx in
+            (* Inputs with no recorded origin must never alias across
+               engines: fall back to an engine-unique key (sound — it only
+               prevents sharing). *)
+            let k = if k = 0 then combine (combine 0x5eed (h.id + 1)) idx else k in
+            combine tag_input k
+          end
+          else begin
+            let edge f =
+              combine h.hashes.(Aig.node_of f)
+                (if Aig.is_complemented f then 1 else 0)
+            in
+            let e0 = edge (Aig.node_fanin0 h.graph i) in
+            let e1 = edge (Aig.node_fanin1 h.graph i) in
+            (* Fanin order by literal value is graph-local; order by hash
+               so structurally equal cones agree across engines. *)
+            let lo = min e0 e1 and hi = max e0 e1 in
+            combine (combine tag_and lo) hi
+          end
+      in
+      h.hashes.(i) <- hv;
+      if not (Hashtbl.mem h.node_of_hash hv) then begin
+        Hashtbl.add h.node_of_hash hv i;
+        fresh := hv :: !fresh
+      end
+    done;
+    h.hashed_upto <- n;
+    let fresh = !fresh in
+    if fresh <> [] then begin
+      let shared = ref 0 and nw = ref 0 in
+      locked h.ctx (fun () ->
+          List.iter
+            (fun hv ->
+              if Hashtbl.mem h.fam.f_cones hv then incr shared
+              else begin
+                Hashtbl.add h.fam.f_cones hv ();
+                incr nw
+              end)
+            fresh);
+      if !shared > 0 then Atomic.fetch_and_add h.ctx.cone_shared !shared |> ignore;
+      if !nw > 0 then Atomic.fetch_and_add h.ctx.cone_new !nw |> ignore;
+      obs_count "reuse.cone.shared" !shared;
+      obs_count "reuse.cone.new" !nw
+    end
+  end
+
+(* Canonical key of an asserted AIG literal. *)
+let lit_key h l =
+  extend h;
+  combine tag_root
+    (combine h.hashes.(Aig.node_of l) (if Aig.is_complemented l then 1 else 0))
+
+let note_assert h l =
+  let k = lit_key h l in
+  Hashtbl.replace h.asserted k ();
+  k
+
+(* ------------------------------------------------------------------ *)
+(* Import.                                                             *)
+
+(* Try to install one pool entry into [solver]. [`Ready lits] requires
+   every literal to map onto an emitted node and every root to have been
+   asserted here; anything that may still become true later (as the graph
+   grows and more roots are asserted) stays [`Wait]. *)
+let classify h ~emitter e =
+  if e.e_src = h.id then `Skip
+  else if not (Array.for_all (fun r -> Hashtbl.mem h.asserted r) e.e_roots)
+  then `Wait
+  else begin
+    let n = Array.length e.e_lits in
+    let lits = Array.make n 0 in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let packed = e.e_lits.(!i) in
+      (match Hashtbl.find_opt h.node_of_hash (packed lsr 1) with
+      | None -> ok := false
+      | Some node ->
+          let v = Aig.Cnf.var_of_node emitter node in
+          if v < 0 then ok := false
+          else lits.(!i) <- Sat.Lit.make v ~neg:(packed land 1 = 1));
+      incr i
+    done;
+    if !ok then `Ready lits else `Wait
+  end
+
+let import h ~emitter ~solver =
+  extend h;
+  let batch =
+    locked h.ctx (fun () ->
+        let n = Vec.size h.fam.f_entries in
+        let fresh = ref [] in
+        for i = n - 1 downto h.cursor do
+          fresh := Vec.get h.fam.f_entries i :: !fresh
+        done;
+        h.cursor <- n;
+        !fresh)
+  in
+  let work = List.rev_append (List.rev h.pending) batch in
+  if work <> [] then begin
+    let span = Obs.on () in
+    if span then
+      Obs.Trace.span_begin "reuse.import"
+        ~args:[ ("candidates", string_of_int (List.length work)) ];
+    let n_imported = ref 0 in
+    let pending =
+      List.filter
+        (fun e ->
+          match classify h ~emitter e with
+          | `Skip -> false
+          | `Wait -> true
+          | `Ready lits ->
+              if Sat.Solver.import_lemma solver ~roots:e.e_roots lits then
+                incr n_imported;
+              false)
+        work
+    in
+    h.pending <- pending;
+    if !n_imported > 0 then
+      Atomic.fetch_and_add h.ctx.imported !n_imported |> ignore;
+    obs_count "reuse.lemmas.imported" !n_imported;
+    if span then
+      Obs.Trace.span_end "reuse.import"
+        ~args:[ ("imported", string_of_int !n_imported) ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Publish.                                                            *)
+
+let publish h ~emitter ~solver =
+  let transfers = Sat.Solver.drain_transfers solver in
+  if transfers <> [] then begin
+    let span = Obs.on () in
+    if span then
+      Obs.Trace.span_begin "reuse.publish"
+        ~args:[ ("drained", string_of_int (List.length transfers)) ];
+    extend h;
+    (* Reverse map SAT var -> node for this emitter. Rebuilt per publish:
+       O(emitted nodes), amortized against an entire solver query. *)
+    Aig.Cnf.iter_emitted emitter (fun node var ->
+        if var >= Array.length h.var2node then begin
+          let a = Array.make (max (var + 1) (2 * Array.length h.var2node)) (-1) in
+          Array.blit h.var2node 0 a 0 (Array.length h.var2node);
+          h.var2node <- a
+        end;
+        h.var2node.(var) <- node);
+    let canonical (lits, roots) =
+      let n = Array.length lits in
+      let packed = Array.make n 0 in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < n do
+        let l = lits.(!i) in
+        let v = Sat.Lit.var l in
+        let node = if v < Array.length h.var2node then h.var2node.(v) else -1 in
+        if node < 0 then ok := false
+        else
+          packed.(!i) <-
+            (h.hashes.(node) lsl 1) lor (if Sat.Lit.is_neg l then 1 else 0);
+        incr i
+      done;
+      if !ok then Some { e_lits = packed; e_roots = roots; e_src = h.id }
+      else None
+    in
+    let entries = List.filter_map canonical transfers in
+    let n_pub = ref 0 and n_drop = ref 0 in
+    locked h.ctx (fun () ->
+        List.iter
+          (fun e ->
+            let sorted = Array.copy e.e_lits in
+            Array.sort Int.compare sorted;
+            let key =
+              String.concat "," (Array.to_list (Array.map string_of_int sorted))
+            in
+            if Hashtbl.mem h.fam.f_dedup key then incr n_drop
+            else if Vec.size h.fam.f_entries >= max_pool_entries then incr n_drop
+            else begin
+              Hashtbl.add h.fam.f_dedup key ();
+              Vec.push h.fam.f_entries e;
+              incr n_pub
+            end)
+          entries);
+    n_drop := !n_drop + (List.length transfers - List.length entries);
+    if !n_pub > 0 then Atomic.fetch_and_add h.ctx.published !n_pub |> ignore;
+    if !n_drop > 0 then Atomic.fetch_and_add h.ctx.pub_dropped !n_drop |> ignore;
+    obs_count "reuse.lemmas.published" !n_pub;
+    obs_count "reuse.lemmas.dropped" !n_drop;
+    if span then
+      Obs.Trace.span_end "reuse.publish"
+        ~args:[ ("published", string_of_int !n_pub) ]
+  end

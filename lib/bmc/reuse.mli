@@ -1,0 +1,87 @@
+(** Cross-query reuse for matrix workloads.
+
+    One {!ctx} is shared by every check of a matrix run (all mutants of
+    all designs, across [Par] domains — the context is internally
+    synchronized). It provides three reuse mechanisms, all
+    verdict-preserving:
+
+    - {b shared-cone identification}: canonical structural hashes over the
+      unrolled product, keyed by input origin (port, frame, bit) rather
+      than graph-local indices, so the unmutated portion of each mutant is
+      recognized across engines;
+    - {b learnt-clause transfer}: provenance-tracked lemmas published to a
+      per-design pool and imported by sibling solvers after the root-set
+      and cone-mapping checks (logged as stamped [Sat.Drat.Import] axioms;
+      soundness argument in lib/bmc/REUSE.md);
+    - {b query memoization}: whole-verdict caching under canonical keys.
+
+    Reuse is opt-in: engines created without a context behave exactly as
+    before. The cached report of a memo hit carries the solver statistics
+    of the run that populated it. *)
+
+type ctx
+
+val create : unit -> ctx
+
+type stats = {
+  r_memo_hits : int;
+  r_memo_misses : int;
+  r_published : int;  (** lemmas added to family pools *)
+  r_pub_dropped : int;  (** drained lemmas not pooled (dup/unmappable/full) *)
+  r_imported : int;  (** lemmas installed into receiving solvers *)
+  r_cone_shared : int;  (** hashed nodes already seen by a sibling engine *)
+  r_cone_new : int;  (** hashed nodes first seen by this engine *)
+}
+
+val stats : ctx -> stats
+
+(** {1 Memoization} *)
+
+type memo_value = ..
+(** Extensible so higher layers ([Qed.Checks]) can store their own report
+    types without this module depending on them. *)
+
+val digest : 'a -> string
+(** Structural digest (Marshal + MD5) for building canonical memo keys.
+    Only apply to plain data (no closures). *)
+
+val memo_find : ctx -> string -> memo_value option
+(** Counts a hit or miss (visible in {!stats} and, when tracing, in the
+    [reuse.memo.*] metrics). *)
+
+val memo_add : ctx -> string -> memo_value -> unit
+(** First write wins; later adds under the same key are ignored. *)
+
+(** {1 Engine handles}
+
+    One handle per [Bmc.Engine]; created by the engine itself when given a
+    context. [family] groups engines whose products share cones — the
+    design name, which mutation preserves. [input_key] maps a primary-input
+    index of [graph] to its canonical origin key ({!origin_key}); return 0
+    for inputs with unknown origin (they are kept engine-local, never
+    shared). *)
+
+type engine
+
+val attach : ctx -> family:string -> graph:Aig.t -> input_key:(int -> int) -> engine
+
+val origin_key : kind:int -> name:string -> frame:int -> bit:int -> int
+(** Canonical key for a primary input: [kind] distinguishes input classes
+    (0 = port, 1 = symbolic initial register state), [name] the port or
+    register name in the product, [frame] the unrolling frame, [bit] the
+    bit index. *)
+
+val note_assert : engine -> Aig.lit -> int
+(** Record that the engine asserts the AIG literal as a root fact and
+    return the literal's canonical key, to pass as
+    [Aig.Cnf.assert_lit ~root]. *)
+
+val import : engine -> emitter:Aig.Cnf.emitter -> solver:Sat.Solver.t -> unit
+(** Install every pool lemma that has become importable: all literals map
+    through canonical hashes onto emitted nodes of this engine and all
+    provenance roots have been asserted here. Call at decision level 0,
+    after emitting the query's assumptions and before solving. *)
+
+val publish : engine -> emitter:Aig.Cnf.emitter -> solver:Sat.Solver.t -> unit
+(** Drain the solver's transfer log and add the mappable lemmas to the
+    family pool. Call after each solve. *)

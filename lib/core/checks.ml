@@ -47,6 +47,10 @@ type report = {
   attempts : Bmc.Escalate.attempt list;
 }
 
+type Bmc.Reuse.memo_value += Memo_report of report
+(** What {!run} stores in the reuse context's memo table. Extensible-variant
+    registration keeps [Bmc.Reuse] ignorant of this module's report type. *)
+
 let copy1_prefix = "dut1__"
 let copy2_prefix = "dut2__"
 
@@ -224,9 +228,9 @@ let drive ~engine ~bound ~pairs_at ~kinds =
 (* ------------------------------------------------------------------ *)
 (* A-QED functional consistency (single copy).                          *)
 
-let aqed_fc_fixed ~simplify ~mono ~limits design iface ~bound =
+let aqed_fc_fixed ~simplify ~mono ~limits ~reuse design iface ~bound =
   Iface.check design iface;
-  let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse design in
   let view = { engine; prefix = ""; iface } in
   let gr = Bmc.Engine.graph engine in
   let latency = iface.Iface.latency in
@@ -261,12 +265,12 @@ let aqed_fc_fixed ~simplify ~mono ~limits design iface ~bound =
 (* ------------------------------------------------------------------ *)
 (* G-QED (product of two copies).                                       *)
 
-let gqed_generic ~simplify ~mono ~limits ~with_state design iface ~bound =
+let gqed_generic ~simplify ~mono ~limits ~reuse ~with_state design iface ~bound =
   Iface.check design iface;
   let copy1 = Rtl.rename ~prefix:copy1_prefix design in
   let copy2 = Rtl.rename ~prefix:copy2_prefix design in
   let prod = Rtl.product copy1 copy2 in
-  let engine = Bmc.Engine.create ~simplify ~mono ~limits prod in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse prod in
   let v1 = { engine; prefix = copy1_prefix; iface } in
   let v2 = { engine; prefix = copy2_prefix; iface } in
   let gr = Bmc.Engine.graph engine in
@@ -316,17 +320,17 @@ let gqed_generic ~simplify ~mono ~limits ~with_state design iface ~bound =
   drive ~engine ~bound ~pairs_at
     ~kinds:(Gfc_output, Gfc_response, if with_state then Some Gfc_state else None)
 
-let gqed_fixed ~simplify ~mono ~limits design iface ~bound =
-  gqed_generic ~simplify ~mono ~limits ~with_state:true design iface ~bound
+let gqed_fixed ~simplify ~mono ~limits ~reuse design iface ~bound =
+  gqed_generic ~simplify ~mono ~limits ~reuse ~with_state:true design iface ~bound
 
-let gqed_output_only_fixed ~simplify ~mono ~limits design iface ~bound =
-  gqed_generic ~simplify ~mono ~limits ~with_state:false design iface ~bound
+let gqed_output_only_fixed ~simplify ~mono ~limits ~reuse design iface ~bound =
+  gqed_generic ~simplify ~mono ~limits ~reuse ~with_state:false design iface ~bound
 
 (* ------------------------------------------------------------------ *)
 (* Single-action (responsiveness): with fixed latency L, out_valid at
    frame f must equal in_valid at frame f - L (false before reset).      *)
 
-let sa_check_fixed ~simplify ~mono ~limits design iface ~bound =
+let sa_check_fixed ~simplify ~mono ~limits ~reuse design iface ~bound =
   Iface.check design iface;
   if iface.Iface.out_valid = None then begin
     (* No response-valid port: responses are combinational values sampled at
@@ -335,7 +339,7 @@ let sa_check_fixed ~simplify ~mono ~limits design iface ~bound =
     report_of engine (Pass bound)
   end
   else begin
-  let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse design in
   let view = { engine; prefix = ""; iface } in
   let gr = Bmc.Engine.graph engine in
   let latency = iface.Iface.latency in
@@ -360,7 +364,7 @@ let sa_check_fixed ~simplify ~mono ~limits design iface ~bound =
 (* Stability: without a dispatch, the architectural state cannot move.   *)
 
 let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false)
-    ?(limits = Bmc.no_limits) design iface ~bound =
+    ?(limits = Bmc.no_limits) ?reuse design iface ~bound =
   Iface.check design iface;
   if iface.Iface.arch_regs = [] || iface.Iface.in_valid = None then begin
     (* No architectural state, or a transaction on every cycle: vacuous. *)
@@ -368,7 +372,7 @@ let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false)
     report_of engine (Pass bound)
   end
   else begin
-    let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
+    let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse design in
     let view = { engine; prefix = ""; iface } in
     let gr = Bmc.Engine.graph engine in
     let pairs_at k =
@@ -396,12 +400,12 @@ let stability_check ?(simplify = Bmc.default_simplify) ?(mono = false)
 (* Reset: documented architectural reset values match the RTL.           *)
 
 let reset_check ?(simplify = Bmc.default_simplify) ?(mono = false)
-    ?(limits = Bmc.no_limits) design iface =
+    ?(limits = Bmc.no_limits) ?reuse design iface =
   Iface.check design iface;
   (* Static check: reset values are constants in this modelling. The report
      shape is kept for uniformity; a failure carries a zero-length witness
      whose initial state shows the wrong value. *)
-  let engine = Bmc.Engine.create ~simplify ~mono ~limits design in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse design in
   let initial = Rtl.initial_state design in
   let mismatch =
     List.find_opt
@@ -445,13 +449,14 @@ let assert_k_stable engine prefix ~frame =
    [with_arch] adds the equal-architectural-state hypothesis (dropping it
    gives the A-QED-style check, which false-alarms on interfering designs);
    [with_state] adds the post-state conjunct. *)
-let gqed_variable ~simplify ~mono ~limits ~with_arch ~with_state design iface ~bound =
+let gqed_variable ~simplify ~mono ~limits ~reuse ~with_arch ~with_state design iface
+    ~bound =
   Iface.check design iface;
   let instrumented = Instrument.with_monitor design iface in
   let copy1 = Rtl.rename ~prefix:copy1_prefix instrumented in
   let copy2 = Rtl.rename ~prefix:copy2_prefix instrumented in
   let prod = Rtl.product copy1 copy2 in
-  let engine = Bmc.Engine.create ~simplify ~mono ~limits prod in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse prod in
   let v name w prefix = Expr.var (prefix ^ name) w in
   let both f = (f copy1_prefix, f copy2_prefix) in
   let have p =
@@ -535,11 +540,11 @@ let gqed_variable ~simplify ~mono ~limits ~with_arch ~with_state design iface ~b
 
 (* Responsiveness for variable latency: no response when nothing is
    outstanding, and every dispatch is answered within max_latency. *)
-let sa_variable ~simplify ~mono ~limits design iface ~bound =
+let sa_variable ~simplify ~mono ~limits ~reuse design iface ~bound =
   Iface.check design iface;
   let lmax = Option.get iface.Iface.max_latency in
   let instrumented = Instrument.with_monitor design iface in
-  let engine = Bmc.Engine.create ~simplify ~mono ~limits instrumented in
+  let engine = Bmc.Engine.create ~simplify ~mono ~limits ?reuse instrumented in
   let u = Bmc.Engine.unroller engine in
   let gr = Bmc.Engine.graph engine in
   let dispatch_e = Instrument.dispatch_expr design iface in
@@ -584,45 +589,46 @@ let sa_variable ~simplify ~mono ~limits design iface ~bound =
 (* Public checks: dispatch on the interface's latency mode.              *)
 
 let aqed_fc ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
-    design iface ~bound =
+    ?reuse design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~simplify ~mono ~limits ~with_arch:false ~with_state:false design iface
-      ~bound
-  else aqed_fc_fixed ~simplify ~mono ~limits design iface ~bound
+    gqed_variable ~simplify ~mono ~limits ~reuse ~with_arch:false ~with_state:false
+      design iface ~bound
+  else aqed_fc_fixed ~simplify ~mono ~limits ~reuse design iface ~bound
 
 let gqed ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
-    design iface ~bound =
+    ?reuse design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~simplify ~mono ~limits ~with_arch:true ~with_state:true design iface
-      ~bound
-  else gqed_fixed ~simplify ~mono ~limits design iface ~bound
+    gqed_variable ~simplify ~mono ~limits ~reuse ~with_arch:true ~with_state:true design
+      iface ~bound
+  else gqed_fixed ~simplify ~mono ~limits ~reuse design iface ~bound
 
 let gqed_output_only ?(simplify = Bmc.default_simplify) ?(mono = false)
-    ?(limits = Bmc.no_limits) design iface ~bound =
+    ?(limits = Bmc.no_limits) ?reuse design iface ~bound =
   if Iface.is_variable_latency iface then
-    gqed_variable ~simplify ~mono ~limits ~with_arch:true ~with_state:false design iface
-      ~bound
-  else gqed_output_only_fixed ~simplify ~mono ~limits design iface ~bound
+    gqed_variable ~simplify ~mono ~limits ~reuse ~with_arch:true ~with_state:false design
+      iface ~bound
+  else gqed_output_only_fixed ~simplify ~mono ~limits ~reuse design iface ~bound
 
 let sa_check ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
-    design iface ~bound =
+    ?reuse design iface ~bound =
   if Iface.is_variable_latency iface then
-    sa_variable ~simplify ~mono ~limits design iface ~bound
-  else sa_check_fixed ~simplify ~mono ~limits design iface ~bound
+    sa_variable ~simplify ~mono ~limits ~reuse design iface ~bound
+  else sa_check_fixed ~simplify ~mono ~limits ~reuse design iface ~bound
 
 (* ------------------------------------------------------------------ *)
 (* The complete flow.                                                    *)
 
 let flow ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
-    design iface ~bound =
+    ?reuse design iface ~bound =
   let stages =
     [
       (fun () -> reset_check ~simplify ~mono ~limits design iface);
-      (fun () -> sa_check ~simplify ~mono ~limits design iface ~bound);
+      (fun () -> sa_check ~simplify ~mono ~limits ?reuse design iface ~bound);
     ]
     @ (if Iface.is_variable_latency iface then []
-       else [ (fun () -> stability_check ~simplify ~mono ~limits design iface ~bound) ])
-    @ [ (fun () -> gqed ~simplify ~mono ~limits design iface ~bound) ]
+       else
+         [ (fun () -> stability_check ~simplify ~mono ~limits ?reuse design iface ~bound) ])
+    @ [ (fun () -> gqed ~simplify ~mono ~limits ?reuse design iface ~bound) ]
   in
   let rec run_stages last = function
     | [] -> last
@@ -653,13 +659,39 @@ let verdict_arg = function
   | Unknown _ -> "unknown"
 
 let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
-    technique design iface ~bound =
-  let go () =
+    ?reuse technique design iface ~bound =
+  let solve () =
     match technique with
-    | Aqed -> aqed_fc ~simplify ~mono ~limits design iface ~bound
-    | Gqed -> gqed ~simplify ~mono ~limits design iface ~bound
-    | Gqed_output_only -> gqed_output_only ~simplify ~mono ~limits design iface ~bound
-    | Gqed_flow -> flow ~simplify ~mono ~limits design iface ~bound
+    | Aqed -> aqed_fc ~simplify ~mono ~limits ?reuse design iface ~bound
+    | Gqed -> gqed ~simplify ~mono ~limits ?reuse design iface ~bound
+    | Gqed_output_only ->
+        gqed_output_only ~simplify ~mono ~limits ?reuse design iface ~bound
+    | Gqed_flow -> flow ~simplify ~mono ~limits ?reuse design iface ~bound
+  in
+  let go () =
+    match reuse with
+    | None -> solve ()
+    | Some ctx -> begin
+        (* The memo key covers everything that determines the verdict: the
+           technique, the bound, and the full design + interface structure.
+           [simplify], [mono] and [limits] are deliberately excluded — every
+           pipeline stage and solving lane is verdict-preserving (the repo's
+           core invariant, exercised by the fuzz oracles), so a report cached
+           under one configuration answers the same query under any other.
+           Undecided reports are never cached: a bigger budget might decide. *)
+        let key =
+          Printf.sprintf "%s/%d/%s/%s" (technique_to_string technique) bound
+            (Bmc.Reuse.digest design) (Bmc.Reuse.digest iface)
+        in
+        match Bmc.Reuse.memo_find ctx key with
+        | Some (Memo_report r) -> r
+        | Some _ | None ->
+            let r = solve () in
+            (match r.verdict with
+            | Unknown _ -> ()
+            | Pass _ | Fail _ -> Bmc.Reuse.memo_add ctx key (Memo_report r));
+            r
+      end
   in
   if not (Obs.on ()) then go ()
   else begin
@@ -679,7 +711,7 @@ let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_lim
   end
 
 let run_escalating ?policy ?(racing = false) ?jobs ?(simplify = Bmc.default_simplify)
-    ?(mono = false) ?(limits = Bmc.no_limits) technique design iface ~bound =
+    ?(mono = false) ?(limits = Bmc.no_limits) ?reuse technique design iface ~bound =
   let unknown_of (r : report) =
     match r.verdict with
     | Unknown u -> Some (Sat.Solver.reason_to_string u.u_reason)
@@ -689,6 +721,6 @@ let run_escalating ?policy ?(racing = false) ?jobs ?(simplify = Bmc.default_simp
   let report, attempts =
     escalate ?policy ~limits ~simplify ~mono ~unknown_of (fun cfg ->
         run ~simplify:cfg.Bmc.Escalate.ec_simplify ~mono:cfg.Bmc.Escalate.ec_mono
-          ~limits:cfg.Bmc.Escalate.ec_limits technique design iface ~bound)
+          ~limits:cfg.Bmc.Escalate.ec_limits ?reuse technique design iface ~bound)
   in
   { report with attempts }

@@ -73,6 +73,10 @@ type report = {
           check ran under {!run_escalating} *)
 }
 
+type Bmc.Reuse.memo_value += Memo_report of report
+(** How {!run} stores decided reports in a reuse context's memo table
+    (exposed so tests and tooling can inspect cache contents). *)
+
 (** Every check takes [?simplify] (default {!Bmc.default_simplify})
     selecting the formula-shrinking stages of its BMC engine; pass
     {!Bmc.no_simplify} (or a partial configuration) for ablation. [?mono]
@@ -82,14 +86,17 @@ type report = {
     the pipeline (see {!Bmc.Engine.create}). [?limits] (default
     {!Bmc.no_limits}) governs the engine's resources: per-query budget,
     cancellation token, restart seed and fault hook; an exhausted budget
-    or fired token yields an [Unknown] verdict. The decided verdict is
-    independent of every knob — the bench harness and the fuzz oracle
-    enforce this. *)
+    or fired token yields an [Unknown] verdict. [?reuse] attaches the
+    check's engines to a shared {!Bmc.Reuse} context, enabling cross-query
+    learnt-clause transfer (and, in {!run}, whole-verdict memoization)
+    across the checks of a matrix run. The decided verdict is independent
+    of every knob — the bench harness and the fuzz oracle enforce this. *)
 
 val aqed_fc :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
@@ -99,6 +106,7 @@ val gqed :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
@@ -108,6 +116,7 @@ val gqed_output_only :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
@@ -117,6 +126,7 @@ val sa_check :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
@@ -126,6 +136,7 @@ val stability_check :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
@@ -139,6 +150,7 @@ val reset_check :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   report
@@ -150,6 +162,7 @@ val flow :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   Rtl.design ->
   Iface.t ->
   bound:int ->
@@ -168,6 +181,7 @@ val run :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   technique ->
   Rtl.design ->
   Iface.t ->
@@ -181,6 +195,7 @@ val run_escalating :
   ?simplify:Bmc.simplify_config ->
   ?mono:bool ->
   ?limits:Bmc.limits ->
+  ?reuse:Bmc.Reuse.ctx ->
   technique ->
   Rtl.design ->
   Iface.t ->

@@ -18,4 +18,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("obs", Test_obs.suite);
       ("matrix", Test_matrix.suite);
+      ("reuse", Test_reuse.suite);
+      ("report", Test_report.suite);
     ]

@@ -1,0 +1,196 @@
+(* Tests for the cross-query reuse subsystem (Bmc.Reuse): cold-vs-warm
+   verdict equality over the mutant matrix, memo/transfer counters via
+   Obs.Metrics snapshots, and DRAT replay of UNSAT bounds proved with
+   imported lemmas in the clause database. *)
+
+module Bv = Bitvec
+
+let verdict_to_string r =
+  match r.Qed.Checks.verdict with
+  | Qed.Checks.Pass n -> Printf.sprintf "proved@%d" n
+  | Qed.Checks.Fail f ->
+      Printf.sprintf "detected@%d:%s" f.Qed.Checks.witness.Bmc.w_length
+        (Qed.Checks.failure_kind_to_string f.Qed.Checks.kind)
+  | Qed.Checks.Unknown u ->
+      Printf.sprintf "unknown@%d:%s" u.Qed.Checks.u_bound
+        (Sat.Solver.reason_to_string u.Qed.Checks.u_reason)
+
+let registry_entry name =
+  match
+    List.find_opt (fun e -> e.Designs.Entry.name = name) Designs.Registry.all
+  with
+  | Some e -> e
+  | None -> Alcotest.failf "no registry entry %s" name
+
+(* Cold-vs-warm equality for one design's full mutant suite: every
+   (design, mutant) verdict must be identical across a cold run (no
+   context), a first warm run (pool-populating) and a second warm run
+   (memo-served). The two warm passes share [ctx], so the first one also
+   feeds the second one's memo. *)
+let check_design_cold_vs_warm ctx name =
+  let e = registry_entry name in
+  let bound = e.Designs.Entry.rec_bound in
+  let cases =
+    (e.Designs.Entry.design :: List.map snd (Mutation.mutants e.Designs.Entry.design))
+  in
+  let warm1 = ref [] and warm2 = ref [] in
+  List.iter
+    (fun d ->
+      let r = Qed.Checks.run ~reuse:ctx Qed.Checks.Gqed d e.Designs.Entry.iface ~bound in
+      warm1 := verdict_to_string r :: !warm1)
+    cases;
+  List.iter
+    (fun d ->
+      let r = Qed.Checks.run ~reuse:ctx Qed.Checks.Gqed d e.Designs.Entry.iface ~bound in
+      warm2 := verdict_to_string r :: !warm2)
+    cases;
+  List.iteri
+    (fun i d ->
+      let cold =
+        verdict_to_string (Qed.Checks.gqed d e.Designs.Entry.iface ~bound)
+      in
+      let w1 = List.nth (List.rev !warm1) i
+      and w2 = List.nth (List.rev !warm2) i in
+      Alcotest.(check string)
+        (Printf.sprintf "%s case %d: cold = warm(populate)" name i)
+        cold w1;
+      Alcotest.(check string)
+        (Printf.sprintf "%s case %d: cold = warm(memo)" name i)
+        cold w2;
+      ignore d)
+    cases
+
+let fast_subset = [ "hamming74"; "graycodec"; "seqdet"; "rle"; "maxtrack" ]
+
+let test_cold_vs_warm_subset () =
+  let ctx = Bmc.Reuse.create () in
+  List.iter (check_design_cold_vs_warm ctx) fast_subset;
+  let s = Bmc.Reuse.stats ctx in
+  (* The second warm pass re-ran every query of the first: all of them
+     must have been served from the memo. *)
+  if s.Bmc.Reuse.r_memo_hits = 0 then
+    Alcotest.fail "no memo hits across the warm re-run";
+  if s.Bmc.Reuse.r_memo_misses = 0 then
+    Alcotest.fail "no memo misses recorded on the populating pass"
+
+let test_cold_vs_warm_full_matrix () =
+  match Sys.getenv_opt "GQED_FULL_MATRIX" with
+  | Some ("1" | "true") ->
+      let ctx = Bmc.Reuse.create () in
+      List.iter
+        (fun e -> check_design_cold_vs_warm ctx e.Designs.Entry.name)
+        Designs.Registry.all
+  | _ -> () (* gated: ~3x the full-matrix solve; the nightly CI job sets it *)
+
+(* The reuse counters must land in the Obs metrics registry: a warm
+   matrix pass over one design family shares cones (every mutant leaves
+   most of the product untouched), publishes transferable lemmas, and the
+   memo records the re-run as hits. *)
+let test_metrics_counters () =
+  let e = registry_entry "hamming74" in
+  let bound = e.Designs.Entry.rec_bound in
+  let was_on = Obs.on () in
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_on then Obs.disable ())
+    (fun () ->
+      let before = Obs.Metrics.snapshot () in
+      let ctx = Bmc.Reuse.create () in
+      let run d = ignore (Qed.Checks.run ~reuse:ctx Qed.Checks.Gqed d e.Designs.Entry.iface ~bound) in
+      run e.Designs.Entry.design;
+      (match Mutation.mutants e.Designs.Entry.design with
+      | (_, d) :: _ -> run d
+      | [] -> Alcotest.fail "hamming74 has no mutants");
+      run e.Designs.Entry.design (* memo hit *);
+      let after = Obs.Metrics.snapshot () in
+      let diff = Obs.Metrics.diff ~before ~after in
+      let counter name =
+        match List.assoc_opt name diff with
+        | Some (Obs.Metrics.Counter n) -> n
+        | Some _ -> Alcotest.failf "%s is not a counter" name
+        | None -> Alcotest.failf "counter %s missing from snapshot diff" name
+      in
+      if counter "reuse.memo.hits" < 1 then
+        Alcotest.fail "expected at least one reuse.memo.hits";
+      if counter "reuse.memo.misses" < 2 then
+        Alcotest.fail "expected a miss per distinct query";
+      if counter "reuse.cone.shared" < 1 then
+        Alcotest.fail "mutant run shared no cones with the correct design";
+      if counter "reuse.lemmas.published" < 1 then
+        Alcotest.fail "no lemmas published to the family pool";
+      (* Cross-check: the context's own stats agree with the registry. *)
+      let s = Bmc.Reuse.stats ctx in
+      Alcotest.(check int)
+        "ctx stats and metrics agree on published lemmas"
+        s.Bmc.Reuse.r_published
+        (counter "reuse.lemmas.published"))
+
+(* A bounded invariant with enough arithmetic structure to make the
+   solver learn transferable clauses: two counters advancing under
+   independent enables, with the invariant that their 6-bit sum never
+   reaches a value that needs more steps than the depth provides. All
+   bounds are UNSAT, so a [certify:true] run DRAT-checks every one —
+   including, on the warm run, proofs whose clause database contains
+   imported lemmas (stamped into the certificate as axioms). *)
+let twin_counter () =
+  let a = Expr.var "a" 6 and b = Expr.var "b" 6 in
+  let ea = Expr.var "ea" 1 and eb = Expr.var "eb" 1 in
+  let one = Expr.const_int ~width:6 1 in
+  Rtl.make ~name:"twin_counter"
+    ~inputs:[ { Expr.name = "ea"; width = 1 }; { Expr.name = "eb"; width = 1 } ]
+    ~registers:
+      [
+        {
+          Rtl.reg = { Expr.name = "a"; width = 6 };
+          init = Bv.zero 6;
+          next = Expr.ite ea (Expr.add a one) a;
+        };
+        {
+          Rtl.reg = { Expr.name = "b"; width = 6 };
+          init = Bv.zero 6;
+          next = Expr.ite eb (Expr.add b one) b;
+        };
+      ]
+    ~outputs:[ ("sum", Expr.add a b) ]
+
+let twin_invariant =
+  (* a + b can grow by at most 2 per cycle: within depth d the sum stays
+     under 2d + 1, so sum <> 2d+2 holds at every bound. *)
+  Expr.ne
+    (Expr.add (Expr.var "a" 6) (Expr.var "b" 6))
+    (Expr.const_int ~width:6 34)
+
+let test_transferred_lemma_drat_replay () =
+  let ctx = Bmc.Reuse.create () in
+  let run what =
+    match
+      Bmc.check_safety ~certify:true ~reuse:ctx ~design:(twin_counter ())
+        ~invariant:twin_invariant ~depth:16 ()
+    with
+    | Bmc.Holds 16, _ -> ()
+    | Bmc.Holds n, _ -> Alcotest.failf "%s: wrong bound %d" what n
+    | Bmc.Violated w, _ ->
+        Alcotest.failf "%s: unexpected counterexample of length %d" what
+          w.Bmc.w_length
+    | Bmc.Unknown _, _ -> Alcotest.failf "%s: unexpected unknown" what
+    | exception Bmc.Certification_failed msg ->
+        Alcotest.failf "%s: DRAT certificate rejected: %s" what msg
+  in
+  run "cold";
+  let published = (Bmc.Reuse.stats ctx).Bmc.Reuse.r_published in
+  if published = 0 then Alcotest.fail "cold run published no lemmas";
+  run "warm";
+  let imported = (Bmc.Reuse.stats ctx).Bmc.Reuse.r_imported in
+  if imported = 0 then
+    Alcotest.fail "warm run imported no lemmas (transfer path not exercised)"
+
+let suite =
+  [
+    Alcotest.test_case "metrics counters via snapshots" `Quick
+      test_metrics_counters;
+    Alcotest.test_case "transferred-lemma DRAT replay" `Quick
+      test_transferred_lemma_drat_replay;
+    Alcotest.test_case "cold vs warm: fast subset" `Slow test_cold_vs_warm_subset;
+    Alcotest.test_case "cold vs warm: full matrix (GQED_FULL_MATRIX=1)" `Slow
+      test_cold_vs_warm_full_matrix;
+  ]
