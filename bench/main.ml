@@ -8,7 +8,20 @@
      dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
      dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 c1 obs micro.
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 c1 r2 obs micro.
+
+   --checkpoint FILE journals every check's verdict to a crash-safe
+   write-ahead log as the run progresses; --resume replays an existing
+   journal and skips the decided tasks, reproducing the uninterrupted
+   verdict matrix bit-for-bit (journaled Unknown verdicts are always
+   re-attempted). A fresh run refuses an existing journal unless --force;
+   --resume without a journal is an error. Timing figures of a resumed
+   run are not comparable to a cold one (skipped cells cost ~0), but no
+   verdict or table cell ever changes. The r2 experiment exercises the
+   same machinery in-process: journaled run, killed at a random record,
+   resumed, diffed — plus injected journal I/O faults and supervised
+   worker restarts; any flip exits 1. --seed N varies which kill point
+   the r2 crash simulation picks (verdicts are seed-independent).
 
    --trace FILE / --metrics FILE / --trace-format ndjson|chrome enable
    the Obs layer for the whole run and write the merged span trace and
@@ -87,11 +100,26 @@ let portfolio_share = ref true
 let reuse_on = ref true
 
 (* --trace / --metrics / --trace-format enable the Obs layer for the whole
-   run; --force permits overwriting existing report and trace files. *)
+   run; --force permits overwriting existing report and trace files (and
+   starting a fresh campaign over an existing --checkpoint journal). *)
 let obs_trace_path : string option ref = ref None
 let obs_metrics_path : string option ref = ref None
 let obs_format : [ `Ndjson | `Chrome ] ref = ref `Ndjson
 let force_overwrite = ref false
+
+(* --checkpoint FILE journals every check's outcome to a crash-safe
+   write-ahead log; --resume replays it and skips the decided keys, so a
+   killed run picks up where it stopped with an identical verdict matrix.
+   The skip counter is atomic because checks run on worker domains. *)
+let checkpoint_path : string option ref = ref None
+let checkpoint_resume = ref false
+let campaign : Persist.Campaign.t option ref = ref None
+let campaign_skips = Atomic.make 0
+
+(* --seed N perturbs the seeded randomness of experiments that use any
+   (currently the R2 kill point); verdicts are seed-independent, so this
+   only varies which crash sites a soak run explores. *)
+let seed = ref 0
 
 (* State of the obs experiment: traced-vs-untraced verdict flips and
    structurally malformed traces each fail the whole bench run. *)
@@ -113,15 +141,36 @@ let record report =
   if extra > 0 then ignore (Atomic.fetch_and_add escalation_attempts extra);
   report
 
-(* Every experiment's checks funnel through here so the budget flags and
-   escalation policy apply uniformly. With no budget set this is exactly
-   the direct check: run_escalating under Bmc.no_limits is one attempt. *)
+(* Every experiment's checks funnel through here so the budget flags,
+   escalation policy and the --checkpoint journal apply uniformly. With no
+   budget set this is exactly the direct check: run_escalating under
+   Bmc.no_limits is one attempt. *)
 let check ?simplify ?mono ?reuse technique design iface ~bound =
   let limits = bench_limits () in
-  record
-    (if !escalate then
-       Checks.run_escalating ?simplify ?mono ~limits ?reuse technique design iface ~bound
-     else Checks.run ?simplify ?mono ~limits ?reuse technique design iface ~bound)
+  let solve () =
+    if !escalate then
+      Checks.run_escalating ?simplify ?mono ~limits ?reuse technique design iface ~bound
+    else Checks.run ?simplify ?mono ~limits ?reuse technique design iface ~bound
+  in
+  match !campaign with
+  | None -> record (solve ())
+  | Some c -> (
+      let key = Checks.campaign_key technique design iface ~bound in
+      let cached =
+        (* Only decided verdicts come back from the journal (the Unknown
+           rule lives in Persist.Campaign); a payload from a stale schema
+           decodes to None and the task simply re-runs. *)
+        Option.bind (Persist.Campaign.find_decided c key) Checks.decode_report
+      in
+      match cached with
+      | Some r ->
+          Atomic.incr campaign_skips;
+          record r
+      | None ->
+          let r = solve () in
+          Persist.Campaign.record c ~decided:(Checks.report_decided r) ~key
+            ~payload:(Checks.encode_report r);
+          record r)
 
 (* Sum of per-task wall-clock seconds spent in Par fan-outs by the current
    experiment. task_sum / experiment_wall estimates the speedup over a
@@ -212,6 +261,15 @@ type json_reuse_row = {
   jx_flips : int;
 }
 
+(* One R2 matrix cell: the same (design, case) verdict from the
+   uninterrupted journaled campaign and from the killed-and-resumed one. *)
+type json_campaign_row = {
+  jk_design : string;
+  jk_case : string; (* "correct" or the mutant label *)
+  jk_full : string;
+  jk_resumed : string;
+}
+
 let json_experiments : json_experiment list ref = ref []
 let json_solver_rows : json_solver_row list ref = ref []
 let json_simplify_rows : json_simplify_row list ref = ref []
@@ -224,6 +282,20 @@ let json_portfolio_effective = ref 1
 let json_reuse_rows : json_reuse_row list ref = ref []
 let json_reuse_geomean = ref nan
 let json_reuse_stats : Bmc.Reuse.stats option ref = ref None
+let json_campaign_rows : json_campaign_row list ref = ref []
+let json_campaign_records = ref 0
+let json_campaign_kill_at = ref 0
+let json_campaign_skipped = ref 0
+let json_campaign_rerun = ref 0
+let json_campaign_write_errors = ref 0
+let json_campaign_recovered_bytes = ref 0
+let json_campaign_restarts = ref 0
+let json_campaign_gave_up = ref 0
+
+(* Verdict flips between the uninterrupted and the killed-and-resumed
+   campaign detected by R2 (plus supervised tasks that misbehaved); like
+   the other flip counters, nonzero fails the whole bench run. *)
+let campaign_flips = ref 0
 
 (* Verdict flips between the cold and reuse lanes detected by C1; a nonzero
    count fails the whole bench run. *)
@@ -245,7 +317,7 @@ let write_json path =
   let buf = Buffer.create 4096 in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gqed-bench/5\",\n";
+  Buffer.add_string buf "  \"schema\": \"gqed-bench/6\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
@@ -438,6 +510,40 @@ let write_json path =
            r.jx_flips
            (if i = List.length xrows - 1 then "" else ",")))
     xrows;
+  Buffer.add_string buf "    ]\n  },\n";
+  Buffer.add_string buf "  \"campaign\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"checkpoint\": %s,\n"
+       (match !checkpoint_path with
+       | None -> "null"
+       | Some p -> Printf.sprintf "%S" p));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"checkpoint_skips\": %d,\n" (Atomic.get campaign_skips));
+  Buffer.add_string buf (Printf.sprintf "    \"records\": %d,\n" !json_campaign_records);
+  Buffer.add_string buf (Printf.sprintf "    \"kill_at\": %d,\n" !json_campaign_kill_at);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"skipped_on_resume\": %d,\n" !json_campaign_skipped);
+  Buffer.add_string buf (Printf.sprintf "    \"rerun\": %d,\n" !json_campaign_rerun);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"verdict_flips\": %d,\n" !campaign_flips);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"write_errors\": %d,\n" !json_campaign_write_errors);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"recovered_bytes\": %d,\n" !json_campaign_recovered_bytes);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"supervisor_restarts\": %d,\n" !json_campaign_restarts);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"supervisor_gave_up\": %d,\n" !json_campaign_gave_up);
+  Buffer.add_string buf "    \"matrix\": [\n";
+  let krows = !json_campaign_rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"design\": %S, \"case\": %S, \"full\": %S, \"resumed\": %S}%s\n"
+           r.jk_design r.jk_case r.jk_full r.jk_resumed
+           (if i = List.length krows - 1 then "" else ",")))
+    krows;
   Buffer.add_string buf "    ]\n  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1708,13 +1814,197 @@ let c1 () =
       !reuse_flips
 
 (* ------------------------------------------------------------------ *)
+(* R2: crash-safe campaigns — a journaled run killed at a random record
+   and resumed must reproduce the uninterrupted verdict matrix
+   bit-for-bit, journal I/O faults must never leak into a verdict, and
+   the supervisor must restart crashing workers without taking the
+   campaign down. *)
+
+let r2_default = [ "accum"; "hamming74"; "graycodec" ]
+
+let r2 () =
+  header "R2  Crash-safe campaigns: kill/resume equivalence + supervised restarts";
+  Printf.printf
+    "A (design x case) G-QED campaign is journaled to a write-ahead log,\n\
+     killed at a random record (torn tail included) and resumed; the\n\
+     resumed matrix must match the uninterrupted one cell-for-cell. A\n\
+     second lane journals under injected I/O faults (torn / short write /\n\
+     ENOSPC) — write errors degrade durability, never verdicts. Any\n\
+     disagreement fails the whole bench run (exit 1).\n\n";
+  let wanted = match !design_filter with Some ds -> ds | None -> r2_default in
+  let entries = List.filter (fun e -> List.mem e.Entry.name wanted) Registry.all in
+  let cells =
+    List.concat_map
+      (fun e ->
+        ("correct", e, e.Entry.design)
+        :: List.map
+             (fun (m, mutant) ->
+               ( Printf.sprintf "%s:%s"
+                   (Mutation.operator_to_string m.Mutation.operator)
+                   m.Mutation.target,
+                 e,
+                 mutant ))
+             (mutant_suite e))
+      entries
+  in
+  let limits = bench_limits () in
+  (* One pass over the cells through a journal at [path]: supervised
+     fan-out, decided journal hits are skipped on resume. Returns the
+     verdict matrix (input order) and the campaign stats. *)
+  let run_campaign ?fault ~resume path =
+    match Persist.Campaign.start ?fault ~resume ~force:false path with
+    | Error msg -> failwith ("r2: " ^ msg)
+    | Ok c ->
+        let outcomes =
+          Par.Supervise.supervise ~jobs:!jobs
+            (fun _token (_label, e, design) ->
+              let key =
+                Checks.campaign_key Checks.Gqed design e.Entry.iface
+                  ~bound:e.Entry.rec_bound
+              in
+              match
+                Option.bind (Persist.Campaign.find_decided c key) Checks.decode_report
+              with
+              | Some r -> r
+              | None ->
+                  let r =
+                    record
+                      (Checks.run ~limits Checks.Gqed design e.Entry.iface
+                         ~bound:e.Entry.rec_bound)
+                  in
+                  Persist.Campaign.record c ~decided:(Checks.report_decided r) ~key
+                    ~payload:(Checks.encode_report r);
+                  r)
+            cells
+        in
+        let stats = Persist.Campaign.stats c in
+        Persist.Campaign.close c;
+        let verdicts =
+          List.map
+            (fun o ->
+              match o.Par.Supervise.s_result with
+              | Ok r -> verdict_key r
+              | Error cls -> "gave-up:" ^ Par.Supervise.class_to_string cls)
+            outcomes
+        in
+        (verdicts, stats)
+  in
+  let tmp_journal tag =
+    let f = Filename.temp_file ("gqed-r2-" ^ tag) ".jrnl" in
+    Sys.remove f;
+    f
+  in
+  (* Lane 1: uninterrupted journaled run — the reference matrix. *)
+  let j_kill = tmp_journal "kill" in
+  let full, stats_full = run_campaign ~resume:false j_kill in
+  let n_records = stats_full.Persist.Campaign.c_appended in
+  json_campaign_records := n_records;
+  (* Kill: keep a seeded-random prefix of the journal plus a torn partial
+     record — the exact on-disk state a SIGKILL mid-append leaves. *)
+  let rand = Random.State.make [| 0x9e2; 0xd15c; !seed; List.length cells |] in
+  let kill_at = if n_records <= 1 then 0 else Random.State.int rand n_records in
+  json_campaign_kill_at := kill_at;
+  Persist.Journal.chop ~torn_bytes:9 ~keep:kill_at j_kill;
+  let resumed, stats_res = run_campaign ~resume:true j_kill in
+  json_campaign_skipped := stats_res.Persist.Campaign.c_hits;
+  json_campaign_rerun := stats_res.Persist.Campaign.c_appended;
+  json_campaign_recovered_bytes := stats_res.Persist.Campaign.c_recovered_bytes;
+  Printf.printf "%-12s %-18s %-16s %-16s\n" "design" "case" "full" "resumed";
+  List.iter2
+    (fun (label, e, _) (vf, vr) ->
+      let flip = vf <> vr in
+      if flip then incr campaign_flips;
+      Printf.printf "%-12s %-18s %-16s %-16s%s\n%!" e.Entry.name label vf vr
+        (if flip then "  VERDICT FLIP" else "");
+      json_campaign_rows :=
+        !json_campaign_rows
+        @ [ { jk_design = e.Entry.name; jk_case = label; jk_full = vf; jk_resumed = vr } ])
+    cells
+    (List.combine full resumed);
+  Printf.printf
+    "\nkilled at record %d/%d (+9 torn bytes): %d skipped from the journal, %d re-run, \
+     %d corrupt tail byte(s) dropped\n"
+    kill_at n_records stats_res.Persist.Campaign.c_hits
+    stats_res.Persist.Campaign.c_appended
+    stats_res.Persist.Campaign.c_recovered_bytes;
+  (* Lane 2: journal under injected I/O faults — every third append is
+     torn, every seventh fails short, every eleventh hits ENOSPC. The
+     verdict matrix must not notice; then resume from the fault-riddled
+     journal and it still must not notice. *)
+  let fault i =
+    if i mod 11 = 7 then Some Persist.Enospc
+    else if i mod 7 = 3 then Some (Persist.Short_write 5)
+    else if i mod 3 = 1 then Some (Persist.Torn 11)
+    else None
+  in
+  let j_fault = tmp_journal "fault" in
+  let faulty, stats_faulty = run_campaign ~fault ~resume:false j_fault in
+  json_campaign_write_errors := stats_faulty.Persist.Campaign.c_write_errors;
+  let count_flips a b =
+    List.fold_left2 (fun n x y -> if x <> y then n + 1 else n) 0 a b
+  in
+  let fault_flips = count_flips full faulty in
+  let resumed_faulty, _ = run_campaign ~resume:true j_fault in
+  let fault_resume_flips = count_flips full resumed_faulty in
+  campaign_flips := !campaign_flips + fault_flips + fault_resume_flips;
+  Printf.printf
+    "I/O-fault lane: %d append(s) lost to injected faults, %d flip(s) while faulting, \
+     %d flip(s) after resuming the damaged journal\n"
+    stats_faulty.Persist.Campaign.c_write_errors fault_flips fault_resume_flips;
+  (* Lane 3: supervision — a worker that crashes twice must be restarted
+     into success, a worker that always crashes must degrade to a typed
+     give-up without aborting its siblings. Serial so the attempt counts
+     are deterministic. *)
+  let attempt_counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let demo = [ ("steady", 0); ("flaky", 2); ("doomed", max_int) ] in
+  let outcomes =
+    Par.Supervise.supervise ~jobs:1
+      (fun _token (name, crashes) ->
+        let a = Option.value ~default:0 (Hashtbl.find_opt attempt_counts name) in
+        Hashtbl.replace attempt_counts name (a + 1);
+        if a < crashes then failwith (name ^ ": injected crash");
+        name)
+      demo
+  in
+  let restarts = ref 0 and gave_up = ref 0 in
+  List.iter2
+    (fun (name, crashes) o ->
+      restarts := !restarts + o.Par.Supervise.s_attempts - 1;
+      let ok =
+        match o.Par.Supervise.s_result with
+        | Ok n -> n = name && crashes < o.Par.Supervise.s_attempts
+        | Error (Par.Supervise.Crash _) ->
+            incr gave_up;
+            crashes = max_int
+        | Error _ -> false
+      in
+      Printf.printf "supervise: %-8s %s after %d attempt(s)\n" name
+        (match o.Par.Supervise.s_result with
+        | Ok _ -> "succeeded"
+        | Error cls -> "gave up (" ^ Par.Supervise.class_to_string cls ^ ")")
+        o.Par.Supervise.s_attempts;
+      (* A misbehaving supervisor is a campaign-correctness bug: gate it
+         like a flip. *)
+      if not ok then incr campaign_flips)
+    demo outcomes;
+  json_campaign_restarts := !restarts;
+  json_campaign_gave_up := !gave_up;
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ j_kill; j_fault ];
+  if !campaign_flips = 0 then
+    Printf.printf
+      "kill/resume, fault and supervision lanes: all %d cells reproduce the \
+       uninterrupted matrix\n"
+      (List.length cells)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("a1", a1); ("a2", a2); ("a3", a3); ("s1", s1);
     ("f1", f1); ("f2", f2); ("f3", f3);
-    ("rob", rob); ("p1", p1); ("c1", c1); ("obs", obs_exp); ("micro", micro);
+    ("rob", rob); ("p1", p1); ("c1", c1); ("r2", r2); ("obs", obs_exp);
+    ("micro", micro);
   ]
 
 let () =
@@ -1823,6 +2113,27 @@ let () =
     | "--force" :: rest ->
         force_overwrite := true;
         parse_args acc rest
+    | "--checkpoint" :: path :: rest ->
+        checkpoint_path := Some path;
+        parse_args acc rest
+    | [ "--checkpoint" ] ->
+        prerr_endline "bench: --checkpoint expects a file path";
+        exit 2
+    | "--resume" :: rest ->
+        checkpoint_resume := true;
+        parse_args acc rest
+    | "--seed" :: s :: rest -> begin
+        match int_of_string_opt s with
+        | Some n ->
+            seed := n;
+            parse_args acc rest
+        | None ->
+            prerr_endline "bench: --seed expects an integer";
+            exit 2
+      end
+    | [ "--seed" ] ->
+        prerr_endline "bench: --seed expects an integer";
+        exit 2
     | id :: rest -> parse_args (id :: acc) rest
   in
   let requested =
@@ -1854,6 +2165,20 @@ let () =
       ("--metrics", !obs_metrics_path);
     ];
   if !obs_trace_path <> None || !obs_metrics_path <> None then Obs.enable ();
+  (* The journal has its own guard (inside Campaign.start): an existing
+     file needs --resume to continue or --force to start over, and
+     --resume without a journal is an error, not a silent cold start. *)
+  (match (!checkpoint_path, !checkpoint_resume) with
+  | None, true ->
+      prerr_endline "bench: --resume requires --checkpoint FILE";
+      exit 2
+  | None, false -> ()
+  | Some path, resume -> (
+      match Persist.Campaign.start ~resume ~force:!force_overwrite path with
+      | Ok c -> campaign := Some c
+      | Error msg ->
+          prerr_endline ("bench: " ^ msg);
+          exit 2));
   List.iter
     (fun id ->
       if not (List.mem_assoc id experiments) then begin
@@ -1892,6 +2217,25 @@ let () =
   | Some path ->
       Obs.Metrics.write path (Obs.Metrics.snapshot ());
       Printf.printf "metrics written to %s\n" path);
+  (match !campaign with
+  | None -> ()
+  | Some c ->
+      let s = Persist.Campaign.stats c in
+      Printf.printf
+        "campaign journal %s: %d record(s) loaded (%d undecided), %d check(s) skipped, \
+         %d appended%s%s\n"
+        (Persist.Campaign.path c) s.Persist.Campaign.c_loaded
+        s.Persist.Campaign.c_undecided_loaded (Atomic.get campaign_skips)
+        s.Persist.Campaign.c_appended
+        (if s.Persist.Campaign.c_recovered_bytes > 0 then
+           Printf.sprintf " (%d corrupt tail byte(s) dropped)"
+             s.Persist.Campaign.c_recovered_bytes
+         else "")
+        (if s.Persist.Campaign.c_write_errors > 0 then
+           Printf.sprintf " (%d append(s) LOST to I/O errors)"
+             s.Persist.Campaign.c_write_errors
+         else "");
+      Persist.Campaign.close c);
   (match !json_path with None -> () | Some path -> write_json path);
   if !verdict_mismatches > 0 then begin
     Printf.eprintf
@@ -1922,6 +2266,11 @@ let () =
   if !reuse_flips > 0 then begin
     Printf.eprintf
       "bench: FAILED — %d cross-query-reuse verdict flip(s)\n" !reuse_flips;
+    exit 1
+  end;
+  if !campaign_flips > 0 then begin
+    Printf.eprintf
+      "bench: FAILED — %d kill/resume campaign verdict flip(s)\n" !campaign_flips;
     exit 1
   end;
   (* Distinct exit code for "nothing wrong, but some verdicts stayed unknown

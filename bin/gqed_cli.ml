@@ -242,6 +242,67 @@ let reuse_flag =
            verdict cache. Most effective with $(b,--all-mutants). Verdicts are \
            identical with and without it.")
 
+(* Campaign persistence (see lib/persist/DESIGN.md): journal every check's
+   verdict to a crash-safe write-ahead log; a resumed run skips the keys
+   already decided and reproduces the uninterrupted output bit-for-bit. *)
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal every check's verdict to the crash-safe log $(docv) as the \
+           run progresses. A killed run can then be continued with \
+           $(b,--resume), skipping the already-decided checks; journaled \
+           $(b,unknown) verdicts are always re-attempted. Refuses an existing \
+           journal unless $(b,--resume) or $(b,--force).")
+
+let resume_flag =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue the campaign journaled at $(b,--checkpoint): decided \
+           checks are answered from the journal, the rest run as usual. A \
+           missing journal is an error, not a silent cold start.")
+
+let cli_force_flag =
+  Arg.(
+    value & flag
+    & info [ "force" ]
+        ~doc:"Allow starting a fresh campaign over an existing $(b,--checkpoint) journal.")
+
+let start_campaign ~checkpoint ~resume ~force =
+  match checkpoint with
+  | None ->
+      if resume then begin
+        prerr_endline "gqed: --resume requires --checkpoint FILE";
+        exit 2
+      end;
+      None
+  | Some path -> (
+      match Persist.Campaign.start ~resume ~force path with
+      | Error msg ->
+          prerr_endline ("gqed: " ^ msg);
+          exit 2
+      | Ok c ->
+          (* Every verdict path funnels through Stdlib.exit, so the summary
+             and the final fsync/close always happen. *)
+          at_exit (fun () ->
+              let s = Persist.Campaign.stats c in
+              Printf.eprintf
+                "gqed: campaign journal %s: %d record(s) loaded (%d undecided), %d \
+                 check(s) skipped, %d appended%s\n\
+                 %!"
+                path s.Persist.Campaign.c_loaded s.Persist.Campaign.c_undecided_loaded
+                s.Persist.Campaign.c_hits s.Persist.Campaign.c_appended
+                (if s.Persist.Campaign.c_write_errors > 0 then
+                   Printf.sprintf " (%d append(s) LOST to I/O errors)"
+                     s.Persist.Campaign.c_write_errors
+                 else "");
+              Persist.Campaign.close c);
+          Some c)
+
 let portfolio_config ~portfolio ~no_share ~deterministic =
   if portfolio <= 1 then None
   else
@@ -370,7 +431,7 @@ let verify_cmd =
   in
   let run name technique bound mutant all_mutants jobs waveform vcd simplify mono
       simp_stats timeout max_conflicts no_escalate portfolio no_share deterministic
-      reuse obs_trace obs_metrics obs_format =
+      reuse checkpoint resume force obs_trace obs_metrics obs_format =
     setup_obs ~trace:obs_trace ~metrics:obs_metrics ~format:obs_format;
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
@@ -402,6 +463,21 @@ let verify_cmd =
        decides, so the per-query clause-sharing portfolio does the work. *)
     let racing = portfolio > 1 && (timeout <> None || max_conflicts <> None) in
     let reuse = if reuse then Some (Bmc.Reuse.create ()) else None in
+    let campaign = start_campaign ~checkpoint ~resume ~force in
+    (* SA and stability have no Checks.technique id, so --checkpoint runs
+       them fresh each time; everything else journals under the canonical
+       campaign key. *)
+    let campaign_key_of technique design =
+      let tech =
+        match technique with
+        | `Gqed -> Some Checks.Gqed
+        | `Aqed -> Some Checks.Aqed
+        | `Gqed_out -> Some Checks.Gqed_output_only
+        | `Flow -> Some Checks.Gqed_flow
+        | `Sa | `Stability -> None
+      in
+      Option.map (fun t -> Checks.campaign_key t design e.Entry.iface ~bound) tech
+    in
     let check ?cancel technique design =
       let limits = limits_of ?cancel ?portfolio:pconfig ~timeout ~max_conflicts () in
       let run1 ~simplify ~mono ~limits =
@@ -418,7 +494,21 @@ let verify_cmd =
             Checks.stability_check ~simplify ~mono ~limits ?reuse design e.Entry.iface
               ~bound
       in
-      with_escalation ~escalate ~racing ~jobs:portfolio ~limits ~simplify ~mono run1
+      let solve () =
+        with_escalation ~escalate ~racing ~jobs:portfolio ~limits ~simplify ~mono run1
+      in
+      match (campaign, campaign_key_of technique design) with
+      | None, _ | _, None -> solve ()
+      | Some c, Some key -> (
+          match
+            Option.bind (Persist.Campaign.find_decided c key) Checks.decode_report
+          with
+          | Some report -> report
+          | None ->
+              let report = solve () in
+              Persist.Campaign.record c ~decided:(Checks.report_decided report) ~key
+                ~payload:(Checks.encode_report report);
+              report)
     in
     let print_reuse_stats () =
       match reuse with
@@ -448,18 +538,22 @@ let verify_cmd =
       (* Each task builds its own engine inside the check, so mutants fan out
          across domains with no shared solver state. Under --timeout a
          watchdog cancels any task past its allowance, so one hung mutant
-         never blocks the whole table — it just shows up as "unknown". *)
+         never blocks the whole table — it just shows up as "unknown". The
+         supervisor restarts crashed/OOM'd workers with capped backoff and
+         degrades exhausted ones to a typed give-up, so one bad task never
+         takes the campaign down. *)
       let results =
-        Par.map_governed ~jobs ?deadline:timeout
+        Par.Supervise.supervise ~jobs ?deadline:timeout
           (fun token (_, design) -> check ~cancel:token technique design)
           muts
       in
-      Printf.printf "%-40s %-10s %9s\n" "mutant" "verdict" "time";
-      let detected = ref 0 and unknown = ref 0 in
+      Printf.printf "%-40s %-18s %9s\n" "mutant" "verdict" "time";
+      let detected = ref 0 and unknown = ref 0 and restarts = ref 0 in
       List.iter2
-        (fun (m, _) (result, dt) ->
+        (fun (m, _) o ->
+          restarts := !restarts + o.Par.Supervise.s_attempts - 1;
           let cell =
-            match result with
+            match o.Par.Supervise.s_result with
             | Ok report -> (
                 match report.Checks.verdict with
                 | Checks.Fail _ ->
@@ -469,14 +563,17 @@ let verify_cmd =
                 | Checks.Unknown _ ->
                     incr unknown;
                     "unknown")
-            | Error e ->
+            | Error cls ->
                 incr unknown;
-                "error: " ^ Printexc.to_string e
+                "gave-up:" ^ Par.Supervise.class_to_string cls
           in
-          Printf.printf "%-40s %-10s %8.2fs\n" m.Mutation.id cell dt)
+          Printf.printf "%-40s %-18s %8.2fs\n" m.Mutation.id cell
+            o.Par.Supervise.s_seconds)
         muts results;
       Printf.printf "detected %d/%d mutants (%d unknown)\n" !detected
         (List.length muts) !unknown;
+      if !restarts > 0 then
+        Printf.printf "supervisor: %d worker restart(s) during the campaign\n" !restarts;
       print_reuse_stats ();
       exit
         (if !detected = List.length muts then 0 else if !unknown > 0 then 3 else 1)
@@ -551,8 +648,9 @@ let verify_cmd =
       const run $ design_arg $ technique_arg $ bound_arg $ mutant_arg $ all_mutants_flag
       $ jobs_arg $ waveform_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
       $ timeout_arg $ max_conflicts_arg $ no_escalate_flag $ portfolio_arg
-      $ no_share_flag $ deterministic_flag $ reuse_flag $ obs_trace_arg
-      $ obs_metrics_arg $ obs_format_arg)
+      $ no_share_flag $ deterministic_flag $ reuse_flag $ checkpoint_arg
+      $ resume_flag $ cli_force_flag $ obs_trace_arg $ obs_metrics_arg
+      $ obs_format_arg)
 
 (* ---- mutants ---- *)
 

@@ -658,6 +658,16 @@ let verdict_arg = function
   | Fail _ -> "fail"
   | Unknown _ -> "unknown"
 
+(* One canonical task identity, shared by the in-process memo table and
+   the on-disk campaign journal: the technique, the bound, and structural
+   digests of the design and interface. [simplify]/[mono]/[limits] are
+   deliberately excluded — every pipeline stage and solving lane is
+   verdict-preserving (the repo's core invariant), so a verdict recorded
+   under one configuration answers the same query under any other. *)
+let campaign_key technique design iface ~bound =
+  Printf.sprintf "%s/%d/%s/%s" (technique_to_string technique) bound
+    (Bmc.Reuse.digest design) (Bmc.Reuse.digest iface)
+
 let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
     ?reuse technique design iface ~bound =
   let solve () =
@@ -672,17 +682,9 @@ let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_lim
     match reuse with
     | None -> solve ()
     | Some ctx -> begin
-        (* The memo key covers everything that determines the verdict: the
-           technique, the bound, and the full design + interface structure.
-           [simplify], [mono] and [limits] are deliberately excluded — every
-           pipeline stage and solving lane is verdict-preserving (the repo's
-           core invariant, exercised by the fuzz oracles), so a report cached
-           under one configuration answers the same query under any other.
-           Undecided reports are never cached: a bigger budget might decide. *)
-        let key =
-          Printf.sprintf "%s/%d/%s/%s" (technique_to_string technique) bound
-            (Bmc.Reuse.digest design) (Bmc.Reuse.digest iface)
-        in
+        (* Undecided reports are never cached: a bigger budget might
+           decide. See [campaign_key] for what the key covers. *)
+        let key = campaign_key technique design iface ~bound in
         match Bmc.Reuse.memo_find ctx key with
         | Some (Memo_report r) -> r
         | Some _ | None ->
@@ -724,3 +726,27 @@ let run_escalating ?policy ?(racing = false) ?jobs ?(simplify = Bmc.default_simp
           ~limits:cfg.Bmc.Escalate.ec_limits ?reuse technique design iface ~bound)
   in
   { report with attempts }
+
+(* ------------------------------------------------------------------ *)
+(* Journal payloads (lib/persist campaigns).                            *)
+
+(* Versioned *outside* the Marshal blob: Marshal carries no type
+   information, so a blob written under an older [report] layout would
+   otherwise decode into garbage silently. Bump the tag whenever [report]
+   (or any type it reaches) changes shape; stale records then decode to
+   [None] and the task simply re-runs — schema drift degrades to re-work,
+   never to a wrong verdict. *)
+let report_schema_tag = "gqed-report/1:"
+
+let encode_report (r : report) = report_schema_tag ^ Marshal.to_string r []
+
+let decode_report s =
+  let tag_len = String.length report_schema_tag in
+  if String.length s < tag_len || String.sub s 0 tag_len <> report_schema_tag then None
+  else
+    match (Marshal.from_string s tag_len : report) with
+    | r -> Some r
+    | exception _ -> None
+
+let report_decided (r : report) =
+  match r.verdict with Pass _ | Fail _ -> true | Unknown _ -> false

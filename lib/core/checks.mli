@@ -211,6 +211,33 @@ val run_escalating :
     the ladder's rungs race concurrently instead of sequentially, with
     [jobs] capping how many race at once. *)
 
+(** {2 Campaign persistence}
+
+    Key and payload helpers for the [Persist] journal: a campaign run
+    journals one record per {!run} call, and a resumed run skips the
+    keys whose journaled report decodes and is decided. *)
+
+val campaign_key : technique -> Rtl.design -> Iface.t -> bound:int -> string
+(** Canonical task identity — technique, bound and structural digests of
+    the design and interface; the same construction the [Bmc.Reuse] memo
+    table uses. [simplify]/[mono]/[limits] are deliberately excluded:
+    every pipeline stage and solving lane is verdict-preserving, so a
+    verdict recorded under one configuration answers the same query
+    under any other. *)
+
+val encode_report : report -> string
+(** Opaque journal payload: a schema tag plus a [Marshal] blob. *)
+
+val decode_report : string -> report option
+(** Inverse of {!encode_report}. [None] on an unrecognized schema tag or
+    a blob that does not demarshal — the caller re-runs the task, so
+    payload drift degrades to re-work, never a wrong verdict. *)
+
+val report_decided : report -> bool
+(** [false] exactly for [Unknown] verdicts, which must never be skipped
+    on resume (the resumed run re-attempts them — same rule as "Unknown
+    is never cached" in reuse memoization). *)
+
 (** {2 Copy prefixes}
 
     G-QED witnesses are traces of the two-copy product; these are the

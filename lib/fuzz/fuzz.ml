@@ -857,6 +857,112 @@ module Oracle = struct
         | Error _ as e -> e
         | Ok () -> (
             match warm "second warm" with Error _ as e -> e | Ok () -> Ok certified))
+
+  (* Crash-safe campaigns: journal a small verification campaign through
+     [Persist.Campaign], kill it at a random record boundary (sometimes
+     mid-append, leaving a torn tail), resume from the damaged journal and
+     diff the final verdict matrix bit-for-bit against an uninterrupted
+     run. The property under test: a crash may only cost re-work — the
+     resumed matrix must equal the clean one exactly, journaled [Unknown]s
+     are re-attempted rather than trusted, and a torn tail is truncated
+     away without poisoning the replayed prefix. With [cert] the clean
+     reference queries DRAT-certify their UNSAT bounds. *)
+  let checkpoint_resume ?(cert = false) ~depth rand (d : Rtl.design) =
+    let vars = all_vars d in
+    let invariants =
+      List.init 3 (fun i ->
+          ( Printf.sprintf "inv%d" i,
+            if i = 0 then Gen.true_invariant rand ~vars
+            else Gen.expr rand ~vars ~width:1 ~depth:2 ))
+    in
+    let solve invariant =
+      fst (Bmc.check_safety ~certify:cert ~design:d ~invariant ~depth ())
+    in
+    match List.map (fun (_, inv) -> solve inv) invariants with
+    | exception Bmc.Certification_failed msg ->
+        Error ("checkpoint: clean run rejected a DRAT certificate: " ^ msg)
+    | outcomes ->
+        let certified =
+          if not cert then 0
+          else
+            List.fold_left
+              (fun acc o ->
+                acc
+                +
+                match o with
+                | Bmc.Holds bound -> bound
+                | Bmc.Violated w -> w.Bmc.w_length - 1
+                | Bmc.Unknown _ -> 0)
+              0 outcomes
+        in
+        let reference = List.map outcome_to_string outcomes in
+        let diff what got =
+          let rec go i a b =
+            match (a, b) with
+            | [], [] -> Ok ()
+            | x :: a', y :: b' ->
+                if String.equal x y then go (i + 1) a' b'
+                else
+                  Error
+                    (Printf.sprintf
+                       "checkpoint: %s: task %d decided %s but the clean run \
+                        decided %s" what i y x)
+            | _ -> Error (Printf.sprintf "checkpoint: %s: matrix length differs" what)
+          in
+          go 0 reference got
+        in
+        let journal = Filename.temp_file "gqed-fuzz-campaign" ".jrnl" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+          (fun () ->
+            let campaign_pass ~resume =
+              match Persist.Campaign.start ~resume ~force:(not resume) journal with
+              | Error msg -> Error ("checkpoint: " ^ msg)
+              | Ok c ->
+                  Fun.protect
+                    ~finally:(fun () -> Persist.Campaign.close c)
+                    (fun () ->
+                      match
+                        List.map
+                          (fun (key, inv) ->
+                            match Persist.Campaign.find_decided c key with
+                            | Some payload -> payload
+                            | None ->
+                                let outcome = solve inv in
+                                let payload = outcome_to_string outcome in
+                                let decided =
+                                  match outcome with
+                                  | Bmc.Unknown _ -> false
+                                  | Bmc.Holds _ | Bmc.Violated _ -> true
+                                in
+                                Persist.Campaign.record c ~decided ~key ~payload;
+                                payload)
+                          invariants
+                      with
+                      | matrix -> Ok matrix
+                      | exception Bmc.Certification_failed msg ->
+                          Error
+                            ("checkpoint: journaled run rejected a DRAT \
+                              certificate: " ^ msg))
+            in
+            match campaign_pass ~resume:false with
+            | Error _ as e -> e
+            | Ok full -> (
+                match diff "journaled run" full with
+                | Error _ as e -> e
+                | Ok () -> (
+                    (* Kill the campaign: keep a random prefix of records and,
+                       half the time, a few bytes of a half-written record —
+                       exactly what a crash mid-append leaves behind. *)
+                    let keep = Random.State.int rand (List.length invariants) in
+                    let torn_bytes = if Random.State.bool rand then 9 else 0 in
+                    Persist.Journal.chop ~torn_bytes ~keep journal;
+                    match campaign_pass ~resume:true with
+                    | Error _ as e -> e
+                    | Ok resumed -> (
+                        match diff "resumed run" resumed with
+                        | Error _ as e -> e
+                        | Ok () -> Ok certified))))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1051,6 +1157,8 @@ let oracles ~config ~cert =
       fun rand d -> Oracle.tracing_on_vs_off ~cert ~depth:config.bmc_depth rand d );
     ( "reuse-vs",
       fun rand d -> Oracle.reuse_vs_no_reuse ~cert ~depth:config.bmc_depth rand d );
+    ( "checkpoint",
+      fun rand d -> Oracle.checkpoint_resume ~cert ~depth:config.bmc_depth rand d );
   ]
 
 let run_oracle oracle_fn ~seed ~case ~idx d =

@@ -143,6 +143,17 @@ module Oracle : sig
       length). With [cert] the warm runs certify their UNSAT bounds, which
       replays imported lemmas through the DRAT checker. On success,
       returns the number of certified bounds of the reference run. *)
+
+  val checkpoint_resume :
+    ?cert:bool -> depth:int -> Random.State.t -> Rtl.design -> (int, string) result
+  (** Crash/resume is verdict-invisible: a small campaign of safety checks
+      journaled through {!Persist.Campaign} is killed at a random record
+      boundary (sometimes mid-append, leaving a torn tail via
+      {!Persist.Journal.chop}) and resumed; the resumed verdict matrix
+      must equal the uninterrupted run bit-for-bit. Journaled [Unknown]s
+      are re-attempted on resume, never skipped. With [cert] the clean
+      reference queries DRAT-certify their UNSAT bounds; on success,
+      returns the number of certified bounds of the reference run. *)
 end
 
 (** {1 Shrinking} *)

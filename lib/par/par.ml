@@ -162,6 +162,122 @@ let map_governed ?jobs ?deadline ?stop_when f xs =
   let results = drop_bt results in
   List.init (Array.length results) (fun i -> (results.(i), times.(i)))
 
+(* Supervision over the governed pool: classify worker failures, restart
+   the transient classes with capped exponential backoff, and degrade the
+   rest to a typed failure instead of aborting the whole fan-out. *)
+module Supervise = struct
+  type failure_class = Crash of string | Oom | Deadline | Cancelled
+
+  type restart_policy = {
+    max_restarts : int;
+    backoff_s : float;
+    backoff_cap_s : float;
+  }
+
+  let default_policy = { max_restarts = 2; backoff_s = 0.05; backoff_cap_s = 1.0 }
+
+  type 'b outcome = {
+    s_result : ('b, failure_class) result;
+    s_attempts : int;
+    s_seconds : float;
+  }
+
+  let m_restarts = lazy (Obs.Metrics.counter "par.supervise.restarts")
+  let m_gave_up = lazy (Obs.Metrics.counter "par.supervise.gave_up")
+
+  let class_to_string = function
+    | Crash _ -> "crash"
+    | Oom -> "oom"
+    | Deadline -> "deadline"
+    | Cancelled -> "cancel"
+
+  (* A raised exception is the only thing to classify: a governed task that
+     merely ran out of budget returns an Unknown verdict normally. The
+     token tells deadline expiry apart from a genuine crash — the watchdog
+     is the only writer when [stop_when] is absent (supervise does not
+     expose it). *)
+  let classify ~deadline ~token_set e =
+    match e with
+    | Out_of_memory -> Oom
+    | _ when token_set && deadline <> None -> Deadline
+    | _ when token_set -> Cancelled
+    | e -> Crash (Printexc.to_string e)
+
+  (* Crashes and OOM are transient (a sibling freeing memory, a flaky
+     external resource); a deadline would just expire again and a
+     cancellation was asked for. *)
+  let retryable = function Crash _ | Oom -> true | Deadline | Cancelled -> false
+
+  let supervise ?jobs ?deadline ?(policy = default_policy) f xs =
+    let xs = Array.of_list xs in
+    let n = Array.length xs in
+    let out : ('b, failure_class) result option array = Array.make n None in
+    let attempts = Array.make n 0 in
+    let seconds = Array.make n 0.0 in
+    let pending = ref (List.init n Fun.id) in
+    let round = ref 0 in
+    while !pending <> [] do
+      if !round > 0 then
+        Unix.sleepf
+          (Float.min policy.backoff_cap_s
+             (policy.backoff_s *. (2.0 ** float_of_int (!round - 1))));
+      let idxs = Array.of_list !pending in
+      let tokens : Cancel.t option array = Array.make (Array.length idxs) None in
+      let tasks =
+        Array.mapi
+          (fun k i token ->
+            tokens.(k) <- Some token;
+            f token xs.(i))
+          idxs
+      in
+      let results, times = run_tasks_governed ~jobs ?deadline tasks in
+      let next = ref [] in
+      Array.iteri
+        (fun k i ->
+          attempts.(i) <- attempts.(i) + 1;
+          seconds.(i) <- seconds.(i) +. times.(k);
+          match results.(k) with
+          | Ok v -> out.(i) <- Some (Ok v)
+          | Error (Sys.Break, bt) -> Printexc.raise_with_backtrace Sys.Break bt
+          | Error (e, _bt) ->
+              let token_set =
+                match tokens.(k) with Some t -> Cancel.is_set t | None -> false
+              in
+              let cls = classify ~deadline ~token_set e in
+              if retryable cls && attempts.(i) <= policy.max_restarts then begin
+                next := i :: !next;
+                if Obs.on () then begin
+                  Obs.Metrics.incr (Lazy.force m_restarts);
+                  Obs.Trace.instant "par.supervise.restart"
+                    ~args:
+                      [
+                        ("task", string_of_int i);
+                        ("class", class_to_string cls);
+                        ("attempt", string_of_int attempts.(i));
+                      ]
+                end
+              end
+              else begin
+                out.(i) <- Some (Error cls);
+                if Obs.on () then begin
+                  Obs.Metrics.incr (Lazy.force m_gave_up);
+                  Obs.Trace.instant "par.supervise.gave_up"
+                    ~args:
+                      [ ("task", string_of_int i); ("class", class_to_string cls) ]
+                end
+              end)
+        idxs;
+      pending := List.rev !next;
+      incr round
+    done;
+    List.init n (fun i ->
+        {
+          s_result = (match out.(i) with Some r -> r | None -> assert false);
+          s_attempts = attempts.(i);
+          s_seconds = seconds.(i);
+        })
+end
+
 (* Oversubscription guard for nested parallelism (outer fan-out × inner
    portfolio). Keeps the outer degree — design/mutant fan-out dominates
    throughput — and shrinks the inner one. *)

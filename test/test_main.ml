@@ -20,4 +20,5 @@ let () =
       ("matrix", Test_matrix.suite);
       ("reuse", Test_reuse.suite);
       ("report", Test_report.suite);
+      ("persist", Test_persist.suite);
     ]
