@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --jobs 4 t2        # fan tasks over 4 domains
      dune exec bench/main.exe -- --json BENCH.json  # machine-readable timings
 
-   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 c1 r2 obs micro.
+   Experiment ids: t1 t2 t3 t4 t5 a1 a2 a3 s1 f1 f2 f3 rob p1 c1 r2 dist obs
+   micro.
 
    --checkpoint FILE journals every check's verdict to a crash-safe
    write-ahead log as the run progresses; --resume replays an existing
@@ -37,6 +38,16 @@
    the machine's domain count); --no-share turns off learnt-clause
    sharing between its workers. p1 exits nonzero if the portfolio lane
    flips any verdict of the single-solver lane.
+
+   --workers N sets the worker-process count of the dist experiment's
+   distributed lane (default: up to 4, at least 2); --batch M its pull
+   batch size. --max-restarts / --backoff SEC / --no-retry-oom configure
+   the restart policy its supervisor (and `gqed campaign`) applies to
+   worker deaths. dist solves every campaign cell twice — serially
+   in-process and across N worker processes journaling to per-worker
+   shards — and exits 1 if any verdict differs; a kill/resume lane
+   SIGKILLs a worker mid-campaign and checks the merged resume matrix
+   against the serial one.
 
    --no-reuse turns off the reuse lane of the c1 cross-query-reuse
    experiment (both lanes then solve cold; the CI reuse-smoke job runs c1
@@ -99,6 +110,27 @@ let portfolio_share = ref true
    cold, like the base lane — the CI on/off smoke uses this). *)
 let reuse_on = ref true
 
+(* --workers / --batch size the dist experiment's worker-process lane;
+   --max-restarts / --backoff / --no-retry-oom shape the restart policy
+   its supervisor applies to worker deaths (the same knobs `gqed
+   campaign` exposes). workers = 0 means auto: min(cores, 4), at least 2
+   so the distributed lane is really distributed. *)
+let dist_workers = ref 0
+let dist_batch = ref 2
+let dist_max_restarts = ref Par.Supervise.default_policy.Par.Supervise.max_restarts
+let dist_backoff = ref Par.Supervise.default_policy.Par.Supervise.backoff_s
+let dist_retry_oom = ref true
+
+let dist_policy () =
+  {
+    Par.Supervise.max_restarts = !dist_max_restarts;
+    backoff_s = !dist_backoff;
+    backoff_cap_s =
+      Float.max !dist_backoff
+        Par.Supervise.default_policy.Par.Supervise.backoff_cap_s;
+    retry_oom = !dist_retry_oom;
+  }
+
 (* --trace / --metrics / --trace-format enable the Obs layer for the whole
    run; --force permits overwriting existing report and trace files (and
    starting a fresh campaign over an existing --checkpoint journal). *)
@@ -144,8 +176,12 @@ let record report =
 (* Every experiment's checks funnel through here so the budget flags,
    escalation policy and the --checkpoint journal apply uniformly. With no
    budget set this is exactly the direct check: run_escalating under
-   Bmc.no_limits is one attempt. *)
-let check ?simplify ?mono ?reuse technique design iface ~bound =
+   Bmc.no_limits is one attempt. [check_warm] additionally says whether
+   the report was served warm from the --checkpoint journal — the timing
+   experiments (t3, f1) use it so resumed rows are never mistaken for
+   cold measurements. Solved cells journal their wall-clock seconds,
+   which later distributed runs read back for hardest-first ordering. *)
+let check_warm ?simplify ?mono ?reuse technique design iface ~bound =
   let limits = bench_limits () in
   let solve () =
     if !escalate then
@@ -153,7 +189,7 @@ let check ?simplify ?mono ?reuse technique design iface ~bound =
     else Checks.run ?simplify ?mono ~limits ?reuse technique design iface ~bound
   in
   match !campaign with
-  | None -> record (solve ())
+  | None -> (record (solve ()), false)
   | Some c -> (
       let key = Checks.campaign_key technique design iface ~bound in
       let cached =
@@ -165,12 +201,15 @@ let check ?simplify ?mono ?reuse technique design iface ~bound =
       match cached with
       | Some r ->
           Atomic.incr campaign_skips;
-          record r
+          (record r, true)
       | None ->
-          let r = solve () in
-          Persist.Campaign.record c ~decided:(Checks.report_decided r) ~key
-            ~payload:(Checks.encode_report r);
-          record r)
+          let r, dt = time solve in
+          Persist.Campaign.record c ~seconds:dt ~decided:(Checks.report_decided r)
+            ~key ~payload:(Checks.encode_report r);
+          (record r, false))
+
+let check ?simplify ?mono ?reuse technique design iface ~bound =
+  fst (check_warm ?simplify ?mono ?reuse technique design iface ~bound)
 
 (* Sum of per-task wall-clock seconds spent in Par fan-outs by the current
    experiment. task_sum / experiment_wall estimates the speedup over a
@@ -197,6 +236,9 @@ type json_solver_row = {
   js_bound : int;
   js_verdict : string;
   js_time_s : float;
+  js_warm : bool;
+      (* served from the --checkpoint journal without re-solving; its
+         time is the lookup, not the solve — never mix with cold rows *)
   js_stats : Sat.Solver.stats;
   js_cnf_vars : int;
   js_cnf_clauses : int;
@@ -270,6 +312,19 @@ type json_campaign_row = {
   jk_resumed : string;
 }
 
+(* One D1 matrix row: a design's slice of the combined campaign, solved
+   serially (in-process, workers=1) and across N worker processes
+   appending to per-worker journal shards. Times are sums of journaled
+   per-cell solve seconds (task-sums, not wall-clock — the wall-clock
+   speedup is the per-trial figure). *)
+type json_dist_row = {
+  jd_design : string;
+  jd_cells : int;
+  jd_serial_s : float;
+  jd_dist_s : float;
+  jd_flips : int;
+}
+
 let json_experiments : json_experiment list ref = ref []
 let json_solver_rows : json_solver_row list ref = ref []
 let json_simplify_rows : json_simplify_row list ref = ref []
@@ -283,6 +338,14 @@ let json_reuse_rows : json_reuse_row list ref = ref []
 let json_reuse_geomean = ref nan
 let json_reuse_stats : Bmc.Reuse.stats option ref = ref None
 let json_campaign_rows : json_campaign_row list ref = ref []
+let json_dist_rows : json_dist_row list ref = ref []
+let json_dist_geomean = ref nan
+let json_dist_workers = ref 0
+let json_dist_restarts = ref 0
+let json_dist_killed = ref false
+let json_dist_resume_flips = ref 0
+let json_dist_resume_skipped = ref 0
+let json_dist_resume_merged = ref 0
 let json_campaign_records = ref 0
 let json_campaign_kill_at = ref 0
 let json_campaign_skipped = ref 0
@@ -296,6 +359,10 @@ let json_campaign_gave_up = ref 0
    campaign detected by R2 (plus supervised tasks that misbehaved); like
    the other flip counters, nonzero fails the whole bench run. *)
 let campaign_flips = ref 0
+
+(* Verdict flips between the serial and the N-worker-process lane (or the
+   killed-and-resumed one) detected by dist; nonzero fails the run. *)
+let dist_flips = ref 0
 
 (* Verdict flips between the cold and reuse lanes detected by C1; a nonzero
    count fails the whole bench run. *)
@@ -317,7 +384,7 @@ let write_json path =
   let buf = Buffer.create 4096 in
   let tm = Unix.localtime (Unix.gettimeofday ()) in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gqed-bench/6\",\n";
+  Buffer.add_string buf "  \"schema\": \"gqed-bench/7\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
@@ -362,6 +429,7 @@ let write_json path =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"design\": %S, \"bound\": %d, \"verdict\": %S, \"time_s\": %.3f, \
+            \"warm\": %b, \
             \"cnf_vars\": %d, \"cnf_clauses\": %d, \"conflicts\": %d, \"decisions\": %d, \
             \"propagations\": %d, \"restarts\": %d, \"learnt_clauses\": %d, \
             \"clauses_exported\": %d, \"clauses_imported\": %d, \
@@ -370,7 +438,8 @@ let write_json path =
             \"single_pol_nodes\": %d, \"pre_subsumed\": %d, \"pre_strengthened\": %d, \
             \"pre_eliminated\": %d, \"pre_units\": %d, \"t_rewrite_s\": %.3f, \
             \"t_cnf_s\": %.3f}}%s\n"
-           r.js_design r.js_bound r.js_verdict r.js_time_s r.js_cnf_vars r.js_cnf_clauses
+           r.js_design r.js_bound r.js_verdict r.js_time_s r.js_warm r.js_cnf_vars
+           r.js_cnf_clauses
            st.Sat.Solver.conflicts st.Sat.Solver.decisions st.Sat.Solver.propagations
            st.Sat.Solver.restarts st.Sat.Solver.learnt_clauses
            st.Sat.Solver.clauses_exported st.Sat.Solver.clauses_imported
@@ -544,6 +613,34 @@ let write_json path =
            r.jk_design r.jk_case r.jk_full r.jk_resumed
            (if i = List.length krows - 1 then "" else ",")))
     krows;
+  Buffer.add_string buf "    ]\n  },\n";
+  Buffer.add_string buf "  \"dist\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"workers\": %d,\n" !json_dist_workers);
+  Buffer.add_string buf (Printf.sprintf "    \"batch\": %d,\n" !dist_batch);
+  Buffer.add_string buf (Printf.sprintf "    \"verdict_flips\": %d,\n" !dist_flips);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"speedup_geo_mean\": %s,\n"
+       (if Float.is_nan !json_dist_geomean then "null"
+        else Printf.sprintf "%.4f" !json_dist_geomean));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"worker_restarts\": %d,\n" !json_dist_restarts);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"kill\": {\"killed\": %b, \"resume_flips\": %d, \
+        \"skipped_on_resume\": %d, \"merged_records\": %d},\n"
+       !json_dist_killed !json_dist_resume_flips !json_dist_resume_skipped
+       !json_dist_resume_merged);
+  Buffer.add_string buf "    \"matrix\": [\n";
+  let drows = !json_dist_rows in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"design\": %S, \"cells\": %d, \"serial_task_s\": %.3f, \
+            \"dist_task_s\": %.3f, \"flips\": %d}%s\n"
+           r.jd_design r.jd_cells r.jd_serial_s r.jd_dist_s r.jd_flips
+           (if i = List.length drows - 1 then "" else ",")))
+    drows;
   Buffer.add_string buf "    ]\n  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -759,17 +856,18 @@ let t3 () =
   let rows =
     Par.map_timed ~jobs:!jobs
       (fun e ->
-        (e, check ~simplify:!pipeline Checks.Gqed e.Entry.design e.Entry.iface
+        (e, check_warm ~simplify:!pipeline Checks.Gqed e.Entry.design e.Entry.iface
               ~bound:e.Entry.rec_bound))
       Registry.all
   in
   par_task_seconds :=
     !par_task_seconds +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 rows;
   List.iter
-    (fun ((e, report), dt) ->
-      Printf.printf "%-12s %6d %9d %9d %10d %9s %8.2f\n%!" e.Entry.name e.Entry.rec_bound
-        report.Checks.cnf_vars report.Checks.cnf_clauses
-        report.Checks.sat_stats.Sat.Solver.conflicts (short_verdict report) dt;
+    (fun ((e, (report, warm)), dt) ->
+      Printf.printf "%-12s %6d %9d %9d %10d %9s %8.2f%s\n%!" e.Entry.name
+        e.Entry.rec_bound report.Checks.cnf_vars report.Checks.cnf_clauses
+        report.Checks.sat_stats.Sat.Solver.conflicts (short_verdict report) dt
+        (if warm then "  (journal)" else "");
       json_solver_rows :=
         !json_solver_rows
         @ [
@@ -778,6 +876,7 @@ let t3 () =
               js_bound = e.Entry.rec_bound;
               js_verdict = verdict_key report;
               js_time_s = dt;
+              js_warm = warm;
               js_stats = report.Checks.sat_stats;
               js_cnf_vars = report.Checks.cnf_vars;
               js_cnf_clauses = report.Checks.cnf_clauses;
@@ -1196,20 +1295,44 @@ let f1 () =
     Par.map_timed ~jobs:!jobs
       (fun (bound, name) ->
         let e = Registry.find name in
-        ignore (check ~simplify:!pipeline Checks.Gqed e.Entry.design e.Entry.iface ~bound))
+        check_warm ~simplify:!pipeline Checks.Gqed e.Entry.design e.Entry.iface ~bound)
       cells
   in
   par_task_seconds :=
     !par_task_seconds +. List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed;
-  let dts = List.map snd timed in
+  let warm_any = ref false in
   List.iteri
     (fun bi bound ->
       Printf.printf "%-6d" bound;
       List.iteri
-        (fun di _ -> Printf.printf " %12.3f" (List.nth dts ((bi * List.length designs) + di)))
+        (fun di _ ->
+          let (_, warm), dt = List.nth timed ((bi * List.length designs) + di) in
+          if warm then warm_any := true;
+          Printf.printf " %11.3f%s" dt (if warm then "*" else " "))
         designs;
       Printf.printf "\n%!")
-    bounds
+    bounds;
+  if !warm_any then
+    Printf.printf
+      "(* = served warm from the --checkpoint journal; lookup time, not solve time)\n";
+  List.iter2
+    (fun (bound, name) ((report, warm), dt) ->
+      json_solver_rows :=
+        !json_solver_rows
+        @ [
+            {
+              js_design = name;
+              js_bound = bound;
+              js_verdict = verdict_key report;
+              js_time_s = dt;
+              js_warm = warm;
+              js_stats = report.Checks.sat_stats;
+              js_cnf_vars = report.Checks.cnf_vars;
+              js_cnf_clauses = report.Checks.cnf_clauses;
+              js_simp = report.Checks.simp;
+            };
+          ])
+    cells timed
 
 (* ------------------------------------------------------------------ *)
 (* F2: CRV detection rate vs budget, with the G-QED one-shot line.      *)
@@ -1867,12 +1990,14 @@ let r2 () =
               with
               | Some r -> r
               | None ->
-                  let r =
-                    record
-                      (Checks.run ~limits Checks.Gqed design e.Entry.iface
-                         ~bound:e.Entry.rec_bound)
+                  let r, dt =
+                    time (fun () ->
+                        record
+                          (Checks.run ~limits Checks.Gqed design e.Entry.iface
+                             ~bound:e.Entry.rec_bound))
                   in
-                  Persist.Campaign.record c ~decided:(Checks.report_decided r) ~key
+                  Persist.Campaign.record c ~seconds:dt
+                    ~decided:(Checks.report_decided r) ~key
                     ~payload:(Checks.encode_report r);
                   r)
             cells
@@ -1997,17 +2122,277 @@ let r2 () =
       (List.length cells)
 
 (* ------------------------------------------------------------------ *)
+(* D1: distributed sharded campaigns — the same campaign cells solved    *)
+(* serially in-process and across N worker processes journaling to       *)
+(* per-worker shards, flip-gated, plus a kill/resume lane and a          *)
+(* supervised-restart lane. Workers are this executable re-exec'd (see   *)
+(* lib/dist/DESIGN.md), so the solver rebuilds its key -> task table     *)
+(* from the design names carried in [arg] alone.                         *)
+
+(* Default subset: combined mutant matrices solve in seconds yet leave
+   enough per-cell work for the process fan-out to amortize its spawn
+   cost (same set as c1). --designs overrides. *)
+let dist_default = [ "hamming74"; "graycodec"; "seqdet"; "rle"; "maxtrack" ]
+
+let dist_cells e =
+  let bound = e.Entry.rec_bound in
+  let cell d =
+    {
+      Dist.cell_key = Checks.campaign_key Checks.Gqed d e.Entry.iface ~bound;
+      cell_hint = Checks.campaign_hint d ~bound;
+    }
+  in
+  cell e.Entry.design :: List.map (fun (_m, mutant) -> cell mutant) (mutant_suite e)
+
+let dist_tables : (string, (string, Rtl.design * Qed.Iface.t * int) Hashtbl.t) Hashtbl.t =
+  Hashtbl.create 4
+
+(* arg = comma-separated registry names. The table is deterministic from
+   them (registry designs plus the harness's shared mutant suites), so a
+   worker process reconstructs exactly the coordinator's key space. *)
+let dist_solver ~arg key =
+  let table =
+    match Hashtbl.find_opt dist_tables arg with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 64 in
+        List.iter
+          (fun name ->
+            let e = Registry.find name in
+            let bound = e.Entry.rec_bound in
+            List.iter
+              (fun d ->
+                Hashtbl.replace t
+                  (Checks.campaign_key Checks.Gqed d e.Entry.iface ~bound)
+                  (d, e.Entry.iface, bound))
+              (e.Entry.design :: List.map snd (mutant_suite e)))
+          (String.split_on_char ',' arg);
+        Hashtbl.add dist_tables arg t;
+        t
+  in
+  match Hashtbl.find_opt table key with
+  | None -> failwith ("bench dist worker: unknown cell key " ^ key)
+  | Some (d, iface, bound) ->
+      let r = Checks.run Checks.Gqed d iface ~bound in
+      (Checks.report_decided r, Checks.encode_report r)
+
+let () = Dist.register "bench-campaign" dist_solver
+
+(* Payload bytes embed wall-clock solver stats, so lane equality is over
+   decoded verdicts, exactly what the tables print. *)
+let dist_verdict r =
+  if r.Dist.r_payload = "" then "<no payload>"
+  else
+    match Checks.decode_report r.Dist.r_payload with
+    | Some rep -> verdict_key rep
+    | None -> "<undecodable>"
+
+let dist_exp () =
+  header "D1  Distributed campaigns: serial vs N-worker-process matrix";
+  let wanted = match !design_filter with Some ds -> ds | None -> dist_default in
+  let entries = List.filter (fun e -> List.mem e.Entry.name wanted) Registry.all in
+  let workers =
+    if !dist_workers > 0 then !dist_workers else max 2 (min 4 (Par.default_jobs ()))
+  in
+  json_dist_workers := workers;
+  let policy = dist_policy () in
+  Printf.printf
+    "The combined campaign over %d design(s) is solved by the same\n\
+     registered solver twice per trial: serially in-process (workers=1)\n\
+     and sharded across %d worker processes pulling batches of %d\n\
+     hardest-first, each journaling to its own shard. The merged matrices\n\
+     must agree cell-for-cell; any flip fails the whole bench run\n\
+     (exit 1). A kill lane then SIGKILLs a worker mid-campaign and\n\
+     resumes from the leftover shards.\n\n"
+    (List.length entries) workers !dist_batch;
+  let tmp tag =
+    let f = Filename.temp_file ("gqed-dist-" ^ tag) ".jrnl" in
+    Sys.remove f;
+    f
+  in
+  let sweep path =
+    List.iter
+      (fun f -> try Sys.remove f with Sys_error _ -> ())
+      (path :: List.init 16 (Dist.worker_journal path))
+  in
+  let run_lane ?kill ~workers ~journal ~arg ~resume cells =
+    match
+      Dist.run ~workers ~batch:!dist_batch ~policy ?kill ~resume ~force:false
+        ~journal ~solver:"bench-campaign" ~arg cells
+    with
+    | Ok (rows, st) -> (rows, st)
+    | Error msg -> failwith ("dist: " ^ msg)
+  in
+  let per_design = List.map (fun e -> (e, dist_cells e)) entries in
+  let all_cells = List.concat_map snd per_design in
+  let all_arg = String.concat "," (List.map (fun e -> e.Entry.name) entries) in
+  let count_flips a b =
+    List.fold_left2
+      (fun n x y -> if dist_verdict x <> dist_verdict y then n + 1 else n)
+      0 a b
+  in
+  (* Throughput is measured on the combined campaign, where cross-design
+     parallelism exists — a single design's matrix is usually dominated
+     by its one hard all-UNSAT "correct" cell, which no amount of
+     sharding can split. Two trials feed the geo-mean. *)
+  let trials = 2 in
+  let pairs = ref [] in
+  let serial_rows = ref [] and dist_rows = ref [] in
+  for trial = 1 to trials do
+    let j1 = tmp "serial" and jn = tmp "par" in
+    let (rows1, _), t1 =
+      time (fun () -> run_lane ~workers:1 ~journal:j1 ~arg:all_arg ~resume:false all_cells)
+    in
+    let (rowsn, stn), tn =
+      time (fun () -> run_lane ~workers ~journal:jn ~arg:all_arg ~resume:false all_cells)
+    in
+    sweep j1;
+    sweep jn;
+    json_dist_restarts := !json_dist_restarts + stn.Dist.d_restarts;
+    let flips = count_flips rows1 rowsn in
+    dist_flips := !dist_flips + flips;
+    if t1 > 0.0 && tn > 0.0 then pairs := (t1, tn) :: !pairs;
+    Printf.printf "trial %d: %d cells — serial %.3fs, %d workers %.3fs (%s), %d flip(s)%s\n%!"
+      trial (List.length all_cells) t1 workers tn
+      (if tn > 0.0 then Printf.sprintf "%.2fx" (t1 /. tn) else "-")
+      flips
+      (if flips > 0 then "  VERDICT FLIP" else "");
+    if trial = 1 then begin
+      serial_rows := rows1;
+      dist_rows := rowsn
+    end
+  done;
+  (* Per-design matrix from trial 1. Times are sums of the journaled
+     per-cell solve seconds (task-sums), so a design's row is not
+     perturbed by which lane happened to co-schedule a sibling design. *)
+  Printf.printf "\n%-12s %6s %14s %14s %6s\n" "design" "cells" "serial-sum(s)"
+    "dist-sum(s)" "flips";
+  let idx = ref 0 in
+  List.iter
+    (fun (e, cells) ->
+      let n = List.length cells in
+      let slice rows = List.filteri (fun i _ -> i >= !idx && i < !idx + n) rows in
+      let s1 = slice !serial_rows and sn = slice !dist_rows in
+      let sum rows = List.fold_left (fun a r -> a +. r.Dist.r_seconds) 0.0 rows in
+      (* already counted into dist_flips by the trial loop *)
+      let flips = count_flips s1 sn in
+      Printf.printf "%-12s %6d %14.3f %14.3f %6d\n%!" e.Entry.name n (sum s1) (sum sn)
+        flips;
+      json_dist_rows :=
+        !json_dist_rows
+        @ [
+            {
+              jd_design = e.Entry.name;
+              jd_cells = n;
+              jd_serial_s = sum s1;
+              jd_dist_s = sum sn;
+              jd_flips = flips;
+            };
+          ];
+      idx := !idx + n)
+    per_design;
+  (match Report.geo_mean_ratio !pairs with
+  | Some g ->
+      json_dist_geomean := g;
+      Printf.printf
+        "\nserial-vs-%d-worker wall-clock speedup, geo-mean over %d trial(s): %.2fx\n"
+        workers (List.length !pairs) g;
+      if g <= 1.0 then
+        if Par.default_jobs () <= 1 then
+          Printf.printf
+            "  note: 1 core available — the fan-out can only measure its own \
+             overhead here (>1x needs >=2 cores)\n"
+        else
+          Printf.printf
+            "  note: worker processes no faster than in-process on this machine/run\n"
+  | None -> ());
+  (* Kill/resume lane over the whole cell set: SIGKILL one worker
+     mid-campaign (`Abort also downs its siblings, the hard variant),
+     then resume — leftover shards merge first, journaled Unknowns
+     re-solve, and the matrix must match the serial reference. *)
+  let reference = List.map dist_verdict !serial_rows in
+  let jk = tmp "kill" in
+  let rand = Random.State.make [| 0xd157; !seed |] in
+  let kill =
+    {
+      Dist.k_worker = Random.State.int rand workers;
+      k_after = 1 + Random.State.int rand (max 1 (min 6 (List.length all_cells - 1)));
+      k_mode = `Abort;
+    }
+  in
+  let killed =
+    match
+      Dist.run ~workers ~batch:!dist_batch ~policy ~kill ~resume:false ~force:false
+        ~journal:jk ~solver:"bench-campaign" ~arg:all_arg all_cells
+    with
+    | Error _ -> true
+    | Ok _ -> false (* campaign finished before the kill point: still fine *)
+  in
+  json_dist_killed := killed;
+  let rows_r, st_r = run_lane ~workers ~journal:jk ~arg:all_arg ~resume:true all_cells in
+  sweep jk;
+  let resume_flips =
+    List.fold_left2
+      (fun n v r -> if v <> dist_verdict r then n + 1 else n)
+      0 reference rows_r
+  in
+  dist_flips := !dist_flips + resume_flips;
+  json_dist_resume_flips := resume_flips;
+  json_dist_resume_skipped := st_r.Dist.d_skipped;
+  json_dist_resume_merged := st_r.Dist.d_merged;
+  Printf.printf
+    "kill/resume lane: worker %d SIGKILLed after %d ack(s)%s; resume merged %d \
+     shard record(s), skipped %d, %d flip(s) vs serial%s\n"
+    kill.Dist.k_worker kill.Dist.k_after
+    (if killed then "" else " (campaign finished first)")
+    st_r.Dist.d_merged st_r.Dist.d_skipped resume_flips
+    (if resume_flips > 0 then "  VERDICT FLIP" else "");
+  (* Supervised-restart lane: same kill, `Restart mode — the supervisor
+     revives the worker and the run completes on its own. *)
+  (match entries with
+  | [] -> ()
+  | e :: _ ->
+      let cells = dist_cells e in
+      let jr = tmp "restart" in
+      let rows, st =
+        run_lane
+          ~kill:{ Dist.k_worker = 0; k_after = 1; k_mode = `Restart }
+          ~workers ~journal:jr ~arg:e.Entry.name ~resume:false cells
+      in
+      sweep jr;
+      let ref_rows = List.filteri (fun i _ -> i < List.length cells) !serial_rows in
+      let flips =
+        List.fold_left2
+          (fun n a b -> if dist_verdict a <> dist_verdict b then n + 1 else n)
+          0 ref_rows rows
+      in
+      dist_flips := !dist_flips + flips;
+      json_dist_restarts := !json_dist_restarts + st.Dist.d_restarts;
+      Printf.printf
+        "restart lane (%s): worker 0 SIGKILLed after 1 ack, %d supervised \
+         restart(s), %d give-up(s), %d flip(s)%s\n"
+        e.Entry.name st.Dist.d_restarts st.Dist.d_gave_up flips
+        (if flips > 0 then "  VERDICT FLIP" else ""));
+  if !dist_flips = 0 then
+    Printf.printf
+      "serial, distributed, kill/resume and restart lanes: all %d cells agree\n"
+      (List.length all_cells)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("t1", t1); ("t2", t2); ("t3", t3); ("t4", t4); ("t5", t5);
     ("a1", a1); ("a2", a2); ("a3", a3); ("s1", s1);
     ("f1", f1); ("f2", f2); ("f3", f3);
-    ("rob", rob); ("p1", p1); ("c1", c1); ("r2", r2); ("obs", obs_exp);
-    ("micro", micro);
+    ("rob", rob); ("p1", p1); ("c1", c1); ("r2", r2); ("dist", dist_exp);
+    ("obs", obs_exp); ("micro", micro);
   ]
 
 let () =
+  (* Dist workers are this binary re-exec'd: a worker invocation takes
+     over here (recognized by its environment) before argv is parsed. *)
+  Dist.worker_entry ();
   let json_path = ref None in
   let rec parse_args acc = function
     | [] -> List.rev acc
@@ -2070,6 +2455,57 @@ let () =
         parse_args acc rest
     | "--no-reuse" :: rest ->
         reuse_on := false;
+        parse_args acc rest
+    | "--workers" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some w when w >= 1 ->
+            dist_workers := w;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --workers expects a positive integer";
+            exit 2
+      end
+    | [ "--workers" ] ->
+        prerr_endline "bench: --workers expects a positive integer";
+        exit 2
+    | "--batch" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some b when b >= 1 ->
+            dist_batch := b;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --batch expects a positive integer";
+            exit 2
+      end
+    | [ "--batch" ] ->
+        prerr_endline "bench: --batch expects a positive integer";
+        exit 2
+    | "--max-restarts" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some r when r >= 0 ->
+            dist_max_restarts := r;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --max-restarts expects a non-negative integer";
+            exit 2
+      end
+    | [ "--max-restarts" ] ->
+        prerr_endline "bench: --max-restarts expects a non-negative integer";
+        exit 2
+    | "--backoff" :: s :: rest -> begin
+        match float_of_string_opt s with
+        | Some b when b >= 0.0 ->
+            dist_backoff := b;
+            parse_args acc rest
+        | _ ->
+            prerr_endline "bench: --backoff expects a non-negative number of seconds";
+            exit 2
+      end
+    | [ "--backoff" ] ->
+        prerr_endline "bench: --backoff expects a non-negative number of seconds";
+        exit 2
+    | "--no-retry-oom" :: rest ->
+        dist_retry_oom := false;
         parse_args acc rest
     | "--designs" :: names :: rest ->
         design_filter := Some (String.split_on_char ',' names);
@@ -2271,6 +2707,11 @@ let () =
   if !campaign_flips > 0 then begin
     Printf.eprintf
       "bench: FAILED — %d kill/resume campaign verdict flip(s)\n" !campaign_flips;
+    exit 1
+  end;
+  if !dist_flips > 0 then begin
+    Printf.eprintf
+      "bench: FAILED — %d distributed-vs-serial verdict flip(s)\n" !dist_flips;
     exit 1
   end;
   (* Distinct exit code for "nothing wrong, but some verdicts stayed unknown

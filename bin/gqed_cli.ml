@@ -4,6 +4,7 @@
      gqed list                          list the benchmark designs
      gqed info DESIGN                   design + interface details
      gqed verify DESIGN [options]       run a QED check (optionally on a mutant)
+     gqed campaign [DESIGN...] [options] distributed mutant campaign with checkpointing
      gqed mutants DESIGN                list the mutation ids of a design
      gqed simulate DESIGN [options]     random simulation trace
      gqed crv DESIGN [options]          constrained-random baseline run
@@ -272,6 +273,52 @@ let cli_force_flag =
     & info [ "force" ]
         ~doc:"Allow starting a fresh campaign over an existing $(b,--checkpoint) journal.")
 
+(* Supervision knobs, shared by verify --all-mutants (in-process domain
+   workers) and campaign --workers (worker processes): both paths run
+   the same restart policy. *)
+let policy_term =
+  let d = Par.Supervise.default_policy in
+  let max_restarts_arg =
+    Arg.(
+      value
+      & opt int d.Par.Supervise.max_restarts
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Restart a crashed worker at most $(docv) times before degrading it \
+             to a typed give-up.")
+  in
+  let backoff_arg =
+    Arg.(
+      value
+      & opt float d.Par.Supervise.backoff_s
+      & info [ "backoff" ] ~docv:"SEC"
+          ~doc:
+            "Base delay before a worker restart; doubles per consecutive restart \
+             (capped).")
+  in
+  let no_retry_oom_arg =
+    Arg.(
+      value & flag
+      & info [ "no-retry-oom" ]
+          ~doc:
+            "Never restart a worker that died of memory exhaustion — an OOM task \
+             would only OOM again; its cell degrades to $(b,unknown) and is \
+             re-attempted on $(b,--resume).")
+  in
+  let combine max_restarts backoff_s no_retry_oom =
+    if max_restarts < 0 then begin
+      prerr_endline "gqed: --max-restarts must be non-negative";
+      exit 2
+    end;
+    {
+      Par.Supervise.max_restarts;
+      backoff_s;
+      backoff_cap_s = Float.max backoff_s d.Par.Supervise.backoff_cap_s;
+      retry_oom = not no_retry_oom;
+    }
+  in
+  Term.(const combine $ max_restarts_arg $ backoff_arg $ no_retry_oom_arg)
+
 let start_campaign ~checkpoint ~resume ~force =
   match checkpoint with
   | None ->
@@ -431,7 +478,7 @@ let verify_cmd =
   in
   let run name technique bound mutant all_mutants jobs waveform vcd simplify mono
       simp_stats timeout max_conflicts no_escalate portfolio no_share deterministic
-      reuse checkpoint resume force obs_trace obs_metrics obs_format =
+      reuse checkpoint resume force policy obs_trace obs_metrics obs_format =
     setup_obs ~trace:obs_trace ~metrics:obs_metrics ~format:obs_format;
     if jobs < 1 then begin
       prerr_endline "gqed: --jobs must be a positive integer";
@@ -543,7 +590,7 @@ let verify_cmd =
          degrades exhausted ones to a typed give-up, so one bad task never
          takes the campaign down. *)
       let results =
-        Par.Supervise.supervise ~jobs ?deadline:timeout
+        Par.Supervise.supervise ~jobs ?deadline:timeout ~policy
           (fun token (_, design) -> check ~cancel:token technique design)
           muts
       in
@@ -649,8 +696,260 @@ let verify_cmd =
       $ jobs_arg $ waveform_flag $ vcd_arg $ simplify_term $ mono_flag $ simp_stats_flag
       $ timeout_arg $ max_conflicts_arg $ no_escalate_flag $ portfolio_arg
       $ no_share_flag $ deterministic_flag $ reuse_flag $ checkpoint_arg
-      $ resume_flag $ cli_force_flag $ obs_trace_arg $ obs_metrics_arg
+      $ resume_flag $ cli_force_flag $ policy_term $ obs_trace_arg $ obs_metrics_arg
       $ obs_format_arg)
+
+(* ---- campaign ---- *)
+
+(* A distributed sharded campaign: every (design, mutant) cell of the
+   chosen designs, solved across N worker processes with pull-based
+   batching, journaled per worker and merged into one checkpoint (see
+   lib/dist/DESIGN.md). Workers are this executable re-exec'd, so the
+   solver rebuilds its key -> task table from the [arg] string alone. *)
+
+let campaign_tech_names =
+  [ ("gqed", Checks.Gqed); ("flow", Checks.Gqed_flow); ("aqed", Checks.Aqed);
+    ("gqed-out", Checks.Gqed_output_only) ]
+
+let campaign_tech_to_string t =
+  fst (List.find (fun (_, t') -> t' = t) campaign_tech_names)
+
+(* One task per cell: display label, campaign cell, and what the solver
+   needs to re-run it. Deterministic from (technique, bound override,
+   design names) — the worker rebuilds exactly this list from the arg. *)
+let campaign_tasks ~technique ~bound_override names =
+  let entries =
+    match names with
+    | [] -> Registry.all
+    | names ->
+        List.map
+          (fun n ->
+            match find_design n with Ok e -> e | Error msg -> failwith msg)
+          names
+  in
+  List.concat_map
+    (fun e ->
+      let bound = Option.value bound_override ~default:e.Entry.rec_bound in
+      let tasks =
+        (e.Entry.name, e.Entry.design)
+        :: List.map
+             (fun (m, d) -> (e.Entry.name ^ ":" ^ m.Mutation.id, d))
+             (Mutation.mutants e.Entry.design)
+      in
+      List.map
+        (fun (label, d) ->
+          ( label,
+            {
+              Dist.cell_key = Checks.campaign_key technique d e.Entry.iface ~bound;
+              cell_hint = Checks.campaign_hint d ~bound;
+            },
+            d,
+            e.Entry.iface,
+            bound ))
+        tasks)
+    entries
+
+(* arg = "<tech>|<bound or ->|<comma-separated names or empty for all>" *)
+let campaign_arg_encode ~technique ~bound_override names =
+  Printf.sprintf "%s|%s|%s"
+    (campaign_tech_to_string technique)
+    (match bound_override with None -> "-" | Some b -> string_of_int b)
+    (String.concat "," names)
+
+let campaign_arg_decode arg =
+  match String.split_on_char '|' arg with
+  | [ tech; bound; names ] ->
+      let technique =
+        match List.assoc_opt tech campaign_tech_names with
+        | Some t -> t
+        | None -> failwith ("bad campaign technique " ^ tech)
+      in
+      let bound_override = if bound = "-" then None else Some (int_of_string bound) in
+      let names = if names = "" then [] else String.split_on_char ',' names in
+      (technique, bound_override, names)
+  | _ -> failwith ("bad campaign arg " ^ arg)
+
+let campaign_tables : (string, (string, Rtl.design * Qed.Iface.t * int) Hashtbl.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let campaign_solver ~arg key =
+  let table =
+    match Hashtbl.find_opt campaign_tables arg with
+    | Some t -> t
+    | None ->
+        let technique, bound_override, names = campaign_arg_decode arg in
+        let t = Hashtbl.create 64 in
+        List.iter
+          (fun (_label, cell, d, iface, bound) ->
+            Hashtbl.replace t cell.Dist.cell_key (d, iface, bound))
+          (campaign_tasks ~technique ~bound_override names);
+        Hashtbl.add campaign_tables arg t;
+        t
+  in
+  let technique, _, _ = campaign_arg_decode arg in
+  match Hashtbl.find_opt table key with
+  | None -> failwith ("campaign worker: unknown cell key " ^ key)
+  | Some (d, iface, bound) ->
+      let r = Checks.run technique d iface ~bound in
+      (Checks.report_decided r, Checks.encode_report r)
+
+let () = Dist.register "campaign" campaign_solver
+
+let campaign_cmd =
+  let designs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"DESIGN"
+          ~doc:"Designs to campaign over (default: every registry design).")
+  in
+  let technique_arg =
+    Arg.(
+      value
+      & opt (enum campaign_tech_names) Checks.Gqed
+      & info [ "technique" ] ~docv:"TECH"
+          ~doc:
+            "One of $(b,gqed) (default), $(b,flow), $(b,aqed), $(b,gqed-out); \
+             techniques without a campaign identity (sa, stability) cannot be \
+             journaled.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int (Par.default_jobs ())
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Shard the campaign across $(docv) worker processes (default: the \
+             machine's core count). $(b,1) solves in-process — the serial \
+             baseline with the same journal and the same verdicts.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Cells a worker may hold unacked (pull-based dynamic batching); \
+             small keeps the hardest-first queue adaptive, large amortizes \
+             protocol chatter.")
+  in
+  let no_sync_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sync" ]
+          ~doc:
+            "Skip the per-record fsync in worker journals (faster; a power loss \
+             may drop the last records, a mere SIGKILL cannot).")
+  in
+  let run names technique bound workers batch no_sync checkpoint resume force
+      policy obs_trace obs_metrics obs_format =
+    setup_obs ~trace:obs_trace ~metrics:obs_metrics ~format:obs_format;
+    if workers < 1 then begin
+      prerr_endline "gqed: --workers must be a positive integer";
+      exit 2
+    end;
+    if batch < 1 then begin
+      prerr_endline "gqed: --batch must be a positive integer";
+      exit 2
+    end;
+    let checkpoint =
+      match checkpoint with
+      | Some path -> path
+      | None ->
+          prerr_endline "gqed: campaign requires --checkpoint FILE (the shared journal)";
+          exit 2
+    in
+    let tasks =
+      try campaign_tasks ~technique ~bound_override:bound names
+      with Failure msg ->
+        prerr_endline ("gqed: " ^ msg);
+        exit 2
+    in
+    let label_of = Hashtbl.create 64 in
+    List.iter
+      (fun (label, cell, _, _, _) ->
+        if not (Hashtbl.mem label_of cell.Dist.cell_key) then
+          Hashtbl.add label_of cell.Dist.cell_key label)
+      tasks;
+    let cells = List.map (fun (_, cell, _, _, _) -> cell) tasks in
+    let arg = campaign_arg_encode ~technique ~bound_override:bound names in
+    match
+      Dist.run ~workers ~batch ~policy ~sync:(not no_sync) ~arg ~resume ~force
+        ~journal:checkpoint ~solver:"campaign" cells
+    with
+    | Error msg ->
+        prerr_endline ("gqed: " ^ msg);
+        exit 2
+    | Ok (rows, stats) ->
+        Printf.printf "%-40s %-18s %9s %s\n" "cell" "verdict" "time" "";
+        let undecided = ref 0 and anomalies = ref 0 in
+        List.iter
+          (fun (r : Dist.row) ->
+            let label =
+              Option.value ~default:r.Dist.r_key
+                (Hashtbl.find_opt label_of r.Dist.r_key)
+            in
+            (* A correct design must pass; a mutant must be detected. *)
+            let is_mutant = String.contains label ':' in
+            let cellv =
+              if not r.Dist.r_decided then begin
+                incr undecided;
+                "unknown"
+              end
+              else
+                match Checks.decode_report r.Dist.r_payload with
+                | None ->
+                    incr undecided;
+                    "undecodable"
+                | Some report -> (
+                    match report.Checks.verdict with
+                    | Checks.Fail _ ->
+                        if is_mutant then "detected"
+                        else begin
+                          incr anomalies;
+                          "FAIL"
+                        end
+                    | Checks.Pass _ ->
+                        if is_mutant then begin
+                          incr anomalies;
+                          "ESCAPE"
+                        end
+                        else "pass"
+                    | Checks.Unknown _ ->
+                        incr undecided;
+                        "unknown")
+            in
+            Printf.printf "%-40s %-18s %8.2fs%s\n" label cellv r.Dist.r_seconds
+              (if r.Dist.r_warm then "  (journal)" else ""))
+          rows;
+        Printf.printf
+          "campaign: %d cell(s), %d from journal, %d dispatched across %d worker(s)\n"
+          stats.Dist.d_cells stats.Dist.d_skipped stats.Dist.d_dispatched
+          stats.Dist.d_workers;
+        if
+          stats.Dist.d_restarts + stats.Dist.d_gave_up + stats.Dist.d_degraded
+          + stats.Dist.d_stale_unknowns > 0
+        then
+          Printf.printf
+            "supervisor: %d restart(s), %d give-up(s), %d cell(s) solved degraded, \
+             %d stale unknown(s) dropped\n"
+            stats.Dist.d_restarts stats.Dist.d_gave_up stats.Dist.d_degraded
+            stats.Dist.d_stale_unknowns;
+        let cs = stats.Dist.d_campaign in
+        if cs.Persist.Campaign.c_compactions > 0 then
+          Printf.printf "journal: compacted, %d stale record(s) folded away\n"
+            cs.Persist.Campaign.c_compacted_away;
+        exit (if !undecided > 0 then 3 else if !anomalies > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a distributed verification campaign: every (design, mutant) cell \
+          sharded across worker processes, journaled per worker, merged into a \
+          resumable checkpoint. Kill it anytime; $(b,--resume) reproduces the \
+          uninterrupted verdict matrix bit-for-bit.")
+    Term.(
+      const run $ designs_arg $ technique_arg $ bound_arg $ workers_arg $ batch_arg
+      $ no_sync_arg $ checkpoint_arg $ resume_flag $ cli_force_flag $ policy_term
+      $ obs_trace_arg $ obs_metrics_arg $ obs_format_arg)
 
 (* ---- mutants ---- *)
 
@@ -819,6 +1118,9 @@ let trace_check_cmd =
     Term.(const run $ file_arg)
 
 let () =
+  (* Campaign workers are this binary re-exec'd: a worker invocation
+     (recognized by its environment) takes over before cmdliner runs. *)
+  Dist.worker_entry ();
   let info =
     Cmd.info "gqed" ~version:"1.0.0"
       ~doc:"G-QED pre-silicon verification of (interfering) hardware accelerators"
@@ -827,6 +1129,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; info_cmd; verify_cmd; mutants_cmd; simulate_cmd; crv_cmd; fuzz_cmd;
-            trace_check_cmd;
+            list_cmd; info_cmd; verify_cmd; campaign_cmd; mutants_cmd; simulate_cmd;
+            crv_cmd; fuzz_cmd; trace_check_cmd;
           ]))

@@ -668,6 +668,13 @@ let campaign_key technique design iface ~bound =
   Printf.sprintf "%s/%d/%s/%s" (technique_to_string technique) bound
     (Bmc.Reuse.digest design) (Bmc.Reuse.digest iface)
 
+(* Cold-start hardness estimate for campaign scheduling: unrolled problem
+   size, bound × (state + inputs + nodes). Once a cell has been solved
+   the journaled wall-clock time supersedes this. *)
+let campaign_hint design ~bound =
+  let state_bits, input_bits, nodes = Rtl.stats design in
+  float_of_int bound *. float_of_int (state_bits + input_bits + nodes)
+
 let run ?(simplify = Bmc.default_simplify) ?(mono = false) ?(limits = Bmc.no_limits)
     ?reuse technique design iface ~bound =
   let solve () =

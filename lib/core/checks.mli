@@ -225,6 +225,13 @@ val campaign_key : technique -> Rtl.design -> Iface.t -> bound:int -> string
     verdict recorded under one configuration answers the same query
     under any other. *)
 
+val campaign_hint : Rtl.design -> bound:int -> float
+(** Cold-start hardness estimate for a campaign cell — unrolled problem
+    size, [bound × (state + inputs + nodes)]. Distributed scheduling
+    orders its queue by journaled solve times ([Persist.Campaign.
+    last_seconds]) and falls back to this for never-seen cells. Higher
+    means harder; only the ordering matters. *)
+
 val encode_report : report -> string
 (** Opaque journal payload: a schema tag plus a [Marshal] blob. *)
 

@@ -1,0 +1,730 @@
+(* Distributed sharded campaigns. See dist.mli and DESIGN.md. *)
+
+type cell = { cell_key : string; cell_hint : float }
+
+type row = {
+  r_key : string;
+  r_decided : bool;
+  r_payload : string;
+  r_seconds : float;
+  r_warm : bool;
+}
+
+type stats = {
+  d_workers : int;
+  d_cells : int;
+  d_skipped : int;
+  d_dispatched : int;
+  d_merged : int;
+  d_stale_unknowns : int;
+  d_restarts : int;
+  d_gave_up : int;
+  d_degraded : int;
+  d_campaign : Persist.Campaign.stats;
+}
+
+type merge_stats = {
+  m_files : int;
+  m_records : int;
+  m_merged : int;
+  m_stale_unknowns : int;
+  m_torn_files : int;
+  m_unreadable : int;
+}
+
+type kill = { k_worker : int; k_after : int; k_mode : [ `Restart | `Abort ] }
+
+exception Aborted of string
+
+let m_dispatched = lazy (Obs.Metrics.counter "dist.dispatched")
+let m_restarts = lazy (Obs.Metrics.counter "dist.restarts")
+let m_merged = lazy (Obs.Metrics.counter "dist.merged")
+
+(* ------------------------------------------------------------------ *)
+(* Solver registry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Workers are fresh processes (the OCaml 5 runtime forbids [Unix.fork]
+   once any domain has ever been created, and solvers race domains), so
+   a solve function cannot travel as a closure: it is named here, and
+   the name plus a small [arg] string travel to the worker through its
+   environment, where [worker_entry] resolves them against the same
+   registry. *)
+let solvers : (string, arg:string -> string -> bool * string) Hashtbl.t =
+  Hashtbl.create 8
+
+let register name f = Hashtbl.replace solvers name f
+let lookup name = Hashtbl.find_opt solvers name
+
+let env_solver = "GQED_DIST_WORKER"
+let env_arg = "GQED_DIST_ARG"
+let env_index = "GQED_DIST_INDEX"
+let env_journal = "GQED_DIST_JOURNAL"
+let env_sync = "GQED_DIST_SYNC"
+
+let worker_journal path i = Printf.sprintf "%s.worker-%d" path i
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Per-worker journal merge                                            *)
+(* ------------------------------------------------------------------ *)
+
+let worker_files journal =
+  let dir = Filename.dirname journal in
+  let prefix = Filename.basename journal ^ ".worker-" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if String.length name > plen && String.sub name 0 plen = prefix then
+               match int_of_string_opt (String.sub name plen (String.length name - plen)) with
+               | Some i -> Some (i, Filename.concat dir name)
+               | None -> None
+             else None)
+      |> List.sort compare
+
+type scan = {
+  sc_files : (int * string) list;
+  sc_order : string list;  (* first-appearance key order across the scan *)
+  sc_decided : (string, Persist.Journal.entry) Hashtbl.t;
+  sc_undecided : (string, Persist.Journal.entry) Hashtbl.t;
+  sc_records : int;
+  sc_torn : int;
+  sc_unreadable : int;
+}
+
+(* Scan worker journals in index order, folding records into per-key
+   last-decided / last-undecided slots. A shard that crashed mid-append
+   just loses its torn tail — exactly the single-journal recovery rule. *)
+let scan_workers journal =
+  let files = worker_files journal in
+  let records = ref 0 and torn = ref 0 and unreadable = ref 0 in
+  let order = ref [] in
+  let seen = Hashtbl.create 64 in
+  let decided_t = Hashtbl.create 64 in
+  let undecided_t = Hashtbl.create 64 in
+  List.iter
+    (fun (_i, path) ->
+      match Persist.Journal.load path with
+      | Error _ -> incr unreadable
+      | Ok (entries, recovery) ->
+          if recovery.Persist.Journal.rec_truncated then incr torn;
+          records := !records + List.length entries;
+          List.iter
+            (fun (e : Persist.Journal.entry) ->
+              if not (Hashtbl.mem seen e.e_key) then begin
+                Hashtbl.add seen e.e_key ();
+                order := e.e_key :: !order
+              end;
+              if e.e_decided then Hashtbl.replace decided_t e.e_key e
+              else Hashtbl.replace undecided_t e.e_key e)
+            entries)
+    files;
+  {
+    sc_files = files;
+    sc_order = List.rev !order;
+    sc_decided = decided_t;
+    sc_undecided = undecided_t;
+    sc_records = !records;
+    sc_torn = !torn;
+    sc_unreadable = !unreadable;
+  }
+
+(* Final merged record for a key: any decided record beats any Unknown
+   (a decided verdict is a fact, an Unknown a budget artifact); within a
+   class the scan's last write wins. *)
+let scan_final sc key =
+  match Hashtbl.find_opt sc.sc_decided key with
+  | Some e -> Some e
+  | None -> Hashtbl.find_opt sc.sc_undecided key
+
+let apply_scan ?(delete = true) ~into sc =
+  let merged = ref 0 and stale = ref 0 in
+  List.iter
+    (fun key ->
+      match scan_final sc key with
+      | None -> ()
+      | Some (e : Persist.Journal.entry) ->
+          let prev = Persist.Campaign.peek_decided into key in
+          if (not e.e_decided) && prev <> None then
+            (* A leftover Unknown never downgrades a decided verdict the
+               main journal already holds. *)
+            incr stale
+          else if e.e_decided && prev = Some e.e_payload then
+            (* Re-merge after a crash mid-merge: already applied. *)
+            ()
+          else begin
+            Persist.Campaign.record ~seconds:e.e_seconds into ~decided:e.e_decided
+              ~key ~payload:e.e_payload;
+            incr merged
+          end)
+    sc.sc_order;
+  if delete then
+    List.iter (fun (_i, p) -> try Sys.remove p with Sys_error _ -> ()) sc.sc_files;
+  if Obs.on () then Obs.Metrics.add (Lazy.force m_merged) !merged;
+  {
+    m_files = List.length sc.sc_files;
+    m_records = sc.sc_records;
+    m_merged = !merged;
+    m_stale_unknowns = !stale;
+    m_torn_files = sc.sc_torn;
+    m_unreadable = sc.sc_unreadable;
+  }
+
+let merge ?delete ~into journal = apply_scan ?delete ~into (scan_workers journal)
+
+(* ------------------------------------------------------------------ *)
+(* Worker process                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs in the worker process. Protocol: read "CELL <key>" lines, solve,
+   append to the per-worker journal (durable before the ack), answer
+   "ACK <d|u> <seconds> <key>"; "DONE" or EOF (coordinator died) ends.
+   OOM exits with the [Par.Supervise.oom_exit_code] convention so the
+   coordinator can classify it; other exceptions exit 70. *)
+let worker_main ~journal ~sync ~solve ~idx ~rfd ~wfd =
+  let jpath = worker_journal journal idx in
+  match Persist.Journal.open_append ~sync jpath with
+  | Error msg ->
+      prerr_endline (Printf.sprintf "gqed dist worker %d: %s" idx msg);
+      70
+  | Ok (j, _entries, _recovery) ->
+      let ic = Unix.in_channel_of_descr rfd in
+      let finish code =
+        Persist.Journal.close j;
+        code
+      in
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> finish 0
+        | "DONE" -> finish 0
+        | line when String.length line > 5 && String.sub line 0 5 = "CELL " -> (
+            let key = String.sub line 5 (String.length line - 5) in
+            let t0 = Unix.gettimeofday () in
+            match solve key with
+            | exception Out_of_memory -> finish Par.Supervise.oom_exit_code
+            | exception e ->
+                prerr_endline
+                  (Printf.sprintf "gqed dist worker %d: %s" idx (Printexc.to_string e));
+                finish 70
+            | decided, payload ->
+                let seconds = Unix.gettimeofday () -. t0 in
+                Persist.Journal.append ~seconds j ~decided ~key ~payload;
+                write_all wfd
+                  (Printf.sprintf "ACK %c %.6f %s\n" (if decided then 'd' else 'u') seconds key);
+                loop ())
+        | line ->
+            prerr_endline (Printf.sprintf "gqed dist worker %d: bad command %S" idx line);
+            finish 70
+      in
+      loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type wstate = {
+  w_idx : int;
+  mutable w_pid : int;
+  mutable w_in : Unix.file_descr;  (* coordinator -> worker commands *)
+  mutable w_out : Unix.file_descr;  (* worker -> coordinator acks *)
+  mutable w_buf : Buffer.t;
+  mutable w_outstanding : string list;  (* dispatched, unacked, oldest first *)
+  mutable w_acks : int;
+  mutable w_restarts : int;
+  mutable w_state : [ `Live | `Done | `Gone ];
+}
+
+(* The hook a hosting executable calls first thing in [main]: when the
+   worker environment variables are present, this process IS a worker —
+   resolve the solver, speak the protocol on stdin/stdout, and never
+   return. [Unix._exit] skips at_exit work that belongs to the host. *)
+let worker_entry () =
+  match Sys.getenv_opt env_solver with
+  | None -> ()
+  | Some name ->
+      let fail msg =
+        prerr_endline ("gqed dist worker: " ^ msg);
+        Unix._exit 70
+      in
+      let getenv v =
+        match Sys.getenv_opt v with
+        | Some s -> s
+        | None -> fail (v ^ " unset in worker environment")
+      in
+      let idx =
+        match int_of_string_opt (getenv env_index) with
+        | Some i -> i
+        | None -> fail ("bad " ^ env_index)
+      in
+      let journal = getenv env_journal in
+      let sync = getenv env_sync = "1" in
+      let arg = Option.value ~default:"" (Sys.getenv_opt env_arg) in
+      let code =
+        match lookup name with
+        | None -> fail (Printf.sprintf "solver %S not registered in this executable" name)
+        | Some mk -> (
+            try worker_main ~journal ~sync ~solve:(mk ~arg) ~idx ~rfd:Unix.stdin ~wfd:Unix.stdout
+            with e ->
+              (try prerr_endline ("gqed dist worker: " ^ Printexc.to_string e)
+               with _ -> ());
+              70)
+      in
+      Unix._exit code
+
+(* Spawn one worker: re-exec this executable with the worker environment
+   set, protocol piped over its stdin/stdout. [Unix.create_process_env]
+   spawns without the fork primitive, so it stays legal after domains
+   have run in the coordinator — and the worker is free to race domains
+   itself. *)
+let spawn ~journal ~sync ~solver ~arg idx =
+  let c2w_r, c2w_w = Unix.pipe () in
+  let w2c_r, w2c_w = Unix.pipe () in
+  Unix.set_close_on_exec c2w_w;
+  Unix.set_close_on_exec w2c_r;
+  let is_dist_var s =
+    String.length s >= 10 && String.sub s 0 10 = "GQED_DIST_"
+  in
+  let env =
+    Array.append
+      (Array.of_list
+         (List.filter (fun s -> not (is_dist_var s)) (Array.to_list (Unix.environment ()))))
+      [|
+        env_solver ^ "=" ^ solver;
+        env_arg ^ "=" ^ arg;
+        env_index ^ "=" ^ string_of_int idx;
+        env_journal ^ "=" ^ journal;
+        env_sync ^ "=" ^ (if sync then "1" else "0");
+      |]
+  in
+  let exe = Sys.executable_name in
+  let pid = Unix.create_process_env exe [| exe |] env c2w_r w2c_w Unix.stderr in
+  Unix.close c2w_r;
+  Unix.close w2c_w;
+  (pid, c2w_w, w2c_r)
+
+(* In-process supervised solve: the [workers <= 1] baseline and the
+   degraded path once every worker has given up. Mirrors the process
+   supervisor: crashes retried with capped backoff, OOM only when the
+   policy allows, exhaustion degrades to an empty Unknown row (re-run
+   on resume) instead of aborting the campaign. *)
+let solve_inline ~policy ~campaign ~solve ~restarts ~gave_up key =
+  let t0 = Unix.gettimeofday () in
+  let rec attempt n =
+    match solve key with
+    | (decided, payload) -> Some (decided, payload)
+    | exception Sys.Break -> raise Sys.Break
+    | exception e ->
+        let retry =
+          match e with
+          | Out_of_memory -> policy.Par.Supervise.retry_oom
+          | _ -> true
+        in
+        if retry && n < policy.Par.Supervise.max_restarts then begin
+          incr restarts;
+          if Obs.on () then Obs.Metrics.incr (Lazy.force m_restarts);
+          Unix.sleepf (Par.Supervise.backoff_delay policy ~round:(n + 1));
+          attempt (n + 1)
+        end
+        else begin
+          incr gave_up;
+          None
+        end
+  in
+  let decided, payload =
+    match attempt 0 with Some r -> r | None -> (false, "")
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  Persist.Campaign.record ~seconds campaign ~decided ~key ~payload;
+  { r_key = key; r_decided = decided; r_payload = payload; r_seconds = seconds; r_warm = false }
+
+let run_distributed ~nw ~batch ~policy ~sync ~kill ~journal ~solver ~arg ~campaign
+    ~done_rows ~dispatched ~restarts ~gave_up ~merged ~stale queue =
+  let pending = ref queue in
+  let take () =
+    match !pending with [] -> None | k :: tl -> pending := tl; Some k
+  in
+  let requeue keys = pending := keys @ !pending in
+  let kill_armed = ref kill in
+  let workers = Array.init nw (fun i ->
+      {
+        w_idx = i; w_pid = -1; w_in = Unix.stdin; w_out = Unix.stdin;
+        w_buf = Buffer.create 256; w_outstanding = []; w_acks = 0;
+        w_restarts = 0; w_state = `Gone;
+      })
+  in
+  let respawn w =
+    let pid, win, wout = spawn ~journal ~sync ~solver ~arg w.w_idx in
+    w.w_pid <- pid;
+    w.w_in <- win;
+    w.w_out <- wout;
+    Buffer.clear w.w_buf;
+    w.w_state <- `Live
+  in
+  let send w line =
+    try
+      write_all w.w_in (line ^ "\n");
+      true
+    with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  let rec feed w =
+    if w.w_state = `Live then
+      if List.length w.w_outstanding < batch then
+        match take () with
+        | Some key ->
+            if send w ("CELL " ^ key) then begin
+              w.w_outstanding <- w.w_outstanding @ [ key ];
+              incr dispatched;
+              if Obs.on () then Obs.Metrics.incr (Lazy.force m_dispatched);
+              feed w
+            end
+            else requeue [ key ] (* pipe gone; the EOF path reaps it *)
+        | None ->
+            if w.w_outstanding = [] then begin
+              ignore (send w "DONE");
+              w.w_state <- `Done
+            end
+  in
+  let close_worker_fds w =
+    (try Unix.close w.w_in with Unix.Unix_error _ -> ());
+    try Unix.close w.w_out with Unix.Unix_error _ -> ()
+  in
+  let abort msg =
+    Array.iter
+      (fun w ->
+        if w.w_state <> `Gone then begin
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+          close_worker_fds w;
+          w.w_state <- `Gone
+        end)
+      workers;
+    raise (Aborted msg)
+  in
+  let handle_eof w =
+    close_worker_fds w;
+    let status =
+      try snd (Unix.waitpid [] w.w_pid)
+      with Unix.Unix_error _ -> Unix.WEXITED 70
+    in
+    match (w.w_state, status) with
+    | `Done, Unix.WEXITED 0 | `Gone, _ -> w.w_state <- `Gone
+    | was, status ->
+        let cls =
+          match status with
+          | Unix.WEXITED 0 -> Par.Supervise.Crash "exit 0 with work outstanding"
+          | s -> Par.Supervise.classify_exit s
+        in
+        requeue w.w_outstanding;
+        w.w_outstanding <- [];
+        w.w_state <- `Gone;
+        if Par.Supervise.retryable policy cls && w.w_restarts < policy.Par.Supervise.max_restarts
+        then begin
+          w.w_restarts <- w.w_restarts + 1;
+          incr restarts;
+          if Obs.on () then begin
+            Obs.Metrics.incr (Lazy.force m_restarts);
+            Obs.Trace.instant "dist.restart"
+              ~args:
+                [
+                  ("worker", string_of_int w.w_idx);
+                  ("class", Par.Supervise.class_to_string cls);
+                ]
+          end;
+          Unix.sleepf (Par.Supervise.backoff_delay policy ~round:w.w_restarts);
+          respawn w;
+          feed w
+        end
+        else if was <> `Done then begin
+          incr gave_up;
+          if Obs.on () then
+            Obs.Trace.instant "dist.gave_up"
+              ~args:
+                [
+                  ("worker", string_of_int w.w_idx);
+                  ("class", Par.Supervise.class_to_string cls);
+                ]
+        end
+  in
+  let handle_ack w line =
+    (* "ACK <d|u> <seconds> <key>" — only scheduling state; the verdict
+       itself travels through the worker's journal. *)
+    let ok =
+      String.length line > 4
+      && String.sub line 0 4 = "ACK "
+      && String.length line > 6
+      && (line.[4] = 'd' || line.[4] = 'u')
+      && line.[5] = ' '
+    in
+    if not ok then ()
+    else
+      match String.index_from_opt line 6 ' ' with
+      | None -> ()
+      | Some sp ->
+          let key = String.sub line (sp + 1) (String.length line - sp - 1) in
+          let rec remove = function
+            | [] -> []
+            | k :: tl -> if k = key then tl else k :: remove tl
+          in
+          w.w_outstanding <- remove w.w_outstanding;
+          w.w_acks <- w.w_acks + 1;
+          (match !kill_armed with
+          | Some k when k.k_worker = w.w_idx && w.w_acks >= k.k_after -> (
+              kill_armed := None;
+              match k.k_mode with
+              | `Restart ->
+                  (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+              | `Abort ->
+                  abort
+                    (Printf.sprintf
+                       "campaign aborted by kill hook (worker %d after %d acks); worker journals left for --resume"
+                       k.k_worker k.k_after))
+          | _ -> ());
+          if w.w_state = `Live then feed w
+  in
+  let handle_readable w =
+    let buf = Bytes.create 4096 in
+    match Unix.read w.w_out buf 0 4096 with
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        handle_eof w
+    | 0 -> handle_eof w
+    | n ->
+        Buffer.add_subbytes w.w_buf buf 0 n;
+        let rec drain () =
+          let s = Buffer.contents w.w_buf in
+          match String.index_opt s '\n' with
+          | None -> ()
+          | Some i ->
+              let line = String.sub s 0 i in
+              Buffer.clear w.w_buf;
+              Buffer.add_string w.w_buf (String.sub s (i + 1) (String.length s - i - 1));
+              handle_ack w line;
+              if w.w_state <> `Gone then drain ()
+        in
+        drain ()
+  in
+  (try
+     Array.iter (fun w -> respawn w) workers;
+     Array.iter (fun w -> feed w) workers;
+     let live () =
+       Array.to_list workers |> List.filter (fun w -> w.w_state <> `Gone)
+     in
+     let rec loop () =
+       match live () with
+       | [] -> ()
+       | ws -> (
+           let fds = List.map (fun w -> w.w_out) ws in
+           match Unix.select fds [] [] 1.0 with
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+           | ready, _, _ ->
+               List.iter
+                 (fun fd ->
+                   match List.find_opt (fun w -> w.w_out = fd && w.w_state <> `Gone) ws with
+                   | Some w -> handle_readable w
+                   | None -> ())
+                 ready;
+               loop ())
+     in
+     loop ()
+   with
+  | Aborted _ as e -> raise e
+  | e ->
+      (* ^C or an unexpected coordinator error: don't leave orphans. *)
+      Array.iter
+        (fun w ->
+          if w.w_state <> `Gone then begin
+            (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+            close_worker_fds w
+          end)
+        workers;
+      raise e);
+  (* Every worker is reaped; fold their journals into the main one and
+     turn the merged records into result rows. *)
+  let sc = scan_workers journal in
+  let ms = apply_scan ~delete:true ~into:campaign sc in
+  merged := !merged + ms.m_merged;
+  stale := !stale + ms.m_stale_unknowns;
+  List.iter
+    (fun key ->
+      match scan_final sc key with
+      | None -> ()
+      | Some (e : Persist.Journal.entry) ->
+          Hashtbl.replace done_rows key
+            {
+              r_key = key;
+              r_decided = e.e_decided;
+              r_payload = e.e_payload;
+              r_seconds = e.e_seconds;
+              r_warm = false;
+            })
+    sc.sc_order;
+  (* Give-up exhaustion can leave unsolved cells; degrade to in-process
+     so the campaign still answers every cell. *)
+  let leftovers =
+    List.filter (fun key -> not (Hashtbl.mem done_rows key)) !pending
+  in
+  List.length leftovers
+
+let run ?(workers = 2) ?(batch = 2) ?(policy = Par.Supervise.default_policy)
+    ?(sync = true) ?(compact_min = 512) ?kill ?(arg = "") ~resume ~force ~journal
+    ~solver cells =
+  Obs.Trace.with_span "dist.run" (fun () ->
+      match (lookup solver, List.find_opt (fun c -> String.contains c.cell_key '\n') cells) with
+      | None, _ -> Error (Printf.sprintf "dist solver %S is not registered" solver)
+      | _, Some c -> Error (Printf.sprintf "cell key contains a newline: %S" c.cell_key)
+      | Some mk, None -> (
+          let solve = mk ~arg in
+          match Persist.Campaign.start ~sync ~compact_min ~resume ~force journal with
+          | Error msg -> Error msg
+          | Ok campaign ->
+              let merged = ref 0 and stale = ref 0 in
+              (* Fresh start: stale shards from an older campaign must not
+                 leak in. Resume: fold them in before scheduling, so what a
+                 killed run's shards decided is skipped, not re-solved. *)
+              if resume then begin
+                let ms = merge ~into:campaign journal in
+                merged := ms.m_merged;
+                stale := ms.m_stale_unknowns
+              end
+              else
+                List.iter
+                  (fun (_i, p) -> try Sys.remove p with Sys_error _ -> ())
+                  (worker_files journal);
+              let seen = Hashtbl.create 64 in
+              let cells =
+                List.filter
+                  (fun c ->
+                    if Hashtbl.mem seen c.cell_key then false
+                    else begin
+                      Hashtbl.add seen c.cell_key ();
+                      true
+                    end)
+                  cells
+              in
+              let warm = Hashtbl.create 64 in
+              let cold =
+                List.filter
+                  (fun c ->
+                    match Persist.Campaign.find_decided campaign c.cell_key with
+                    | Some payload ->
+                        let seconds =
+                          Option.value ~default:0.
+                            (Persist.Campaign.last_seconds campaign c.cell_key)
+                        in
+                        Hashtbl.add warm c.cell_key
+                          {
+                            r_key = c.cell_key;
+                            r_decided = true;
+                            r_payload = payload;
+                            r_seconds = seconds;
+                            r_warm = true;
+                          };
+                        false
+                    | None -> true)
+                  cells
+              in
+              (* Hardest first: measured solve times from the journal beat
+                 the cold size heuristic; within each class, biggest first.
+                 Re-run Unknowns come with real times, so they lead. *)
+              let hardness c =
+                match Persist.Campaign.last_seconds campaign c.cell_key with
+                | Some s -> (1, s)
+                | None -> (0, c.cell_hint)
+              in
+              let queue =
+                List.stable_sort (fun a b -> compare (hardness b) (hardness a)) cold
+                |> List.map (fun c -> c.cell_key)
+              in
+              let done_rows : (string, row) Hashtbl.t = Hashtbl.create 64 in
+              let dispatched = ref 0 and restarts = ref 0 and gave_up = ref 0 in
+              let degraded = ref 0 in
+              let nw = if queue = [] then 0 else min workers (List.length queue) in
+              let outcome =
+                if nw <= 1 then begin
+                  List.iter
+                    (fun key ->
+                      incr dispatched;
+                      Hashtbl.replace done_rows key
+                        (solve_inline ~policy ~campaign ~solve ~restarts ~gave_up key))
+                    queue;
+                  Ok 0
+                end
+                else begin
+                  let old_pipe =
+                    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+                    with Invalid_argument _ -> None
+                  in
+                  Fun.protect
+                    ~finally:(fun () ->
+                      match old_pipe with
+                      | Some b -> ( try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+                      | None -> ())
+                    (fun () ->
+                      match
+                        run_distributed ~nw ~batch ~policy ~sync ~kill ~journal ~solver
+                          ~arg ~campaign ~done_rows ~dispatched ~restarts ~gave_up
+                          ~merged ~stale queue
+                      with
+                      | exception Aborted msg ->
+                          Persist.Campaign.close campaign;
+                          Error msg
+                      | leftovers ->
+                          (* all workers exhausted with work left: degrade *)
+                          List.iter
+                            (fun key ->
+                              if not (Hashtbl.mem done_rows key) then begin
+                                incr degraded;
+                                Hashtbl.replace done_rows key
+                                  (solve_inline ~policy ~campaign ~solve ~restarts
+                                     ~gave_up key)
+                              end)
+                            queue;
+                          Ok leftovers)
+                end
+              in
+              (match outcome with
+              | Error msg -> Error msg
+              | Ok _ ->
+                  let rows =
+                    List.map
+                      (fun c ->
+                        match Hashtbl.find_opt warm c.cell_key with
+                        | Some r -> r
+                        | None -> (
+                            match Hashtbl.find_opt done_rows c.cell_key with
+                            | Some r -> r
+                            | None ->
+                                {
+                                  r_key = c.cell_key;
+                                  r_decided = false;
+                                  r_payload = "";
+                                  r_seconds = 0.;
+                                  r_warm = false;
+                                }))
+                      cells
+                  in
+                  let d_campaign = Persist.Campaign.stats campaign in
+                  Persist.Campaign.close campaign;
+                  Ok
+                    ( rows,
+                      {
+                        d_workers = (if nw <= 1 then 0 else nw);
+                        d_cells = List.length cells;
+                        d_skipped = Hashtbl.length warm;
+                        d_dispatched = !dispatched;
+                        d_merged = !merged;
+                        d_stale_unknowns = !stale;
+                        d_restarts = !restarts;
+                        d_gave_up = !gave_up;
+                        d_degraded = !degraded;
+                        d_campaign;
+                      } ))))

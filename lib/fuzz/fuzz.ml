@@ -963,6 +963,128 @@ module Oracle = struct
                         match diff "resumed run" resumed with
                         | Error _ as e -> e
                         | Ok () -> Ok certified))))
+
+  (* Distributed campaigns: the same crash-only-costs-rework property as
+     [checkpoint_resume], but with real worker processes — shard a small
+     safety-check campaign across 2 workers, SIGKILL one at a random ack
+     (downing the whole run), resume from the leftover per-worker shards
+     and diff the merged matrix against an in-process reference. A random
+     design cannot be rebuilt from a compact arg string in the re-exec'd
+     worker, so the cell table is marshalled to a temp file and the file
+     path travels as the solver arg. *)
+
+  let dist_tables : (string, (string, Rtl.design * Expr.t * int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 4
+
+  let dist_solver ~arg key =
+    let table =
+      match Hashtbl.find_opt dist_tables arg with
+      | Some t -> t
+      | None ->
+          let ic = open_in_bin arg in
+          let entries : (string * (Rtl.design * Expr.t * int)) list =
+            Marshal.from_channel ic
+          in
+          close_in ic;
+          let t = Hashtbl.create 8 in
+          List.iter (fun (k, v) -> Hashtbl.replace t k v) entries;
+          Hashtbl.add dist_tables arg t;
+          t
+    in
+    match Hashtbl.find_opt table key with
+    | None -> failwith ("fuzz dist worker: unknown cell " ^ key)
+    | Some (d, invariant, depth) ->
+        let outcome = fst (Bmc.check_safety ~design:d ~invariant ~depth ()) in
+        let decided =
+          match outcome with
+          | Bmc.Unknown _ -> false
+          | Bmc.Holds _ | Bmc.Violated _ -> true
+        in
+        (decided, outcome_to_string outcome)
+
+  let () = Dist.register "fuzz-dist" dist_solver
+
+  let dist_kill_worker ~depth rand (d : Rtl.design) =
+    let vars = all_vars d in
+    let cells_spec =
+      List.init 4 (fun i ->
+          ( Printf.sprintf "inv%d" i,
+            if i = 0 then Gen.true_invariant rand ~vars
+            else Gen.expr rand ~vars ~width:1 ~depth:2 ))
+    in
+    let reference =
+      List.map
+        (fun (_, invariant) ->
+          outcome_to_string (fst (Bmc.check_safety ~design:d ~invariant ~depth ())))
+        cells_spec
+    in
+    let table_file = Filename.temp_file "gqed-fuzz-dist" ".tbl" in
+    let journal = Filename.temp_file "gqed-fuzz-dist" ".jrnl" in
+    Sys.remove journal;
+    let cleanup () =
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        (table_file :: journal :: List.init 4 (Dist.worker_journal journal))
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+        let oc = open_out_bin table_file in
+        Marshal.to_channel oc
+          (List.map (fun (k, inv) -> (k, (d, inv, depth))) cells_spec)
+          [];
+        close_out oc;
+        let cells =
+          List.mapi
+            (fun i (k, _) -> { Dist.cell_key = k; cell_hint = float_of_int i })
+            cells_spec
+        in
+        let policy =
+          {
+            Par.Supervise.max_restarts = 1;
+            backoff_s = 0.001;
+            backoff_cap_s = 0.002;
+            retry_oom = true;
+          }
+        in
+        let run ?kill ~resume () =
+          Dist.run ~workers:2 ~batch:1 ~policy ?kill ~sync:false ~resume
+            ~force:false ~journal ~solver:"fuzz-dist" ~arg:table_file cells
+        in
+        let diff what rows =
+          let rec go i a b =
+            match (a, b) with
+            | [], [] -> Ok ()
+            | x :: a', y :: b' ->
+                if String.equal x y.Dist.r_payload then go (i + 1) a' b'
+                else
+                  Error
+                    (Printf.sprintf
+                       "dist: %s: cell %d decided %s but the reference decided %s"
+                       what i y.Dist.r_payload x)
+            | _ -> Error (Printf.sprintf "dist: %s: matrix length differs" what)
+          in
+          go 0 reference rows
+        in
+        let kill =
+          {
+            Dist.k_worker = Random.State.int rand 2;
+            k_after = 1 + Random.State.int rand (List.length cells_spec - 1);
+            k_mode = `Abort;
+          }
+        in
+        match run ~kill ~resume:false () with
+        | Ok (rows, _) ->
+            (* The campaign outran the kill point — still a full matrix. *)
+            diff "unkilled run" rows
+        | Error _ -> (
+            (* Downed mid-run: shards are on disk. Half the time, tear the
+               killed worker's shard tail — a SIGKILL mid-append. *)
+            (if Random.State.bool rand then
+               let shard = Dist.worker_journal journal kill.Dist.k_worker in
+               if Sys.file_exists shard then
+                 Persist.Journal.chop ~torn_bytes:7 ~keep:1 shard);
+            match run ~resume:true () with
+            | Error msg -> Error ("dist: resume failed: " ^ msg)
+            | Ok (rows, _) -> diff "resumed run" rows))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1159,6 +1281,11 @@ let oracles ~config ~cert =
       fun rand d -> Oracle.reuse_vs_no_reuse ~cert ~depth:config.bmc_depth rand d );
     ( "checkpoint",
       fun rand d -> Oracle.checkpoint_resume ~cert ~depth:config.bmc_depth rand d );
+    ( "dist-kill",
+      fun rand d ->
+        Result.map
+          (fun () -> 0)
+          (Oracle.dist_kill_worker ~depth:config.bmc_depth rand d) );
   ]
 
 let run_oracle oracle_fn ~seed ~case ~idx d =

@@ -154,6 +154,18 @@ module Oracle : sig
       are re-attempted on resume, never skipped. With [cert] the clean
       reference queries DRAT-certify their UNSAT bounds; on success,
       returns the number of certified bounds of the reference run. *)
+
+  val dist_kill_worker :
+    depth:int -> Random.State.t -> Rtl.design -> (unit, string) result
+  (** Killing a worker process only costs re-work: a small safety-check
+      campaign sharded across 2 worker processes via {!Dist.run} is
+      SIGKILLed at a random ack (sometimes also tearing the dead worker's
+      shard tail) and resumed; the merged matrix must equal an in-process
+      reference cell-for-cell, with journaled [Unknown]s re-solved. The
+      random design travels to the re-exec'd workers through a marshalled
+      cell table on disk, exercising the solver-by-registered-name path
+      end to end. Any binary that runs this oracle must have called
+      {!Dist.worker_entry} first thing in [main]. *)
 end
 
 (** {1 Shrinking} *)

@@ -172,9 +172,18 @@ module Supervise = struct
     max_restarts : int;
     backoff_s : float;
     backoff_cap_s : float;
+    retry_oom : bool;
   }
 
-  let default_policy = { max_restarts = 2; backoff_s = 0.05; backoff_cap_s = 1.0 }
+  let default_policy =
+    { max_restarts = 2; backoff_s = 0.05; backoff_cap_s = 1.0; retry_oom = true }
+
+  (* Capped exponential backoff before retry round [round] (1-based);
+     round 0 — the first attempt — waits nothing. Shared with the
+     process-level supervisor in lib/dist. *)
+  let backoff_delay policy ~round =
+    if round <= 0 then 0.0
+    else Float.min policy.backoff_cap_s (policy.backoff_s *. (2.0 ** float_of_int (round - 1)))
 
   type 'b outcome = {
     s_result : ('b, failure_class) result;
@@ -203,10 +212,29 @@ module Supervise = struct
     | _ when token_set -> Cancelled
     | e -> Crash (Printexc.to_string e)
 
-  (* Crashes and OOM are transient (a sibling freeing memory, a flaky
-     external resource); a deadline would just expire again and a
-     cancellation was asked for. *)
-  let retryable = function Crash _ | Oom -> true | Deadline | Cancelled -> false
+  (* Crashes are transient (a sibling freeing memory, a flaky external
+     resource); OOM only when the policy says so — under a hard memory
+     ceiling a retry would just die again; a deadline would just expire
+     again and a cancellation was asked for. *)
+  let retryable policy = function
+    | Crash _ -> true
+    | Oom -> policy.retry_oom
+    | Deadline | Cancelled -> false
+
+  (* Worker processes report OOM with this exit code so the coordinator
+     can classify it without a shared address space. Picked from the BSD
+     sysexits range to stay clear of shell/signal codes. *)
+  let oom_exit_code = 77
+
+  (* Classify the exit status of a supervised worker *process* (lib/dist).
+     Signals — SIGKILL from the OOM killer or a test harness, SIGSEGV —
+     and nonzero exits are crashes unless the worker used the OOM
+     convention above. *)
+  let classify_exit = function
+    | Unix.WEXITED n when n = oom_exit_code -> Oom
+    | Unix.WEXITED n -> Crash (Printf.sprintf "exit %d" n)
+    | Unix.WSIGNALED s -> Crash (Printf.sprintf "signal %d" s)
+    | Unix.WSTOPPED s -> Crash (Printf.sprintf "stopped %d" s)
 
   let supervise ?jobs ?deadline ?(policy = default_policy) f xs =
     let xs = Array.of_list xs in
@@ -217,10 +245,7 @@ module Supervise = struct
     let pending = ref (List.init n Fun.id) in
     let round = ref 0 in
     while !pending <> [] do
-      if !round > 0 then
-        Unix.sleepf
-          (Float.min policy.backoff_cap_s
-             (policy.backoff_s *. (2.0 ** float_of_int (!round - 1))));
+      if !round > 0 then Unix.sleepf (backoff_delay policy ~round:!round);
       let idxs = Array.of_list !pending in
       let tokens : Cancel.t option array = Array.make (Array.length idxs) None in
       let tasks =
@@ -244,7 +269,7 @@ module Supervise = struct
                 match tokens.(k) with Some t -> Cancel.is_set t | None -> false
               in
               let cls = classify ~deadline ~token_set e in
-              if retryable cls && attempts.(i) <= policy.max_restarts then begin
+              if retryable policy cls && attempts.(i) <= policy.max_restarts then begin
                 next := i :: !next;
                 if Obs.on () then begin
                   Obs.Metrics.incr (Lazy.force m_restarts);

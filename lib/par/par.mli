@@ -77,10 +77,32 @@ module Supervise : sig
     max_restarts : int;  (** retries after the first attempt *)
     backoff_s : float;  (** pause before the first retry round *)
     backoff_cap_s : float;  (** exponential backoff saturates here *)
+    retry_oom : bool;
+        (** whether [Oom] failures are retried; set false under a hard
+            memory ceiling, where a retry would just die again *)
   }
 
   val default_policy : restart_policy
-  (** 2 restarts, 50 ms initial backoff, 1 s cap. *)
+  (** 2 restarts, 50 ms initial backoff, 1 s cap, OOM retried. *)
+
+  val backoff_delay : restart_policy -> round:int -> float
+  (** Capped exponential backoff before retry round [round] (1-based);
+      [round <= 0] is 0. Exposed so the process-level supervisor
+      (lib/dist) paces restarts identically to the in-process one. *)
+
+  val retryable : restart_policy -> failure_class -> bool
+  (** Whether the policy re-runs this failure class: [Crash] always,
+      [Oom] iff [retry_oom], [Deadline]/[Cancelled] never. *)
+
+  val oom_exit_code : int
+  (** Exit code (77) by which a supervised worker {e process} reports
+      [Out_of_memory], so {!classify_exit} can tell OOM from a crash
+      across a process boundary. *)
+
+  val classify_exit : Unix.process_status -> failure_class
+  (** Classify a worker process's [waitpid] status: {!oom_exit_code} is
+      [Oom]; any other nonzero exit, signal, or stop is a [Crash]. Do not
+      call on [WEXITED 0]. *)
 
   type 'b outcome = {
     s_result : ('b, failure_class) result;

@@ -40,7 +40,12 @@ let crc32 s = crc32_update 0l s 0 (String.length s)
 (* ------------------------------------------------------------------ *)
 
 let magic = "GQEDJRNL"
-let version = '\001'
+
+(* v1 records had no timing field; v2 carries the task's wall-clock
+   seconds as an IEEE double after the flags byte. Both versions load;
+   appends always write v2 (open_append upgrades a v1 file first). *)
+let version_v1 = '\001'
+let version = '\002'
 let header = magic ^ String.make 1 version
 let header_len = String.length header
 let record_tag = 'R'
@@ -62,13 +67,29 @@ let read_be32 s pos =
   lor (Char.code s.[pos + 2] lsl 8)
   lor Char.code s.[pos + 3]
 
-(* tag(1) key_len(4) payload_len(4) flags(1) key payload crc(4) *)
-let encode_record ~decided ~key ~payload =
-  let buf = Buffer.create (14 + String.length key + String.length payload) in
+let be64f buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 8)) 0xFFL)))
+  done
+
+let read_be64f s pos =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  Int64.float_of_bits !bits
+
+(* v2: tag(1) key_len(4) payload_len(4) flags(1) seconds(8) key payload crc(4)
+   v1: tag(1) key_len(4) payload_len(4) flags(1)            key payload crc(4) *)
+let encode_record ?(seconds = 0.) ~decided ~key ~payload () =
+  let buf = Buffer.create (22 + String.length key + String.length payload) in
   Buffer.add_char buf record_tag;
   be32 buf (String.length key);
   be32 buf (String.length payload);
   Buffer.add_char buf (if decided then '\001' else '\000');
+  be64f buf seconds;
   Buffer.add_string buf key;
   Buffer.add_string buf payload;
   let body = Buffer.contents buf in
@@ -77,7 +98,7 @@ let encode_record ~decided ~key ~payload =
   Buffer.contents buf
 
 module Journal = struct
-  type entry = { e_key : string; e_decided : bool; e_payload : string }
+  type entry = { e_key : string; e_decided : bool; e_payload : string; e_seconds : float }
 
   type recovery = {
     rec_entries : int;
@@ -103,6 +124,7 @@ module Journal = struct
   let m_appends = lazy (Obs.Metrics.counter "persist.appends")
   let m_replayed = lazy (Obs.Metrics.counter "persist.replayed")
   let m_recoveries = lazy (Obs.Metrics.counter "persist.recoveries")
+  let m_compactions = lazy (Obs.Metrics.counter "persist.compactions")
 
   let read_file path =
     let ic = open_in_bin path in
@@ -110,53 +132,63 @@ module Journal = struct
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
 
-  (* Parse [data]; returns entries plus the offset just past the last
-     whole valid record. Everything after that offset is a torn or
-     corrupt tail. *)
+  (* Parse [data]; returns entries, the offset just past the last whole
+     valid record, the recovery summary, and the on-disk format version.
+     Everything after that offset is a torn or corrupt tail. *)
   let parse data =
     let len = String.length data in
-    if len = 0 then Ok ([], header_len, { rec_entries = 0; rec_dropped_bytes = 0; rec_truncated = false })
+    if len = 0 then
+      Ok ([], header_len, { rec_entries = 0; rec_dropped_bytes = 0; rec_truncated = false }, version)
     else if len < header_len || String.sub data 0 (String.length magic) <> magic then
       Error "not a gqed journal (bad magic)"
-    else if data.[String.length magic] <> version then
-      Error
-        (Printf.sprintf "unsupported journal version %d (expected %d)"
-           (Char.code data.[String.length magic]) (Char.code version))
     else begin
-      let entries = ref [] in
-      let pos = ref header_len in
-      let good = ref header_len in
-      (try
-         while !pos < len do
-           let p = !pos in
-           if len - p < 14 then raise Exit;
-           if data.[p] <> record_tag then raise Exit;
-           let key_len = read_be32 data (p + 1) in
-           let payload_len = read_be32 data (p + 5) in
-           if key_len < 0 || payload_len < 0 || key_len > max_field || payload_len > max_field then raise Exit;
-           let body_len = 10 + key_len + payload_len in
-           if len - p < body_len + 4 then raise Exit;
-           let stored = Int32.of_int (read_be32 data (p + body_len)) in
-           let computed = crc32_update 0l data p body_len in
-           if Int32.logand stored 0xFFFFFFFFl <> Int32.logand computed 0xFFFFFFFFl then raise Exit;
-           let e_decided = data.[p + 9] <> '\000' in
-           let e_key = String.sub data (p + 10) key_len in
-           let e_payload = String.sub data (p + 10 + key_len) payload_len in
-           entries := { e_key; e_decided; e_payload } :: !entries;
-           pos := p + body_len + 4;
-           good := !pos
-         done
-       with Exit -> ());
-      let es = List.rev !entries in
-      let dropped = len - !good in
-      Ok
-        ( es,
-          !good,
-          {
-            rec_entries = List.length es;
-            rec_dropped_bytes = dropped;
-            rec_truncated = dropped > 0;
-          } )
+      let vsn = data.[String.length magic] in
+      if vsn <> version && vsn <> version_v1 then
+        Error
+          (Printf.sprintf "unsupported journal version %d (expected %d)"
+             (Char.code vsn) (Char.code version))
+      else begin
+        (* bytes between flags and key: the v2 seconds field *)
+        let extra = if vsn = version_v1 then 0 else 8 in
+        let fixed = 14 + extra in
+        let entries = ref [] in
+        let pos = ref header_len in
+        let good = ref header_len in
+        (try
+           while !pos < len do
+             let p = !pos in
+             if len - p < fixed then raise Exit;
+             if data.[p] <> record_tag then raise Exit;
+             let key_len = read_be32 data (p + 1) in
+             let payload_len = read_be32 data (p + 5) in
+             if key_len < 0 || payload_len < 0 || key_len > max_field || payload_len > max_field then raise Exit;
+             let body_len = 10 + extra + key_len + payload_len in
+             if len - p < body_len + 4 then raise Exit;
+             let stored = Int32.of_int (read_be32 data (p + body_len)) in
+             let computed = crc32_update 0l data p body_len in
+             if Int32.logand stored 0xFFFFFFFFl <> Int32.logand computed 0xFFFFFFFFl then raise Exit;
+             let e_decided = data.[p + 9] <> '\000' in
+             let e_seconds = if extra = 0 then 0. else read_be64f data (p + 10) in
+             let e_seconds = if Float.is_nan e_seconds then 0. else e_seconds in
+             let e_key = String.sub data (p + 10 + extra) key_len in
+             let e_payload = String.sub data (p + 10 + extra + key_len) payload_len in
+             entries := { e_key; e_decided; e_payload; e_seconds } :: !entries;
+             pos := p + body_len + 4;
+             good := !pos
+           done
+         with Exit -> ());
+        let es = List.rev !entries in
+        let dropped = len - !good in
+        Ok
+          ( es,
+            !good,
+            {
+              rec_entries = List.length es;
+              rec_dropped_bytes = dropped;
+              rec_truncated = dropped > 0;
+            },
+            vsn )
+      end
     end
 
   let load path =
@@ -165,8 +197,8 @@ module Journal = struct
         | exception Sys_error msg -> Error msg
         | data -> (
             match parse data with
-            | Error _ as e -> e
-            | Ok (entries, _good, recovery) ->
+            | Error msg -> Error msg
+            | Ok (entries, _good, recovery, _vsn) ->
                 if Obs.on () then begin
                   Obs.Metrics.add (Lazy.force m_replayed) recovery.rec_entries;
                   if recovery.rec_truncated then begin
@@ -179,6 +211,39 @@ module Journal = struct
                 Ok (entries, recovery)))
 
   let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+  let encode_entries entries =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf header;
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (encode_record ~seconds:e.e_seconds ~decided:e.e_decided ~key:e.e_key
+             ~payload:e.e_payload ()))
+      entries;
+    Buffer.contents buf
+
+  (* Forward declaration dance not needed: Snapshot lives below, so the
+     atomic rewrites here inline the same tmp+fsync+rename sequence. *)
+  let rewrite_atomic path content =
+    let dir = Filename.dirname path in
+    let tmp =
+      Filename.concat dir
+        (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+    in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    (try
+       let pos = ref 0 in
+       let n = String.length content in
+       while !pos < n do
+         pos := !pos + Unix.write_substring fd content !pos (n - !pos)
+       done;
+       fsync_fd fd;
+       Unix.close fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.rename tmp path
 
   let open_append ?(sync = true) ?fault path =
     let fresh () =
@@ -202,8 +267,19 @@ module Journal = struct
         | exception Sys_error msg -> Error msg
         | data -> (
             match parse data with
-            | Error _ as e -> e
-            | Ok (entries, good, recovery) ->
+            | Error msg -> Error msg
+            | Ok (entries, good, recovery, vsn) ->
+                (* A legacy v1 journal cannot take v2 appends in place;
+                   upgrade it with one atomic rewrite (seconds 0),
+                   dropping any torn tail in the same stroke. *)
+                let good =
+                  if vsn = version_v1 && String.length data > 0 then begin
+                    let upgraded = encode_entries entries in
+                    rewrite_atomic path upgraded;
+                    String.length upgraded
+                  end
+                  else good
+                in
                 let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
                 (* A 0-byte file is a valid empty journal but has no
                    header yet; write one so appends are parseable. *)
@@ -211,7 +287,7 @@ module Journal = struct
                   let n = Unix.write_substring fd header 0 header_len in
                   if n <> header_len then failwith "short header write"
                 end
-                else if recovery.rec_truncated then begin
+                else if vsn <> version_v1 && recovery.rec_truncated then begin
                   (* Cut the torn/corrupt tail on disk so it is not
                      carried forward under new records. *)
                   Unix.ftruncate fd good;
@@ -237,13 +313,13 @@ module Journal = struct
       pos := !pos + Unix.write_substring fd s !pos (n - !pos)
     done
 
-  let append t ~decided ~key ~payload =
+  let append ?(seconds = 0.) t ~decided ~key ~payload () =
     Mutex.lock t.j_lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.j_lock)
       (fun () ->
         if t.j_closed then invalid_arg "Persist.Journal.append: closed";
-        let rec_bytes = encode_record ~decided ~key ~payload in
+        let rec_bytes = encode_record ~seconds ~decided ~key ~payload () in
         let n = String.length rec_bytes in
         let seq = t.j_seq in
         t.j_seq <- seq + 1;
@@ -279,8 +355,8 @@ module Journal = struct
         t.j_appended <- t.j_appended + 1;
         if Obs.on () then Obs.Metrics.incr (Lazy.force m_appends))
 
-  let append t ~decided ~key ~payload =
-    try append t ~decided ~key ~payload with Exit -> (* Torn: silent *) ()
+  let append ?seconds t ~decided ~key ~payload =
+    try append ?seconds t ~decided ~key ~payload () with Exit -> (* Torn: silent *) ()
 
   let appended t = t.j_appended
 
@@ -301,25 +377,81 @@ module Journal = struct
     | data ->
         (match parse data with
         | Error msg -> failwith msg
-        | Ok (entries, _good, _rec) ->
+        | Ok (entries, _good, _rec, _vsn) ->
             let kept = List.filteri (fun i _ -> i < keep) entries in
             let buf = Buffer.create 4096 in
-            Buffer.add_string buf header;
-            List.iter
-              (fun e ->
-                Buffer.add_string buf
-                  (encode_record ~decided:e.e_decided ~key:e.e_key ~payload:e.e_payload))
-              kept;
+            Buffer.add_string buf (encode_entries kept);
             if torn_bytes > 0 then begin
               (* A partial record prefix: plausible tag and lengths, body
                  cut off — exactly what a kill mid-[write] leaves. *)
-              let fake = encode_record ~decided:true ~key:"torn" ~payload:(String.make 64 'x') in
+              let fake = encode_record ~decided:true ~key:"torn" ~payload:(String.make 64 'x') () in
               Buffer.add_string buf (String.sub fake 0 (min torn_bytes (String.length fake)))
             end;
             let oc = open_out_bin path in
             Fun.protect
               ~finally:(fun () -> close_out_noerr oc)
               (fun () -> output_string oc (Buffer.contents buf)))
+
+  type compaction = {
+    comp_before : int;
+    comp_after : int;
+    comp_bytes_before : int;
+    comp_bytes_after : int;
+  }
+
+  (* Fold duplicates last-write-wins: each key keeps exactly its final
+     record (decided or Unknown alike), in first-appearance order. The
+     skip index of the compacted journal is therefore identical to that
+     of the original — an Unknown that superseded a decided record stays
+     an Unknown, so the key still re-runs on resume. *)
+  let fold_last entries =
+    let last = Hashtbl.create 64 in
+    List.iter (fun e -> Hashtbl.replace last e.e_key e) entries;
+    let seen = Hashtbl.create 64 in
+    List.filter_map
+      (fun e ->
+        if Hashtbl.mem seen e.e_key then None
+        else begin
+          Hashtbl.add seen e.e_key ();
+          Hashtbl.find_opt last e.e_key
+        end)
+      entries
+
+  let compact ?fault path =
+    match read_file path with
+    | exception Sys_error msg -> Error msg
+    | data -> (
+        match parse data with
+        | Error msg -> Error msg
+        | Ok (entries, _good, _rec, _vsn) -> (
+            let folded = fold_last entries in
+            let content = encode_entries folded in
+            match
+              (* Inline Snapshot.write_atomic semantics; Snapshot is
+                 defined below, so route through the shared rewrite and
+                 honor the fault hook the same way. *)
+              (match fault with
+              | Some hook -> (
+                  match hook () with
+                  | None -> Ok ()
+                  | Some _ -> Error "compact aborted by injected fault (journal untouched)")
+              | None -> Ok ())
+            with
+            | Error msg -> Error msg
+            | Ok () -> (
+                match rewrite_atomic path content with
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+                | exception Sys_error msg -> Error msg
+                | () ->
+                    if Obs.on () then Obs.Metrics.incr (Lazy.force m_compactions);
+                    Ok
+                      {
+                        comp_before = List.length entries;
+                        comp_after = List.length folded;
+                        comp_bytes_before = String.length data;
+                        comp_bytes_after = String.length content;
+                      })))
 end
 
 module Snapshot = struct
@@ -360,6 +492,8 @@ module Campaign = struct
     c_appended : int;
     c_write_errors : int;
     c_recovered_bytes : int;
+    c_compactions : int;
+    c_compacted_away : int;
   }
 
   type t = {
@@ -367,6 +501,9 @@ module Campaign = struct
     ca_path : string;
     (* last-write-wins; only decided payloads are stored *)
     ca_index : (string, string) Hashtbl.t;
+    (* last positive wall-clock seconds per key, decided or not: the
+       hardness signal the distributed scheduler sorts its queue by *)
+    ca_seconds : (string, float) Hashtbl.t;
     ca_lock : Mutex.t;
     mutable ca_stats : stats;
   }
@@ -374,7 +511,12 @@ module Campaign = struct
   let m_hits = lazy (Obs.Metrics.counter "persist.skips")
   let m_write_errors = lazy (Obs.Metrics.counter "persist.write_errors")
 
-  let start ?sync ?fault ~resume ~force path =
+  (* Auto-compaction gate: only worth an atomic rewrite once the journal
+     is both big and mostly dead. *)
+  let should_compact ~compact_min ~records ~live =
+    records >= compact_min && records > 0 && float_of_int live /. float_of_int records < 0.6
+
+  let start ?sync ?fault ?(compact_min = 512) ~resume ~force path =
     if resume && not (Sys.file_exists path) then
       Error
         (Printf.sprintf
@@ -386,13 +528,36 @@ module Campaign = struct
            path)
     else begin
       if (not resume) && Sys.file_exists path then Sys.remove path;
+      (* Resume path: compact first when the journal has grown mostly
+         duplicate, while no append handle is open. The skip index is
+         invariant under compaction, so this only changes file size. *)
+      let compactions = ref 0 and compacted_away = ref 0 in
+      (if resume then
+         match Journal.load path with
+         | Error _ -> ()  (* open_append will surface the real error *)
+         | Ok (entries, _rec) ->
+             let records = List.length entries in
+             let live = Hashtbl.length (
+               let h = Hashtbl.create 64 in
+               List.iter (fun e -> Hashtbl.replace h e.Journal.e_key ()) entries;
+               h)
+             in
+             if should_compact ~compact_min ~records ~live then
+               match Journal.compact path with
+               | Ok c ->
+                   incr compactions;
+                   compacted_away := c.Journal.comp_before - c.Journal.comp_after
+               | Error _ -> () (* keep the uncompacted journal; resume still works *));
       match Journal.open_append ?sync ?fault path with
       | Error _ as e -> e
       | Ok (j, entries, recovery) ->
           let index = Hashtbl.create 256 in
+          let seconds = Hashtbl.create 256 in
           let undecided = ref 0 in
           List.iter
             (fun e ->
+              if e.Journal.e_seconds > 0. then
+                Hashtbl.replace seconds e.Journal.e_key e.Journal.e_seconds;
               if e.Journal.e_decided then Hashtbl.replace index e.Journal.e_key e.Journal.e_payload
               else begin
                 incr undecided;
@@ -409,6 +574,7 @@ module Campaign = struct
               ca_journal = j;
               ca_path = path;
               ca_index = index;
+              ca_seconds = seconds;
               ca_lock = Mutex.create ();
               ca_stats =
                 {
@@ -418,6 +584,8 @@ module Campaign = struct
                   c_appended = 0;
                   c_write_errors = 0;
                   c_recovered_bytes = recovery.Journal.rec_dropped_bytes;
+                  c_compactions = !compactions;
+                  c_compacted_away = !compacted_away;
                 };
             }
     end
@@ -434,10 +602,22 @@ module Campaign = struct
             Some payload
         | None -> None)
 
-  let record t ~decided ~key ~payload =
+  let peek_decided t key =
+    Mutex.lock t.ca_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.ca_lock)
+      (fun () -> Hashtbl.find_opt t.ca_index key)
+
+  let last_seconds t key =
+    Mutex.lock t.ca_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.ca_lock)
+      (fun () -> Hashtbl.find_opt t.ca_seconds key)
+
+  let record ?(seconds = 0.) t ~decided ~key ~payload =
     let ok =
       try
-        Journal.append t.ca_journal ~decided ~key ~payload;
+        Journal.append ~seconds t.ca_journal ~decided ~key ~payload;
         true
       with Injected_fault _ | Sys_error _ | Unix.Unix_error _ ->
         (* Degraded durability: the verdict stands, the key re-runs on
@@ -448,6 +628,7 @@ module Campaign = struct
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.ca_lock)
       (fun () ->
+        if seconds > 0. then Hashtbl.replace t.ca_seconds key seconds;
         if decided then Hashtbl.replace t.ca_index key payload
         else Hashtbl.remove t.ca_index key;
         if ok then t.ca_stats <- { t.ca_stats with c_appended = t.ca_stats.c_appended + 1 }

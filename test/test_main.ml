@@ -1,3 +1,10 @@
+(* Dist workers are this binary re-exec'd: register the solvers the
+   dist tests name, then let a worker invocation take over before
+   alcotest sees argv. *)
+let () =
+  Test_dist.register_solvers ();
+  Dist.worker_entry ()
+
 let () =
   Alcotest.run "gqed"
     [
@@ -21,4 +28,5 @@ let () =
       ("reuse", Test_reuse.suite);
       ("report", Test_report.suite);
       ("persist", Test_persist.suite);
+      ("dist", Test_dist.suite);
     ]

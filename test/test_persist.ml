@@ -320,7 +320,7 @@ let test_campaign_guards () =
 (* ------------------------------------------------------------------ *)
 
 let fast_policy =
-  { Par.Supervise.max_restarts = 2; backoff_s = 0.001; backoff_cap_s = 0.002 }
+  { Par.Supervise.max_restarts = 2; backoff_s = 0.001; backoff_cap_s = 0.002; retry_oom = true }
 
 let test_supervise_restarts () =
   let attempts = Hashtbl.create 8 in
@@ -573,6 +573,160 @@ let test_decode_rejects_drift () =
   | Some _ -> Alcotest.fail "garbage payload decoded"
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Compaction and the v2 record format                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_compact_round_trip () =
+  with_tmp "compact" (fun path ->
+      write_journal path
+        [
+          ("a", true, "a1");
+          ("b", true, "b1");
+          ("a", true, "a2");
+          ("c", false, "c1");
+          ("b", false, "b2");
+          ("d", true, "d1");
+        ];
+      let size_before = (Unix.stat path).Unix.st_size in
+      (match Persist.Journal.compact path with
+      | Error msg -> Alcotest.failf "compact: %s" msg
+      | Ok comp ->
+          Alcotest.(check int) "records before" 6 comp.Persist.Journal.comp_before;
+          Alcotest.(check int) "records after" 4 comp.Persist.Journal.comp_after;
+          Alcotest.(check int) "bytes before" size_before
+            comp.Persist.Journal.comp_bytes_before;
+          if comp.Persist.Journal.comp_bytes_after >= size_before then
+            Alcotest.fail "compaction did not shrink the journal");
+      let entries, recovery = load_ok path in
+      Alcotest.(check bool) "compacted journal is clean" false
+        recovery.Persist.Journal.rec_truncated;
+      (* One record per key, the key's LAST record, in first-appearance
+         order — exactly the fold a resume's skip index performs, so the
+         skip set is unchanged: a and d skippable, b and c blocked. *)
+      Alcotest.(check (list (triple string bool string)))
+        "last record per key, first-appearance order"
+        [ ("a", true, "a2"); ("b", false, "b2"); ("c", false, "c1"); ("d", true, "d1") ]
+        (List.map entry_triple entries);
+      match Persist.Campaign.start ~resume:true ~force:false path with
+      | Error msg -> Alcotest.failf "resume after compact: %s" msg
+      | Ok c ->
+          Alcotest.(check (option string)) "a skippable" (Some "a2")
+            (Persist.Campaign.find_decided c "a");
+          Alcotest.(check (option string)) "d skippable" (Some "d1")
+            (Persist.Campaign.find_decided c "d");
+          Alcotest.(check (option string)) "b blocked by trailing Unknown" None
+            (Persist.Campaign.find_decided c "b");
+          Alcotest.(check (option string)) "c blocked" None
+            (Persist.Campaign.find_decided c "c");
+          Persist.Campaign.close c)
+
+let test_campaign_auto_compaction () =
+  with_tmp "autocompact" (fun path ->
+      (match Persist.Campaign.start ~resume:false ~force:false path with
+      | Error msg -> Alcotest.failf "start: %s" msg
+      | Ok c ->
+          for i = 1 to 10 do
+            Persist.Campaign.record c ~decided:true ~key:"k"
+              ~payload:(Printf.sprintf "p%d" i)
+          done;
+          Persist.Campaign.record c ~decided:true ~key:"k2" ~payload:"q";
+          Persist.Campaign.close c);
+      (* Default threshold (512 records) leaves a small journal alone... *)
+      (match Persist.Campaign.start ~resume:true ~force:false path with
+      | Error msg -> Alcotest.failf "resume: %s" msg
+      | Ok c ->
+          let s = Persist.Campaign.stats c in
+          Alcotest.(check int) "no compaction below threshold" 0
+            s.Persist.Campaign.c_compactions;
+          Persist.Campaign.close c);
+      (* ...but a lowered gate folds the 11 records down to the 2 live. *)
+      match Persist.Campaign.start ~resume:true ~force:false ~compact_min:4 path with
+      | Error msg -> Alcotest.failf "resume+compact: %s" msg
+      | Ok c ->
+          let s = Persist.Campaign.stats c in
+          Alcotest.(check int) "one compaction" 1 s.Persist.Campaign.c_compactions;
+          Alcotest.(check int) "nine duplicates folded away" 9
+            s.Persist.Campaign.c_compacted_away;
+          Alcotest.(check int) "live rows loaded" 2 s.Persist.Campaign.c_loaded;
+          Alcotest.(check (option string)) "latest duplicate survives" (Some "p10")
+            (Persist.Campaign.find_decided c "k");
+          Alcotest.(check (option string)) "singleton survives" (Some "q")
+            (Persist.Campaign.find_decided c "k2");
+          Persist.Campaign.close c;
+          let entries, _ = load_ok path in
+          Alcotest.(check int) "journal holds only live rows" 2 (List.length entries))
+
+(* A v1 record, byte-for-byte: no seconds field. Upgrades must still
+   load these and [open_append] must transparently rewrite them as v2. *)
+let encode_v1_record ~decided ~key ~payload =
+  let buf = Buffer.create 64 in
+  let add32 n =
+    List.iter (fun s -> Buffer.add_char buf (Char.chr ((n lsr s) land 0xff))) [ 24; 16; 8; 0 ]
+  in
+  Buffer.add_char buf 'R';
+  add32 (String.length key);
+  add32 (String.length payload);
+  Buffer.add_char buf (if decided then '\001' else '\000');
+  Buffer.add_string buf key;
+  Buffer.add_string buf payload;
+  let body = Buffer.contents buf in
+  add32 (Int32.to_int (Persist.crc32 body) land 0xFFFFFFFF);
+  Buffer.contents buf
+
+let test_v1_journal_upgrade () =
+  with_tmp "v1" (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "GQEDJRNL\001";
+      output_string oc (encode_v1_record ~decided:true ~key:"old-key" ~payload:"old-pay");
+      output_string oc (encode_v1_record ~decided:false ~key:"old-unk" ~payload:"u");
+      close_out oc;
+      let entries, recovery = load_ok path in
+      Alcotest.(check bool) "v1 loads clean" false recovery.Persist.Journal.rec_truncated;
+      Alcotest.(check (list (triple string bool string)))
+        "v1 entries decode"
+        [ ("old-key", true, "old-pay"); ("old-unk", false, "u") ]
+        (List.map entry_triple entries);
+      List.iter
+        (fun e ->
+          Alcotest.(check (float 0.)) "v1 has no timings" 0. e.Persist.Journal.e_seconds)
+        entries;
+      (* Opening for append upgrades the file in place to v2. *)
+      let j, existing, _ = open_ok path in
+      Alcotest.(check int) "upgrade preserves entries" 2 (List.length existing);
+      Persist.Journal.append ~seconds:0.125 j ~decided:true ~key:"new" ~payload:"n";
+      Persist.Journal.close j;
+      let header = In_channel.with_open_bin path (fun ic -> really_input_string ic 9) in
+      Alcotest.(check char) "version byte bumped to v2" '\002' header.[8];
+      let entries, _ = load_ok path in
+      Alcotest.(check int) "all three entries survive" 3 (List.length entries);
+      match List.rev entries with
+      | last :: _ ->
+          Alcotest.(check (float 1e-9)) "v2 seconds round-trip" 0.125
+            last.Persist.Journal.e_seconds
+      | [] -> Alcotest.fail "journal empty after upgrade")
+
+let test_seconds_round_trip () =
+  with_tmp "seconds" (fun path ->
+      (match Persist.Campaign.start ~resume:false ~force:false path with
+      | Error msg -> Alcotest.failf "start: %s" msg
+      | Ok c ->
+          Persist.Campaign.record ~seconds:0.75 c ~decided:true ~key:"k" ~payload:"p";
+          Persist.Campaign.record c ~decided:true ~key:"k0" ~payload:"p0";
+          Alcotest.(check (option (float 1e-9))) "seconds visible immediately"
+            (Some 0.75) (Persist.Campaign.last_seconds c "k");
+          Persist.Campaign.close c);
+      match Persist.Campaign.start ~resume:true ~force:false path with
+      | Error msg -> Alcotest.failf "resume: %s" msg
+      | Ok c ->
+          Alcotest.(check (option (float 1e-9))) "seconds survive resume" (Some 0.75)
+            (Persist.Campaign.last_seconds c "k");
+          Alcotest.(check (option (float 1e-9))) "no timing journaled" None
+            (Persist.Campaign.last_seconds c "k0");
+          Alcotest.(check (option string)) "verdict intact" (Some "p")
+            (Persist.Campaign.peek_decided c "k");
+          Persist.Campaign.close c)
+
 let suite =
   [
     Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
@@ -603,4 +757,9 @@ let suite =
     Alcotest.test_case "resume never skips Unknown" `Slow
       test_resume_never_skips_unknown;
     Alcotest.test_case "report encode/decode drift" `Quick test_decode_rejects_drift;
+    Alcotest.test_case "journal compaction round-trip" `Quick test_compact_round_trip;
+    Alcotest.test_case "campaign auto-compaction gate" `Quick
+      test_campaign_auto_compaction;
+    Alcotest.test_case "v1 journal upgrade" `Quick test_v1_journal_upgrade;
+    Alcotest.test_case "per-cell seconds round-trip" `Quick test_seconds_round_trip;
   ]
